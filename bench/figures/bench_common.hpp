@@ -1,0 +1,87 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every figure binary prints a self-documenting header (what the paper
+// shows, what this run reproduces) followed by CSV rows, so the combined
+// bench output can be diffed against EXPERIMENTS.md. All binaries accept
+//   --quick            shrink the workload for smoke runs
+//   --<name> <value>   integer/real overrides (per-figure)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "sgl.hpp"
+
+namespace sgl::bench {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (key == "quick") {
+        quick_ = true;
+      } else if (i + 1 < argc) {
+        values_[key] = argv[++i];
+      }
+    }
+  }
+
+  [[nodiscard]] bool quick() const noexcept { return quick_; }
+
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+
+  [[nodiscard]] double get_real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  bool quick_ = false;
+  std::map<std::string, std::string> values_;
+};
+
+/// Standard banner: figure id, paper claim, run configuration.
+inline void banner(const char* figure, const char* paper_claim) {
+  std::printf("# %s\n", figure);
+  std::printf("# paper: %s\n", paper_claim);
+}
+
+/// Small triangulated mesh for --quick runs.
+inline graph::MeshGraph quick_trimesh(Index nx, Index ny) {
+  graph::TriMeshOptions options;
+  options.nx = nx;
+  options.ny = ny;
+  return graph::make_triangulated_mesh(options);
+}
+
+/// log10 clamped away from -inf for converged (≤0) sensitivities.
+inline Real log10_clamped(Real x, Real floor_value = 1e-16) {
+  return std::log10(std::max(x, floor_value));
+}
+
+/// Eigenvalue scatter rows: "i, lambda_reference, lambda_approx".
+inline void print_eigen_scatter(const la::Vector& reference,
+                                const la::Vector& approx,
+                                const char* prefix = "") {
+  std::printf("%sidx,lambda_true,lambda_learned\n", prefix);
+  const std::size_t k = std::min(reference.size(), approx.size());
+  for (std::size_t i = 0; i < k; ++i)
+    std::printf("%s%zu,%.8e,%.8e\n", prefix, i + 2, reference[i], approx[i]);
+}
+
+}  // namespace sgl::bench

@@ -1,0 +1,100 @@
+// Eigensolver microbenchmarks: shift-invert Lanczos on SGL-shaped graphs
+// (r sweep — the paper's claim that r < 5 suffices makes r the key cost
+// knob) and the dense reference solver.
+#include <benchmark/benchmark.h>
+
+#include "sgl.hpp"
+
+namespace {
+
+using namespace sgl;
+
+graph::Graph ultra_sparse_graph(Index side) {
+  const graph::Graph mesh = graph::make_grid2d(side, side).graph;
+  const auto tree_ids = graph::maximum_spanning_forest(mesh);
+  graph::Graph g = graph::subgraph_from_edges(mesh, tree_ids);
+  Rng rng(7);
+  for (Index i = 0; i < mesh.num_nodes() / 100 + 1; ++i) {
+    const Index s = rng.uniform_int(mesh.num_nodes());
+    const Index t = rng.uniform_int(mesh.num_nodes());
+    if (s != t) g.add_edge(std::min(s, t), std::max(s, t), 1.0);
+  }
+  return g;
+}
+
+void BM_LanczosUltraSparseRSweep(benchmark::State& state) {
+  const graph::Graph g = ultra_sparse_graph(64);
+  const solver::LaplacianPinvSolver pinv(g);
+  const Index r = static_cast<Index>(state.range(0));
+  Index steps = 0;
+  for (auto _ : state) {
+    const eig::EigenPairs pairs = eig::smallest_laplacian_eigenpairs(pinv, r);
+    steps = pairs.lanczos_steps;
+    benchmark::DoNotOptimize(pairs.eigenvalues.data());
+  }
+  state.counters["lanczos_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_LanczosUltraSparseRSweep)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LanczosMeshSizeSweep(benchmark::State& state) {
+  const Index side = static_cast<Index>(state.range(0));
+  const graph::Graph g = graph::make_grid2d(side, side).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  for (auto _ : state) {
+    const eig::EigenPairs pairs = eig::smallest_laplacian_eigenpairs(pinv, 4);
+    benchmark::DoNotOptimize(pairs.eigenvalues.data());
+  }
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+}
+BENCHMARK(BM_LanczosMeshSizeSweep)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DenseSymmetricEig(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  Rng rng(9);
+  la::DenseMatrix a(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j <= i; ++j) {
+      const Real v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  for (auto _ : state) {
+    const eig::DenseEigResult r = eig::dense_symmetric_eig(a);
+    benchmark::DoNotOptimize(r.eigenvalues.data());
+  }
+}
+BENCHMARK(BM_DenseSymmetricEig)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EmbeddingComputation(benchmark::State& state) {
+  // The actual Step-2 kernel: embedding of an ultra-sparse iterate.
+  const graph::Graph g = ultra_sparse_graph(static_cast<Index>(state.range(0)));
+  spectral::EmbeddingOptions options;
+  options.r = 5;
+  for (auto _ : state) {
+    const spectral::Embedding e = spectral::compute_embedding(g, options);
+    benchmark::DoNotOptimize(e.u.data().data());
+  }
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+}
+BENCHMARK(BM_EmbeddingComputation)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

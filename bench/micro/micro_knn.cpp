@@ -1,0 +1,77 @@
+// kNN microbenchmarks: exact scan vs HNSW build/query — the Step-1
+// scalability ablation (the paper leans on HNSW [8] for large N).
+#include <benchmark/benchmark.h>
+
+#include "sgl.hpp"
+
+namespace {
+
+using namespace sgl;
+
+la::DenseMatrix random_points(Index n, Index dim, std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix x(n, dim);
+  for (Index j = 0; j < dim; ++j)
+    for (Index i = 0; i < n; ++i) x(i, j) = rng.normal();
+  return x;
+}
+
+void BM_BruteForceKnn(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  const la::DenseMatrix x = random_points(n, 50, 3);
+  for (auto _ : state) {
+    const knn::KnnResult r = knn::brute_force_knn(x, 5);
+    benchmark::DoNotOptimize(r.neighbor.data());
+  }
+}
+BENCHMARK(BM_BruteForceKnn)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HnswBuildAndQueryAll(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  const la::DenseMatrix x = random_points(n, 50, 3);
+  for (auto _ : state) {
+    const knn::KnnResult r = knn::hnsw_knn(x, 5);
+    benchmark::DoNotOptimize(r.neighbor.data());
+  }
+}
+BENCHMARK(BM_HnswBuildAndQueryAll)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KnnGraphBuild(benchmark::State& state) {
+  // End-to-end Step 1 (neighbor search + symmetrize + connectivity).
+  const Index n = static_cast<Index>(state.range(0));
+  const la::DenseMatrix x = random_points(n, 50, 5);
+  for (auto _ : state) {
+    const graph::Graph g = knn::build_knn_graph(x, {});
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_KnnGraphBuild)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HnswQueryOnly(benchmark::State& state) {
+  const Index n = 8192;
+  const la::DenseMatrix x = random_points(n, 50, 7);
+  const knn::HnswIndex index(x);
+  Index q = 0;
+  for (auto _ : state) {
+    const auto found = index.search_point(q, 5);
+    benchmark::DoNotOptimize(found.data());
+    q = (q + 1) % n;
+  }
+}
+BENCHMARK(BM_HnswQueryOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

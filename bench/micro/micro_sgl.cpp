@@ -1,0 +1,123 @@
+// SGL core microbenchmarks and design ablations: per-step cost, the r
+// knob (embedding order), and the β knob (edges admitted per iteration) —
+// the design-choice sweeps DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include "sgl.hpp"
+
+namespace {
+
+using namespace sgl;
+
+const measure::Measurements& mesh_measurements() {
+  static const measure::Measurements data = [] {
+    const graph::Graph g = graph::make_grid2d(40, 40, true).graph;
+    measure::MeasurementOptions options;
+    options.num_measurements = 50;
+    return measure::generate_measurements(g, options);
+  }();
+  return data;
+}
+
+void BM_SglFullRunRSweep(benchmark::State& state) {
+  const measure::Measurements& data = mesh_measurements();
+  core::SglConfig config;
+  config.r = static_cast<Index>(state.range(0));
+  Index iterations = 0;
+  Index edges = 0;
+  for (auto _ : state) {
+    core::SglLearner learner(data.voltages, config);
+    const core::SglResult result = learner.run(&data.currents);
+    iterations = result.iterations;
+    edges = result.learned.num_edges();
+    benchmark::DoNotOptimize(result.learned.num_edges());
+  }
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_SglFullRunRSweep)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_SglFullRunBetaSweep(benchmark::State& state) {
+  const measure::Measurements& data = mesh_measurements();
+  core::SglConfig config;
+  config.beta = 1.0 / static_cast<Real>(state.range(0));
+  Index iterations = 0;
+  Index edges = 0;
+  for (auto _ : state) {
+    core::SglLearner learner(data.voltages, config);
+    const core::SglResult result = learner.run(&data.currents);
+    iterations = result.iterations;
+    edges = result.learned.num_edges();
+    benchmark::DoNotOptimize(result.learned.num_edges());
+  }
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_SglFullRunBetaSweep)
+    ->Arg(1000)   // β = 1e-3 (paper default)
+    ->Arg(100)    // β = 1e-2
+    ->Arg(10)     // β = 1e-1
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_SglSingleStep(benchmark::State& state) {
+  // Cost of one Step-2/3/4 iteration on a fresh spanning-tree learner.
+  const measure::Measurements& data = mesh_measurements();
+  core::SglConfig config;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SglLearner learner(data.voltages, config);
+    state.ResumeTiming();
+    const core::SglIterationStats s = learner.step();
+    benchmark::DoNotOptimize(s.smax);
+  }
+}
+BENCHMARK(BM_SglSingleStep)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_SensitivityScan(benchmark::State& state) {
+  // Step-3 kernel in isolation: candidate sensitivities from an embedding.
+  const measure::Measurements& data = mesh_measurements();
+  core::SglConfig config;
+  core::SglLearner learner(data.voltages, config);
+  spectral::EmbeddingOptions eopt;
+  eopt.r = 5;
+  const spectral::Embedding emb =
+      spectral::compute_embedding(learner.current_graph(), eopt);
+  const graph::Graph& knn_graph = learner.knn_graph();
+  const Real m = static_cast<Real>(data.voltages.cols());
+  for (auto _ : state) {
+    Real smax = -1e300;
+    for (const graph::Edge& e : knn_graph.edges()) {
+      const Real z_emb = emb.u.row_distance_squared(e.s, e.t);
+      const Real z_data = data.voltages.row_distance_squared(e.s, e.t);
+      smax = std::max(smax, z_emb - z_data / m);
+    }
+    benchmark::DoNotOptimize(smax);
+  }
+  state.counters["candidates"] = static_cast<double>(knn_graph.num_edges());
+}
+BENCHMARK(BM_SensitivityScan)->Unit(benchmark::kMicrosecond);
+
+void BM_EdgeScaling(benchmark::State& state) {
+  // Step-5 kernel: eq. 21-23 scaling solves.
+  const measure::Measurements& data = mesh_measurements();
+  core::SglConfig config;
+  core::SglLearner learner(data.voltages, config);
+  const core::SglResult result = learner.run(nullptr);
+  for (auto _ : state) {
+    graph::Graph g = result.learned;
+    const Real factor =
+        core::apply_spectral_edge_scaling(g, data.voltages, data.currents);
+    benchmark::DoNotOptimize(factor);
+  }
+}
+BENCHMARK(BM_EdgeScaling)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

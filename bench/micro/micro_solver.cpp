@@ -1,0 +1,161 @@
+// Substrate microbenchmarks: sparse LDLᵀ across fill-reducing orderings
+// and PCG across preconditioners — the ablation behind the solver choices
+// documented in DESIGN.md (direct factorization for ultra-sparse learned
+// graphs, AMG-PCG for large original meshes).
+#include <benchmark/benchmark.h>
+
+#include "sgl.hpp"
+
+namespace {
+
+using namespace sgl;
+
+la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
+  std::vector<la::Triplet> t;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
+    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
+    if (e.s != 0 && e.t != 0) {
+      t.push_back({e.s - 1, e.t - 1, -e.weight});
+      t.push_back({e.t - 1, e.s - 1, -e.weight});
+    }
+  }
+  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
+}
+
+la::CsrMatrix mesh_matrix(Index side) {
+  return grounded_laplacian(graph::make_grid2d(side, side).graph);
+}
+
+/// Tree + 1% extra edges: the shape of an SGL iterate.
+la::CsrMatrix ultra_sparse_matrix(Index side) {
+  const graph::Graph mesh = graph::make_grid2d(side, side).graph;
+  const auto tree_ids = graph::maximum_spanning_forest(mesh);
+  graph::Graph g = graph::subgraph_from_edges(mesh, tree_ids);
+  Rng rng(7);
+  const Index extras = mesh.num_nodes() / 100 + 1;
+  for (Index i = 0; i < extras; ++i) {
+    const Index s = rng.uniform_int(mesh.num_nodes());
+    const Index t = rng.uniform_int(mesh.num_nodes());
+    if (s != t) g.add_edge(std::min(s, t), std::max(s, t), 1.0);
+  }
+  return grounded_laplacian(g);
+}
+
+void BM_CholeskyFactorMesh(benchmark::State& state) {
+  const auto ordering = static_cast<solver::OrderingMethod>(state.range(0));
+  const la::CsrMatrix a = mesh_matrix(64);
+  Index fill = 0;
+  for (auto _ : state) {
+    const solver::CholeskySolver chol(a, ordering);
+    fill = chol.stats().factor_nnz;
+    benchmark::DoNotOptimize(fill);
+  }
+  state.counters["factor_nnz"] = static_cast<double>(fill);
+}
+BENCHMARK(BM_CholeskyFactorMesh)
+    ->Arg(static_cast<int>(solver::OrderingMethod::kNatural))
+    ->Arg(static_cast<int>(solver::OrderingMethod::kRcm))
+    ->Arg(static_cast<int>(solver::OrderingMethod::kMinimumDegree))
+    ->Arg(static_cast<int>(solver::OrderingMethod::kNestedDissection))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CholeskyFactorUltraSparse(benchmark::State& state) {
+  const la::CsrMatrix a = ultra_sparse_matrix(static_cast<Index>(state.range(0)));
+  Index fill = 0;
+  for (auto _ : state) {
+    const solver::CholeskySolver chol(a, solver::OrderingMethod::kMinimumDegree);
+    fill = chol.stats().factor_nnz;
+    benchmark::DoNotOptimize(fill);
+  }
+  state.counters["factor_nnz"] = static_cast<double>(fill);
+  state.counters["n"] = static_cast<double>(a.rows());
+}
+BENCHMARK(BM_CholeskyFactorUltraSparse)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CholeskySolveMesh(benchmark::State& state) {
+  const la::CsrMatrix a = mesh_matrix(64);
+  const solver::CholeskySolver chol(a, solver::OrderingMethod::kMinimumDegree);
+  Rng rng(3);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    la::Vector x = chol.solve(b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_CholeskySolveMesh)->Unit(benchmark::kMicrosecond);
+
+void BM_PcgMesh(benchmark::State& state) {
+  const la::CsrMatrix a = mesh_matrix(64);
+  Rng rng(4);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+
+  const graph::Graph mesh_graph = graph::make_grid2d(64, 64).graph;
+  std::unique_ptr<solver::Preconditioner> m;
+  switch (state.range(0)) {
+    case 0: m = std::make_unique<solver::IdentityPreconditioner>(a.rows()); break;
+    case 1: m = std::make_unique<solver::JacobiPreconditioner>(a); break;
+    case 2: m = std::make_unique<solver::SgsPreconditioner>(a); break;
+    case 3: m = std::make_unique<solver::Ic0Preconditioner>(a); break;
+    case 4: m = std::make_unique<solver::TreePreconditioner>(mesh_graph); break;
+    default: m = std::make_unique<solver::AmgPreconditioner>(a); break;
+  }
+  Index iterations = 0;
+  for (auto _ : state) {
+    la::Vector x;
+    const solver::PcgResult r = solver::pcg_solve(a, b, x, *m);
+    iterations = r.iterations;
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["pcg_iterations"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_PcgMesh)
+    ->Arg(0)   // identity
+    ->Arg(1)   // Jacobi
+    ->Arg(2)   // symmetric Gauss-Seidel
+    ->Arg(3)   // IC(0)
+    ->Arg(4)   // spanning tree
+    ->Arg(5)   // aggregation AMG
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AmgSetup(benchmark::State& state) {
+  const la::CsrMatrix a = mesh_matrix(static_cast<Index>(state.range(0)));
+  double complexity = 0.0;
+  for (auto _ : state) {
+    const solver::AmgHierarchy h(a);
+    complexity = h.operator_complexity();
+    benchmark::DoNotOptimize(complexity);
+  }
+  state.counters["operator_complexity"] = complexity;
+}
+BENCHMARK(BM_AmgSetup)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_LaplacianPinvApply(benchmark::State& state) {
+  const graph::Graph g = graph::make_grid2d(64, 64).graph;
+  solver::LaplacianSolverOptions options;
+  options.method = static_cast<solver::LaplacianMethod>(state.range(0));
+  const solver::LaplacianPinvSolver pinv(g, options);
+  Rng rng(5);
+  la::Vector y(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& v : y) v = rng.normal();
+  la::center(y);
+  for (auto _ : state) {
+    la::Vector x = pinv.apply(y);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LaplacianPinvApply)
+    ->Arg(static_cast<int>(solver::LaplacianMethod::kCholesky))
+    ->Arg(static_cast<int>(solver::LaplacianMethod::kPcgJacobi))
+    ->Arg(static_cast<int>(solver::LaplacianMethod::kPcgAmg))
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

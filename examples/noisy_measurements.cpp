@@ -1,0 +1,43 @@
+// Noise robustness: learning a resistor network from noisy voltage
+// measurements (the paper's Fig. 9 scenario).
+//
+// Measurement noise is unavoidable on real silicon: probe voltages carry
+// supply ripple and quantization error. This example sweeps the relative
+// noise level ζ (x̃ = x + ζ‖x‖ε) and shows that the learned network's
+// leading eigenvalues — the global structural information — survive even
+// 50% noise, degrading gracefully in between.
+#include <cstdio>
+
+#include "sgl.hpp"
+
+int main() {
+  using namespace sgl;
+
+  const graph::MeshGraph mesh = graph::make_grid2d(50, 50, /*periodic=*/true);
+  const graph::Graph& truth = mesh.graph;
+  std::printf("ground truth: %d-node torus, %d edges\n", truth.num_nodes(),
+              truth.num_edges());
+
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 50;
+  const measure::Measurements clean =
+      measure::generate_measurements(truth, mopt);
+
+  std::printf("%-8s %-10s %-12s %-14s %-14s\n", "noise", "density",
+              "iterations", "eig corr", "rel err (top 10)");
+  for (const Real zeta : {0.0, 0.1, 0.25, 0.5}) {
+    la::DenseMatrix noisy = clean.voltages;
+    measure::add_noise(noisy, zeta, /*seed=*/42);
+
+    const core::SglResult result = core::learn_graph(noisy, clean.currents);
+    const spectral::SpectrumComparison cmp =
+        spectral::compare_spectra(truth, result.learned, 10);
+
+    std::printf("%-8.2f %-10.3f %-12d %-14.4f %-14.4f\n", zeta,
+                result.learned.density(), result.iterations, cmp.correlation,
+                cmp.mean_rel_error);
+  }
+  std::printf("\nexpected: correlation stays near 1 while the relative error "
+              "grows smoothly with the noise level\n");
+  return 0;
+}

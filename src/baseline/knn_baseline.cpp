@@ -1,0 +1,25 @@
+#include "baseline/knn_baseline.hpp"
+
+#include "common/timer.hpp"
+
+namespace sgl::baseline {
+
+KnnBaselineResult learn_knn_baseline(const la::DenseMatrix& x,
+                                     const la::DenseMatrix* y,
+                                     const KnnBaselineOptions& options) {
+  const WallTimer timer;
+  knn::KnnGraphOptions knn_options = options.knn;
+  knn_options.k = options.k;
+  knn_options.ensure_connected = true;
+
+  KnnBaselineResult result;
+  result.graph = knn::build_knn_graph(x, knn_options);
+  if (y != nullptr && options.edge_scaling) {
+    result.scale_factor =
+        core::apply_spectral_edge_scaling(result.graph, x, *y, options.solver);
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace sgl::baseline

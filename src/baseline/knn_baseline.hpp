@@ -1,0 +1,38 @@
+// kNN-graph baseline (the comparison method in the paper's Figures 2–3).
+//
+// Builds the plain k-nearest-neighbor graph over the measurement rows with
+// the same similarity weights SGL uses, then applies the identical
+// spectral edge scaling (eqs. 21–23) — exactly how the paper treats the
+// "5NN" competitor. The baseline's density (≈ 2.9 for k = 5 meshes)
+// contrasts with SGL's near-tree density (≈ 1.05).
+#pragma once
+
+#include <optional>
+
+#include "core/scaling.hpp"
+#include "graph/graph.hpp"
+#include "knn/knn_graph.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace sgl::baseline {
+
+struct KnnBaselineResult {
+  graph::Graph graph;
+  Real scale_factor = 1.0;
+  double seconds = 0.0;
+};
+
+struct KnnBaselineOptions {
+  Index k = 5;
+  knn::KnnGraphOptions knn;  // k above overrides knn.k
+  bool edge_scaling = true;
+  solver::LaplacianSolverOptions solver;
+};
+
+/// Learns the baseline graph from voltages X; pass the currents Y to
+/// enable scaling (nullptr skips it).
+[[nodiscard]] KnnBaselineResult learn_knn_baseline(
+    const la::DenseMatrix& x, const la::DenseMatrix* y,
+    const KnnBaselineOptions& options = {});
+
+}  // namespace sgl::baseline

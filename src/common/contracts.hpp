@@ -1,0 +1,70 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.6 / E.12):
+// SGL_EXPECTS guards public-API preconditions and always throws on
+// violation; SGL_ASSERT guards internal invariants and compiles out in
+// NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sgl {
+
+/// Exception thrown on precondition violations of public API entry points.
+class ContractViolation : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when a numerical routine cannot proceed (singular
+/// factorization, non-convergence past hard iteration caps, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace sgl
+
+/// Precondition on a public entry point; always checked.
+#define SGL_EXPECTS(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::sgl::detail::contract_failure("precondition", #cond, __FILE__,      \
+                                      __LINE__, (msg));                     \
+    }                                                                       \
+  } while (false)
+
+/// Postcondition; always checked (cheap by construction where used).
+#define SGL_ENSURES(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::sgl::detail::contract_failure("postcondition", #cond, __FILE__,     \
+                                      __LINE__, (msg));                     \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant; checked only in debug builds.
+#ifdef NDEBUG
+#define SGL_ASSERT(cond, msg) \
+  do {                        \
+  } while (false)
+#else
+#define SGL_ASSERT(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::sgl::detail::contract_failure("invariant", #cond, __FILE__,         \
+                                      __LINE__, (msg));                     \
+    }                                                                       \
+  } while (false)
+#endif

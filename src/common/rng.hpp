@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (measurement generation, HNSW
+// level sampling, k-means++ seeding, graph generators, ...) draws from an
+// explicitly seeded sgl::Rng so that experiments are reproducible
+// bit-for-bit on a given platform. The engine is xoshiro256** 1.0
+// (Blackman & Vigna, public domain), which is fast, has a 256-bit state,
+// and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace sgl {
+
+/// xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a single 64-bit seed via splitmix64,
+  /// the initialization recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] Real uniform() noexcept {
+    return static_cast<Real>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] Real uniform(Real lo, Real hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    SGL_ASSERT(n > 0, "uniform_index needs a nonempty range");
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform Index in [0, n).
+  [[nodiscard]] Index uniform_int(Index n) noexcept {
+    return static_cast<Index>(uniform_index(static_cast<std::uint64_t>(n)));
+  }
+
+  /// Standard normal deviate (Marsaglia polar method, cached pair).
+  [[nodiscard]] Real normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    Real u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const Real factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * factor;
+    has_cached_ = true;
+    return u * factor;
+  }
+
+  /// Random sign, ±1 with equal probability.
+  [[nodiscard]] Real rademacher() noexcept {
+    return ((*this)() & 1u) ? 1.0 : -1.0;
+  }
+
+  /// Splits off an independently seeded child stream; used to give each
+  /// subcomponent its own reproducible stream.
+  [[nodiscard]] Rng split() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  Real cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// Fisher–Yates shuffle of an index-addressable container.
+template <typename Container>
+void shuffle(Container& c, Rng& rng) {
+  for (std::size_t i = c.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace sgl

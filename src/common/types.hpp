@@ -1,0 +1,29 @@
+// Fundamental scalar and index types shared by every sgl module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace sgl {
+
+/// Node / edge index type. Graphs in this library are bounded by 2^31-1
+/// vertices and edges, which comfortably covers the paper's largest test
+/// case (150k nodes) with headroom for ~2e9-element meshes.
+using Index = std::int32_t;
+
+/// Floating-point scalar used throughout (measurements, weights, spectra).
+using Real = double;
+
+/// Sentinel for "no index" (e.g. unvisited BFS nodes, absent parents).
+inline constexpr Index kInvalidIndex = -1;
+
+/// Converts a container size to Index, used where sizes are known to fit.
+[[nodiscard]] constexpr Index to_index(std::size_t n) noexcept {
+  return static_cast<Index>(n);
+}
+
+/// Machine epsilon shorthand for tolerance defaults.
+inline constexpr Real kEps = std::numeric_limits<Real>::epsilon();
+
+}  // namespace sgl

@@ -1,0 +1,13 @@
+// Library version constants.
+#pragma once
+
+namespace sgl {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "major.minor.patch" string of this library build.
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace sgl

@@ -1,0 +1,61 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spectral/embedding.hpp"
+
+namespace sgl::core {
+
+RefineResult refine_edge_weights(graph::Graph& g, const la::DenseMatrix& x,
+                                 const RefineOptions& options) {
+  SGL_EXPECTS(x.rows() == g.num_nodes(),
+              "refine_edge_weights: measurement rows must match nodes");
+  SGL_EXPECTS(x.cols() >= 1, "refine_edge_weights: empty measurements");
+  SGL_EXPECTS(options.step > 0.0 && options.step <= 1.0,
+              "refine_edge_weights: step must lie in (0, 1]");
+  SGL_EXPECTS(options.max_change > 1.0,
+              "refine_edge_weights: max_change must exceed 1");
+
+  const Real m = static_cast<Real>(x.cols());
+  // z_data is independent of the weights: compute once.
+  la::Vector z_data(static_cast<std::size_t>(g.num_edges()));
+  for (Index e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    z_data[static_cast<std::size_t>(e)] =
+        std::max(x.row_distance_squared(edge.s, edge.t), Real{1e-300}) / m;
+  }
+
+  spectral::EmbeddingOptions eopt;
+  eopt.r = options.r;
+  eopt.sigma2 = options.sigma2;
+  eopt.lanczos = options.lanczos;
+  eopt.solver = options.solver;
+
+  RefineResult result;
+  const Real log_clamp = std::log(options.max_change);
+  for (Index it = 0; it < options.max_iterations; ++it) {
+    const spectral::Embedding embedding = spectral::compute_embedding(g, eopt);
+    Real max_log_ratio = 0.0;
+    for (Index e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge& edge = g.edge(e);
+      const Real z_emb = std::max(
+          embedding.u.row_distance_squared(edge.s, edge.t), Real{1e-300});
+      const Real log_ratio =
+          std::log(z_emb) - std::log(z_data[static_cast<std::size_t>(e)]);
+      max_log_ratio = std::max(max_log_ratio, std::abs(log_ratio));
+      const Real update =
+          std::clamp(options.step * log_ratio, -log_clamp, log_clamp);
+      g.set_weight(e, edge.weight * std::exp(update));
+    }
+    result.iterations = it + 1;
+    result.max_log_ratio = max_log_ratio;
+    if (max_log_ratio < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sgl::core

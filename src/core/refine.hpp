@@ -1,0 +1,50 @@
+// Stagewise per-edge weight refinement (extension).
+//
+// SGL's Algorithm 1 fixes each edge's weight at M/z_data when the edge is
+// admitted and only rescales globally (eq. 23). The objective's gradient
+// (paper eq. 4 with β = 0) is available per edge, though:
+//   ∂F/∂w_e = ‖Urᵀe_st‖² − (1/M)‖Xᵀe_st‖² = z_emb(e) − z_data(e)/M,
+// so the graph's weights can be polished after topology learning with the
+// multiplicative stagewise scheme the paper points to via Tibshirani's
+// framework [11]:
+//   w_e ← w_e · ρ_e^step,  ρ_e = z_emb(e) / (z_data(e)/M),
+// whose fixed point is exactly the per-edge stationarity z_emb = z_data/M.
+// Increasing w_e decreases z_emb(e) (Rayleigh monotonicity), so the
+// iteration is self-correcting; steps are clamped for stability.
+#pragma once
+
+#include "eig/lanczos.hpp"
+#include "graph/graph.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace sgl::core {
+
+struct RefineOptions {
+  Index max_iterations = 30;
+  /// Embedding order for the gradient estimate (richer than the learning
+  /// loop's default r = 5 since refinement is a one-off post-pass).
+  Index r = 20;
+  Real sigma2 = 1e6;
+  /// Exponent applied to the ratio per update (0 < step ≤ 1).
+  Real step = 0.5;
+  /// Per-iteration clamp on the multiplicative change of any weight.
+  Real max_change = 2.0;
+  /// Stop when every edge's |log ρ| falls below this.
+  Real tolerance = 0.05;
+  eig::LanczosOptions lanczos;
+  solver::LaplacianSolverOptions solver;
+};
+
+struct RefineResult {
+  Index iterations = 0;
+  bool converged = false;
+  /// max |log ρ_e| at the last iteration (0 at the fixed point).
+  Real max_log_ratio = 0.0;
+};
+
+/// Polishes the weights of `g` in place against measurements `x`.
+/// Topology is untouched; weights stay strictly positive.
+RefineResult refine_edge_weights(graph::Graph& g, const la::DenseMatrix& x,
+                                 const RefineOptions& options = {});
+
+}  // namespace sgl::core

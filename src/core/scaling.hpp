@@ -1,0 +1,29 @@
+// Spectral edge scaling (paper Step 5, eqs. 21–23).
+//
+// After the topology is learned, one global factor matches the learned
+// graph's response magnitude to the measurements: voltages x̃_i are solved
+// on the learned graph for every measured current y_i, and all edge
+// weights are multiplied by √((1/M) Σ ‖x̃_i‖²/‖x_i‖²). Scaling every
+// conductance by c divides voltages by c, so this choice makes the mean
+// energy ratio exactly 1. Shared by the SGL core and the kNN baseline
+// (the paper applies the same scaling to both).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "la/dense_matrix.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace sgl::core {
+
+/// Returns the eq.-23 scale factor for `g` given measurement pairs (X, Y).
+/// Columns of Y are centered internally (pseudo-inverse semantics).
+[[nodiscard]] Real spectral_edge_scale_factor(
+    const graph::Graph& g, const la::DenseMatrix& x, const la::DenseMatrix& y,
+    const solver::LaplacianSolverOptions& solver = {});
+
+/// Applies the factor in place; returns it.
+Real apply_spectral_edge_scaling(graph::Graph& g, const la::DenseMatrix& x,
+                                 const la::DenseMatrix& y,
+                                 const solver::LaplacianSolverOptions& solver = {});
+
+}  // namespace sgl::core

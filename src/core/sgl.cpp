@@ -1,0 +1,187 @@
+#include "core/sgl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/timer.hpp"
+#include "core/scaling.hpp"
+#include "graph/mst.hpp"
+#include "spectral/embedding.hpp"
+
+namespace sgl::core {
+
+SglLearner::SglLearner(const la::DenseMatrix& x, SglConfig config)
+    : config_(std::move(config)), x_(x) {
+  SGL_EXPECTS(x.rows() >= 3, "SglLearner: need at least three nodes");
+  SGL_EXPECTS(x.cols() >= 1, "SglLearner: need at least one measurement");
+  SGL_EXPECTS(config_.k >= 1 && config_.k < x.rows(),
+              "SglLearner: need 1 <= k < N");
+  SGL_EXPECTS(config_.r >= 2, "SglLearner: r must be at least 2");
+  SGL_EXPECTS(config_.sigma2 > 0.0, "SglLearner: sigma2 must be positive");
+  SGL_EXPECTS(config_.beta > 0.0 && config_.beta <= 1.0,
+              "SglLearner: beta must lie in (0, 1]");
+  SGL_EXPECTS(config_.tolerance >= 0.0,
+              "SglLearner: tolerance must be nonnegative");
+
+  // Step 1: candidate kNN graph and its maximum spanning tree.
+  WallTimer knn_timer;
+  knn::KnnGraphOptions knn_options = config_.knn;
+  knn_options.k = config_.k;
+  knn_options.ensure_connected = true;  // MST initialization needs it
+  knn_ = knn::build_knn_graph(x_, knn_options);
+  knn_seconds_ = knn_timer.seconds();
+
+  const WallTimer init_timer;
+  tree_edge_ids_ = graph::maximum_spanning_forest(knn_);
+  learned_ = graph::subgraph_from_edges(knn_, tree_edge_ids_);
+
+  // Off-tree edges become the candidate pool; z_data is recovered from the
+  // kNN weight (w = M / z_data, eq. 15) so clamping stays consistent.
+  std::vector<bool> in_tree(static_cast<std::size_t>(knn_.num_edges()), false);
+  for (const Index id : tree_edge_ids_) in_tree[static_cast<std::size_t>(id)] = true;
+  const Real m = static_cast<Real>(x_.cols());
+  candidates_.reserve(static_cast<std::size_t>(knn_.num_edges()) -
+                      tree_edge_ids_.size());
+  for (Index id = 0; id < knn_.num_edges(); ++id) {
+    if (in_tree[static_cast<std::size_t>(id)]) continue;
+    const graph::Edge& e = knn_.edge(id);
+    candidates_.push_back({e.s, e.t, m / e.weight});
+  }
+  learn_seconds_ += init_timer.seconds();
+}
+
+SglIterationStats SglLearner::step() {
+  SglIterationStats stats;
+  if (converged_ || candidates_.empty()) {
+    converged_ = true;
+    stats.iteration = iteration_;
+    stats.total_edges = learned_.num_edges();
+    return stats;
+  }
+
+  const WallTimer timer;
+  ++iteration_;
+
+  // Step 2: spectral embedding of the current learned graph.
+  spectral::EmbeddingOptions embed_options;
+  embed_options.r = config_.r;
+  embed_options.sigma2 = config_.sigma2;
+  embed_options.lanczos = config_.lanczos;
+  embed_options.solver = config_.solver;
+  const spectral::Embedding embedding =
+      spectral::compute_embedding(learned_, embed_options);
+
+  // Step 3: candidate sensitivities s_st = z_emb − z_data / M (eq. 13).
+  const Real m = static_cast<Real>(x_.cols());
+  const std::size_t num_candidates = candidates_.size();
+  std::vector<Real> sensitivity(num_candidates);
+  Real smax = -std::numeric_limits<Real>::infinity();
+  for (std::size_t c = 0; c < num_candidates; ++c) {
+    const Candidate& cand = candidates_[c];
+    const Real z_emb = embedding.u.row_distance_squared(cand.s, cand.t);
+    sensitivity[c] = z_emb - cand.z_data / m;
+    smax = std::max(smax, sensitivity[c]);
+  }
+  last_smax_ = smax;
+  stats.iteration = iteration_;
+  stats.smax = smax;
+
+  // Step 4: convergence check.
+  if (smax < config_.tolerance) {
+    converged_ = true;
+    stats.total_edges = learned_.num_edges();
+    stats.seconds = timer.seconds();
+    learn_seconds_ += stats.seconds;
+    history_.push_back(stats);
+    if (config_.observer) config_.observer(iteration_, smax, 0);
+    return stats;
+  }
+
+  // Include the top ⌈Nβ⌉ candidates whose sensitivity exceeds tolerance.
+  const Index budget = static_cast<Index>(std::ceil(
+      static_cast<Real>(learned_.num_nodes()) * config_.beta));
+  std::vector<Index> order(num_candidates);
+  std::iota(order.begin(), order.end(), Index{0});
+  const Index take = std::min<Index>(budget, to_index(num_candidates));
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&sensitivity](Index a, Index b) {
+                      return sensitivity[static_cast<std::size_t>(a)] >
+                             sensitivity[static_cast<std::size_t>(b)];
+                    });
+
+  std::vector<bool> remove(num_candidates, false);
+  Index added = 0;
+  for (Index i = 0; i < take; ++i) {
+    const Index idx = order[static_cast<std::size_t>(i)];
+    if (sensitivity[static_cast<std::size_t>(idx)] <= config_.tolerance) break;
+    const Candidate& cand = candidates_[static_cast<std::size_t>(idx)];
+    learned_.add_edge(cand.s, cand.t, m / cand.z_data);
+    remove[static_cast<std::size_t>(idx)] = true;
+    ++added;
+  }
+  if (added > 0) {
+    std::vector<Candidate> kept;
+    kept.reserve(num_candidates - static_cast<std::size_t>(added));
+    for (std::size_t c = 0; c < num_candidates; ++c)
+      if (!remove[c]) kept.push_back(candidates_[c]);
+    candidates_.swap(kept);
+  } else {
+    // smax ≥ tol but nothing above it after ranking can only happen with
+    // pathological tolerance settings; declare convergence to guarantee
+    // termination.
+    converged_ = true;
+  }
+
+  stats.edges_added = added;
+  stats.total_edges = learned_.num_edges();
+  stats.seconds = timer.seconds();
+  learn_seconds_ += stats.seconds;
+  history_.push_back(stats);
+  if (config_.observer) config_.observer(iteration_, smax, added);
+  return stats;
+}
+
+SglResult SglLearner::finalize(const la::DenseMatrix* y) const {
+  SglResult result;
+  result.learned = learned_;
+  result.knn_graph = knn_;
+  result.tree_edge_ids = tree_edge_ids_;
+  result.history = history_;
+  result.iterations = iteration_;
+  result.converged = converged_;
+  result.final_smax = last_smax_;
+  result.knn_seconds = knn_seconds_;
+  result.learn_seconds = learn_seconds_;
+
+  if (y != nullptr && config_.edge_scaling) {
+    const WallTimer timer;
+    result.scale_factor =
+        apply_spectral_edge_scaling(result.learned, x_, *y, config_.solver);
+    result.learn_seconds += timer.seconds();
+  }
+  return result;
+}
+
+SglResult SglLearner::run(const la::DenseMatrix* y) {
+  while (!converged_ && !candidates_.empty() &&
+         iteration_ < config_.max_iterations) {
+    step();
+  }
+  return finalize(y);
+}
+
+SglResult learn_graph(const la::DenseMatrix& x, const la::DenseMatrix& y,
+                      const SglConfig& config) {
+  SGL_EXPECTS(x.rows() == y.rows() && x.cols() == y.cols(),
+              "learn_graph: X and Y must have identical shape");
+  SglLearner learner(x, config);
+  return learner.run(&y);
+}
+
+SglResult learn_graph(const la::DenseMatrix& x, const SglConfig& config) {
+  SglLearner learner(x, config);
+  return learner.run(nullptr);
+}
+
+}  // namespace sgl::core

@@ -1,0 +1,137 @@
+// SGL: spectral graph learning from measurements (paper Algorithm 1).
+//
+// Given voltage measurements X ∈ R^{N×M} (and optionally the matching
+// current excitations Y), SGL learns an ultra-sparse resistor network
+// whose spectral-embedding distances encode the measurement distances:
+//
+//   1. build a kNN candidate graph Go over the rows of X
+//      (weights w = M/‖X(s,:)−X(t,:)‖², eq. 15);
+//   2. initialize the learned graph G as the maximum spanning tree of Go;
+//   3. iterate: spectral embedding Ur of G (eq. 12) → edge sensitivities
+//      s_st = ‖Urᵀe_st‖² − (1/M)‖Xᵀe_st‖² for off-tree candidates
+//      (eq. 13) → include the top ⌈Nβ⌉ candidates with s_st > tol;
+//   4. stop when smax < tol (the distortion certificate of §II-C);
+//   5. spectral edge scaling against Y (eqs. 21–23).
+//
+// SglLearner exposes the loop step by step (for per-iteration objective
+// tracking); learn_graph() is the one-shot convenience entry point.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "eig/lanczos.hpp"
+#include "graph/graph.hpp"
+#include "knn/knn_graph.hpp"
+#include "la/dense_matrix.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace sgl::core {
+
+struct SglConfig {
+  /// kNN parameter for the candidate graph (paper default k = 5).
+  Index k = 5;
+  /// Embedding order r: eigenvectors u_2…u_r are used (paper default 5).
+  Index r = 5;
+  /// Prior feature variance σ²; the paper's analysis takes σ² → ∞.
+  Real sigma2 = 1e6;
+  /// Sensitivity tolerance (paper: iterations stop at smax < 1e-12).
+  Real tolerance = 1e-12;
+  /// Edge sampling ratio β: at most ⌈Nβ⌉ edges join per iteration.
+  Real beta = 1e-3;
+  Index max_iterations = 1000;
+  /// Apply eq. 21–23 scaling in finalize() when currents are available.
+  bool edge_scaling = true;
+  /// kNN backend/connectivity knobs (k above overrides knn.k).
+  knn::KnnGraphOptions knn;
+  /// Eigensolver knobs for the per-iteration embedding.
+  eig::LanczosOptions lanczos;
+  /// Laplacian solver knobs (embedding + scaling solves).
+  solver::LaplacianSolverOptions solver;
+  /// Optional per-iteration observer (progress logging in benches).
+  std::function<void(Index iteration, Real smax, Index edges_added)> observer;
+};
+
+struct SglIterationStats {
+  Index iteration = 0;      // 1-based
+  Real smax = 0.0;          // max candidate sensitivity before additions
+  Index edges_added = 0;
+  Index total_edges = 0;    // learned-graph edges after this iteration
+  double seconds = 0.0;     // wall time of this iteration
+};
+
+struct SglResult {
+  graph::Graph learned;               // final learned graph
+  graph::Graph knn_graph;             // candidate graph Go
+  std::vector<Index> tree_edge_ids;   // MST edge ids into knn_graph
+  std::vector<SglIterationStats> history;
+  Index iterations = 0;
+  bool converged = false;
+  Real final_smax = 0.0;
+  Real scale_factor = 1.0;            // eq. 23 factor (1 if not applied)
+  double knn_seconds = 0.0;           // Step 1 (excluded from Fig. 11 runtime)
+  double learn_seconds = 0.0;         // Steps 2–5
+};
+
+class SglLearner {
+ public:
+  /// Builds the candidate graph and the initial spanning tree (Step 1).
+  SglLearner(const la::DenseMatrix& x, SglConfig config);
+
+  /// Runs one SGL iteration (Steps 2–4). No-op once converged() or
+  /// exhausted(). Returns the iteration's statistics.
+  SglIterationStats step();
+
+  /// smax fell below tolerance (or no candidates remain).
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+  /// All candidate edges have been added.
+  [[nodiscard]] bool exhausted() const noexcept { return candidates_.empty(); }
+  [[nodiscard]] Index iteration() const noexcept { return iteration_; }
+  [[nodiscard]] Real last_smax() const noexcept { return last_smax_; }
+  [[nodiscard]] const graph::Graph& current_graph() const noexcept {
+    return learned_;
+  }
+  [[nodiscard]] const graph::Graph& knn_graph() const noexcept { return knn_; }
+  [[nodiscard]] const std::vector<SglIterationStats>& history() const noexcept {
+    return history_;
+  }
+
+  /// Step 5 + result assembly. Pass the currents Y to enable edge scaling
+  /// (nullptr skips it, as in the voltage-only reduced-network setting).
+  [[nodiscard]] SglResult finalize(const la::DenseMatrix* y) const;
+
+  /// Drives step() to convergence (or max_iterations), then finalizes.
+  [[nodiscard]] SglResult run(const la::DenseMatrix* y);
+
+ private:
+  struct Candidate {
+    Index s = 0;
+    Index t = 0;
+    Real z_data = 0.0;  // ‖X(s,:)−X(t,:)‖² (clamped as in the kNN weights)
+  };
+
+  SglConfig config_;
+  const la::DenseMatrix& x_;
+  graph::Graph knn_;
+  graph::Graph learned_;
+  std::vector<Index> tree_edge_ids_;
+  std::vector<Candidate> candidates_;
+  std::vector<SglIterationStats> history_;
+  Index iteration_ = 0;
+  Real last_smax_ = 0.0;
+  bool converged_ = false;
+  double knn_seconds_ = 0.0;
+  double learn_seconds_ = 0.0;
+};
+
+/// One-shot SGL with measurement pair (X, Y): learns and scales.
+[[nodiscard]] SglResult learn_graph(const la::DenseMatrix& x,
+                                    const la::DenseMatrix& y,
+                                    const SglConfig& config = {});
+
+/// Voltage-only SGL (no scaling step), e.g. for reduced-network learning.
+[[nodiscard]] SglResult learn_graph(const la::DenseMatrix& x,
+                                    const SglConfig& config = {});
+
+}  // namespace sgl::core

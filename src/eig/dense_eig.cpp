@@ -1,0 +1,211 @@
+#include "eig/dense_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace sgl::eig {
+
+namespace {
+
+/// Householder reduction of a symmetric matrix (stored in z) to
+/// tridiagonal form; z accumulates the orthogonal transform.
+void tred2(la::DenseMatrix& z, la::Vector& d, la::Vector& e) {
+  const Index n = z.rows();
+  d.assign(static_cast<std::size_t>(n), 0.0);
+  e.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (Index i = n - 1; i >= 1; --i) {
+    const Index l = i - 1;
+    Real h = 0.0;
+    Real scale = 0.0;
+    if (l > 0) {
+      for (Index k = 0; k <= l; ++k) scale += std::abs(z(i, k));
+      if (scale == 0.0) {
+        e[static_cast<std::size_t>(i)] = z(i, l);
+      } else {
+        for (Index k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        Real f = z(i, l);
+        Real g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[static_cast<std::size_t>(i)] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (Index j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (Index k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (Index k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[static_cast<std::size_t>(j)] = g / h;
+          f += e[static_cast<std::size_t>(j)] * z(i, j);
+        }
+        const Real hh = f / (h + h);
+        for (Index j = 0; j <= l; ++j) {
+          f = z(i, j);
+          e[static_cast<std::size_t>(j)] = g =
+              e[static_cast<std::size_t>(j)] - hh * f;
+          for (Index k = 0; k <= j; ++k)
+            z(j, k) -= f * e[static_cast<std::size_t>(k)] + g * z(i, k);
+        }
+      }
+    } else {
+      e[static_cast<std::size_t>(i)] = z(i, l);
+    }
+    d[static_cast<std::size_t>(i)] = h;
+  }
+
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const Index l = i - 1;
+    if (d[static_cast<std::size_t>(i)] != 0.0) {
+      for (Index j = 0; j <= l; ++j) {
+        Real g = 0.0;
+        for (Index k = 0; k <= l; ++k) g += z(i, k) * z(k, j);
+        for (Index k = 0; k <= l; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[static_cast<std::size_t>(i)] = z(i, i);
+    z(i, i) = 1.0;
+    for (Index j = 0; j <= l; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
+    }
+  }
+}
+
+Real sign_with(Real a, Real b) { return b >= 0.0 ? std::abs(a) : -std::abs(a); }
+
+/// Implicit-shift QL on a tridiagonal (d, e); z accumulates eigenvectors
+/// (pass an empty matrix to skip accumulation).
+void tql2(la::Vector& d, la::Vector& e, la::DenseMatrix& z) {
+  const Index n = to_index(d.size());
+  const bool with_vectors = !z.empty();
+  for (Index i = 1; i < n; ++i) e[static_cast<std::size_t>(i - 1)] = e[static_cast<std::size_t>(i)];
+  e[static_cast<std::size_t>(n - 1)] = 0.0;
+
+  for (Index l = 0; l < n; ++l) {
+    Index iterations = 0;
+    Index m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const Real dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                        std::abs(d[static_cast<std::size_t>(m + 1)]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <= kEps * dd) break;
+      }
+      if (m != l) {
+        if (iterations++ == 50) {
+          throw NumericalError("tql2: QL iteration failed to converge");
+        }
+        Real g = (d[static_cast<std::size_t>(l + 1)] -
+                  d[static_cast<std::size_t>(l)]) /
+                 (2.0 * e[static_cast<std::size_t>(l)]);
+        Real r = std::hypot(g, 1.0);
+        g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] / (g + sign_with(r, g));
+        Real s = 1.0;
+        Real c = 1.0;
+        Real p = 0.0;
+        Index i;
+        for (i = m - 1; i >= l; --i) {
+          Real f = s * e[static_cast<std::size_t>(i)];
+          const Real b = c * e[static_cast<std::size_t>(i)];
+          r = std::hypot(f, g);
+          e[static_cast<std::size_t>(i + 1)] = r;
+          if (r == 0.0) {
+            d[static_cast<std::size_t>(i + 1)] -= p;
+            e[static_cast<std::size_t>(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i + 1)] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          if (with_vectors) {
+            for (Index k = 0; k < z.rows(); ++k) {
+              f = z(k, i + 1);
+              z(k, i + 1) = s * z(k, i) + c * f;
+              z(k, i) = c * z(k, i) - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+/// Sorts (eigenvalue, eigenvector-column) pairs ascending.
+void sort_ascending(la::Vector& d, la::DenseMatrix& z) {
+  const Index n = to_index(d.size());
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&d](Index a, Index b) {
+    return d[static_cast<std::size_t>(a)] < d[static_cast<std::size_t>(b)];
+  });
+
+  la::Vector d_sorted(d.size());
+  for (Index i = 0; i < n; ++i)
+    d_sorted[static_cast<std::size_t>(i)] =
+        d[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+  d = std::move(d_sorted);
+
+  if (!z.empty()) {
+    la::DenseMatrix z_sorted(z.rows(), z.cols());
+    for (Index i = 0; i < n; ++i) {
+      const auto src = z.col(order[static_cast<std::size_t>(i)]);
+      auto dst = z_sorted.col(i);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    z = std::move(z_sorted);
+  }
+}
+
+}  // namespace
+
+DenseEigResult dense_symmetric_eig(const la::DenseMatrix& a) {
+  SGL_EXPECTS(a.rows() == a.cols(), "dense_symmetric_eig: square matrix");
+  SGL_EXPECTS(a.rows() >= 1, "dense_symmetric_eig: empty matrix");
+  DenseEigResult result;
+  result.eigenvectors = a;
+  la::Vector e;
+  tred2(result.eigenvectors, result.eigenvalues, e);
+  tql2(result.eigenvalues, e, result.eigenvectors);
+  sort_ascending(result.eigenvalues, result.eigenvectors);
+  return result;
+}
+
+DenseEigResult tridiagonal_eig(const la::Vector& d, const la::Vector& e,
+                               bool want_vectors) {
+  const Index n = to_index(d.size());
+  SGL_EXPECTS(n >= 1, "tridiagonal_eig: empty matrix");
+  SGL_EXPECTS(e.size() + 1 == d.size(), "tridiagonal_eig: e must have n-1 entries");
+
+  DenseEigResult result;
+  result.eigenvalues = d;
+  la::Vector ee(static_cast<std::size_t>(n), 0.0);
+  // tql2 expects the sub-diagonal in slots 1..n−1 before its own shift.
+  for (Index i = 1; i < n; ++i)
+    ee[static_cast<std::size_t>(i)] = e[static_cast<std::size_t>(i - 1)];
+
+  if (want_vectors) {
+    result.eigenvectors = la::DenseMatrix(n, n);
+    for (Index i = 0; i < n; ++i) result.eigenvectors(i, i) = 1.0;
+  }
+  tql2(result.eigenvalues, ee, result.eigenvectors);
+  sort_ascending(result.eigenvalues, result.eigenvectors);
+  return result;
+}
+
+}  // namespace sgl::eig

@@ -1,0 +1,31 @@
+// Dense symmetric eigensolver: Householder tridiagonalization followed by
+// the implicit-shift QL iteration (EISPACK tred2/tql2 lineage). Used for
+// verification, Lanczos projected problems, LOBPCG Rayleigh–Ritz steps and
+// small-graph exact spectra.
+#pragma once
+
+#include "la/dense_matrix.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sgl::eig {
+
+struct DenseEigResult {
+  /// Eigenvalues in ascending order.
+  la::Vector eigenvalues;
+  /// Column i is the orthonormal eigenvector for eigenvalues[i].
+  la::DenseMatrix eigenvectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix. Symmetry is assumed (the
+/// strictly-upper triangle is read). Throws NumericalError if the QL
+/// iteration fails to converge (50-iteration cap per eigenvalue).
+[[nodiscard]] DenseEigResult dense_symmetric_eig(const la::DenseMatrix& a);
+
+/// Eigendecomposition of a symmetric tridiagonal matrix given its diagonal
+/// d (size n) and sub-diagonal e (size n−1). When `want_vectors` is false
+/// the eigenvector matrix is empty.
+[[nodiscard]] DenseEigResult tridiagonal_eig(const la::Vector& d,
+                                             const la::Vector& e,
+                                             bool want_vectors = true);
+
+}  // namespace sgl::eig

@@ -1,0 +1,264 @@
+#include "eig/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "eig/dense_eig.hpp"
+
+namespace sgl::eig {
+
+namespace {
+
+/// Removes the components of w along all columns of v (classical
+/// Gram–Schmidt, two passes for stability) and along the deflated
+/// all-ones direction. Re-centering inside every pass matters: when w
+/// shrinks by many orders of magnitude during orthogonalization, a
+/// rounding-level ones-component would otherwise be amplified back to
+/// O(1) by the subsequent normalization and hand Lanczos a spurious
+/// near-zero Ritz value.
+void reorthogonalize(const std::vector<la::Vector>& v, la::Vector& w) {
+  for (int pass = 0; pass < 2; ++pass) {
+    la::center(w);
+    for (const la::Vector& q : v) {
+      const Real c = la::dot(w, q);
+      if (c != 0.0) la::axpy(-c, q, w);
+    }
+  }
+  la::center(w);
+}
+
+/// Fresh centered random direction orthogonal to the current basis.
+/// Returns the norm after orthogonalization (≈0 once the 1-perp subspace
+/// is exhausted).
+Real fresh_direction(Rng& rng, const std::vector<la::Vector>& v, Index n,
+                     la::Vector& out) {
+  out.assign(static_cast<std::size_t>(n), 0.0);
+  for (Real& x : out) x = rng.normal();
+  la::center(out);
+  reorthogonalize(v, out);
+  const Real norm = la::norm2(out);
+  if (norm > 0.0) la::scale(out, 1.0 / norm);
+  return norm;
+}
+
+}  // namespace
+
+EigenPairs largest_operator_eigenpairs(
+    const std::function<la::Vector(const la::Vector&)>& apply, Index n,
+    Index r, const LanczosOptions& options) {
+  SGL_EXPECTS(n >= 2, "largest_operator_eigenpairs: n must be at least 2");
+  SGL_EXPECTS(r >= 1 && r <= n - 1,
+              "largest_operator_eigenpairs: need 1 <= r <= n-1");
+
+  const Index m_cap = options.max_subspace > 0
+                          ? std::min(options.max_subspace, n - 1)
+                          : std::min(n - 1, std::max<Index>(3 * r + 16, 40));
+  SGL_EXPECTS(m_cap >= r, "largest_operator_eigenpairs: subspace cap below r");
+
+  // Degenerate eigenvalues surface one copy per Lanczos block: after a
+  // breakdown the iteration restarts on a fresh random direction (a β = 0
+  // block boundary), and after the top-r Ritz values first converge the
+  // iteration keeps going for a short settling window so that duplicate
+  // copies can still displace spurious trailing values.
+  constexpr Index kSettleSteps = 6;
+  // Relative threshold below which a new Lanczos direction is pure
+  // rounding noise; √ε-scale is the classical safe choice (normalizing a
+  // smaller w would promote noise to a basis vector).
+  constexpr Real kBreakdownTol = 1e-8;
+
+  Rng rng(options.seed);
+  std::vector<la::Vector> v;  // Lanczos basis: centered, orthonormal
+  v.reserve(static_cast<std::size_t>(m_cap));
+  la::Vector alpha;  // diagonal of T
+  la::Vector beta;   // sub-diagonal of T (0 at block boundaries)
+
+  {
+    la::Vector start;
+    const Real norm = fresh_direction(rng, v, n, start);
+    SGL_ENSURES(norm > 0.0, "largest_operator_eigenpairs: empty start vector");
+    v.push_back(std::move(start));
+  }
+
+  EigenPairs out;
+  la::Vector top_values;       // best-r operator Ritz values, descending
+  la::DenseMatrix top_vectors; // matching T-eigenvector columns
+  la::Vector settle_reference;
+  Index settle_remaining = -1;
+
+  for (Index j = 0; j < m_cap; ++j) {
+    la::Vector w = apply(v[static_cast<std::size_t>(j)]);
+    SGL_EXPECTS(to_index(w.size()) == n,
+                "largest_operator_eigenpairs: operator changed dimension");
+    la::center(w);  // deflate the known nullspace direction
+    const Real a = la::dot(w, v[static_cast<std::size_t>(j)]);
+    alpha.push_back(a);
+    reorthogonalize(v, w);
+    const Real b = la::norm2(w);
+
+    const Index steps = j + 1;
+    Real alpha_scale = 1.0;
+    for (const Real x : alpha) alpha_scale = std::max(alpha_scale, std::abs(x));
+    const bool breakdown = (b <= kBreakdownTol * alpha_scale);
+    const bool exhausted = (steps == m_cap) || (steps == n - 1);
+
+    bool finalize = false;
+    bool all_done = false;
+    if (steps >= r) {
+      la::Vector sub(beta.begin(), beta.end());
+      const DenseEigResult t_eig =
+          tridiagonal_eig(alpha, sub, /*want_vectors=*/true);
+
+      // Residual bound ‖A u_i − θ_i u_i‖ = β_j |y_i(j)|; pairs from frozen
+      // blocks have y_i(j) = 0 and are exact.
+      const Real b_eff = breakdown ? 0.0 : b;
+      const Real theta_max =
+          std::abs(t_eig.eigenvalues[static_cast<std::size_t>(steps - 1)]);
+      Index converged_count = 0;
+      for (Index i = 0; i < r && i < steps; ++i) {
+        const Index col = steps - 1 - i;
+        const Real resid = b_eff * std::abs(t_eig.eigenvectors(steps - 1, col));
+        if (resid <= options.tolerance * std::max(theta_max, Real{1e-300}))
+          ++converged_count;
+        else
+          break;
+      }
+      all_done = (converged_count >= r);
+
+      // Snapshot the current best-r pairs.
+      top_values.assign(static_cast<std::size_t>(r), 0.0);
+      top_vectors = la::DenseMatrix(steps, r);
+      for (Index i = 0; i < r; ++i) {
+        const Index col = steps - 1 - i;
+        if (col < 0) break;
+        top_values[static_cast<std::size_t>(i)] =
+            t_eig.eigenvalues[static_cast<std::size_t>(col)];
+        for (Index k = 0; k < steps; ++k)
+          top_vectors(k, i) = t_eig.eigenvectors(k, col);
+      }
+
+      if (all_done) {
+        bool stable = (to_index(settle_reference.size()) == r);
+        if (stable) {
+          for (Index i = 0; i < r; ++i) {
+            const Real ref = settle_reference[static_cast<std::size_t>(i)];
+            const Real now = top_values[static_cast<std::size_t>(i)];
+            if (std::abs(now - ref) >
+                1e-9 * std::max(std::abs(ref), Real{1e-300})) {
+              stable = false;
+              break;
+            }
+          }
+        }
+        if (stable && settle_remaining >= 0) {
+          --settle_remaining;
+        } else {
+          settle_remaining = kSettleSteps;
+        }
+        settle_reference = top_values;
+        if (settle_remaining <= 0) finalize = true;
+      } else {
+        settle_remaining = -1;
+        settle_reference.clear();
+      }
+      if (exhausted) finalize = true;
+
+      if (finalize) {
+        out.lanczos_steps = steps;
+        out.converged = all_done;
+        break;
+      }
+    }
+
+    if (breakdown) {
+      // Invariant subspace hit: open a new block on a fresh direction.
+      la::Vector fresh;
+      const Real norm = fresh_direction(rng, v, n, fresh);
+      if (norm <= 1e-8) {
+        // The whole 1-perp subspace is spanned: everything is exact.
+        out.lanczos_steps = steps;
+        out.converged = true;
+        break;
+      }
+      beta.push_back(0.0);
+      v.push_back(std::move(fresh));
+    } else {
+      beta.push_back(b);
+      la::scale(w, 1.0 / b);
+      v.push_back(std::move(w));
+    }
+  }
+
+  if (out.lanczos_steps == 0) {
+    // Loop ended without an explicit finalize (possible only via the
+    // breakdown-exhaustion path before steps >= r, which contracts above
+    // exclude) — treat defensively.
+    out.lanczos_steps = to_index(alpha.size());
+    if (top_values.empty()) {
+      la::Vector sub(beta.begin(), beta.end());
+      const DenseEigResult t_eig = tridiagonal_eig(alpha, sub, true);
+      const Index steps = to_index(alpha.size());
+      const Index take = std::min(r, steps);
+      top_values.assign(static_cast<std::size_t>(take), 0.0);
+      top_vectors = la::DenseMatrix(steps, take);
+      for (Index i = 0; i < take; ++i) {
+        const Index col = steps - 1 - i;
+        top_values[static_cast<std::size_t>(i)] =
+            t_eig.eigenvalues[static_cast<std::size_t>(col)];
+        for (Index k = 0; k < steps; ++k)
+          top_vectors(k, i) = t_eig.eigenvectors(k, col);
+      }
+      out.converged = true;
+    }
+  }
+
+  // Assemble Ritz vectors u_i = V y_i.
+  const Index steps = out.lanczos_steps;
+  const Index got = to_index(top_values.size());
+  out.eigenvalues = top_values;  // descending operator eigenvalues
+  out.eigenvectors = la::DenseMatrix(n, got);
+  for (Index i = 0; i < got; ++i) {
+    auto dst = out.eigenvectors.col(i);
+    for (Index k = 0; k < steps && k < top_vectors.rows(); ++k) {
+      const Real c = top_vectors(k, i);
+      if (c == 0.0) continue;
+      const la::Vector& vk = v[static_cast<std::size_t>(k)];
+      for (Index row = 0; row < n; ++row)
+        dst[row] += c * vk[static_cast<std::size_t>(row)];
+    }
+  }
+  return out;
+}
+
+EigenPairs smallest_laplacian_eigenpairs(const solver::LaplacianPinvSolver& pinv,
+                                         Index r, const LanczosOptions& options,
+                                         bool require_converged) {
+  const Index n = pinv.num_nodes();
+  EigenPairs op = largest_operator_eigenpairs(
+      [&pinv](const la::Vector& x) { return pinv.apply(x); }, n, r, options);
+  if (require_converged && !op.converged) {
+    throw NumericalError(
+        "smallest_laplacian_eigenpairs: Lanczos did not converge within the "
+        "subspace cap; raise max_subspace");
+  }
+
+  // Map operator eigenvalues θ (descending) to Laplacian eigenvalues
+  // λ = 1/θ (ascending) — same order, so columns already line up.
+  EigenPairs out;
+  out.lanczos_steps = op.lanczos_steps;
+  out.converged = op.converged;
+  const Index got = to_index(op.eigenvalues.size());
+  out.eigenvalues.resize(static_cast<std::size_t>(got));
+  for (Index i = 0; i < got; ++i) {
+    const Real theta = op.eigenvalues[static_cast<std::size_t>(i)];
+    SGL_ENSURES(theta > 0.0,
+                "smallest_laplacian_eigenpairs: nonpositive Ritz value — "
+                "operator is not positive definite on 1-perp");
+    out.eigenvalues[static_cast<std::size_t>(i)] = 1.0 / theta;
+  }
+  out.eigenvectors = std::move(op.eigenvectors);
+  return out;
+}
+
+}  // namespace sgl::eig

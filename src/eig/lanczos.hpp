@@ -1,0 +1,55 @@
+// Shift-invert Lanczos for the smallest nontrivial Laplacian eigenpairs.
+//
+// Running Lanczos on the pseudo-inverse operator L⁺ (applied exactly via
+// the grounded factorization in LaplacianPinvSolver) turns the smallest
+// nontrivial eigenvalues of L into the *largest* — and best separated —
+// eigenvalues of the operator, which Lanczos finds in a handful of steps.
+// The constant nullspace vector is deflated explicitly by centering every
+// iterate, and full reorthogonalization keeps the basis clean. This plays
+// the role of the paper's fast multilevel eigensolver [16] (substitution
+// documented in DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "la/dense_matrix.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace sgl::eig {
+
+struct LanczosOptions {
+  /// Maximum Krylov subspace dimension; 0 = auto (min(n−1, max(3r+16, 40))).
+  Index max_subspace = 0;
+  /// Relative residual tolerance on the operator eigenproblem.
+  Real tolerance = 1e-9;
+  /// Seed for the random start vector.
+  std::uint64_t seed = 12345;
+};
+
+/// Eigenpairs of a graph Laplacian, ascending and excluding the trivial
+/// (λ = 0, constant vector) pair: eigenvalues[0] is λ2.
+struct EigenPairs {
+  la::Vector eigenvalues;        // size r, ascending
+  la::DenseMatrix eigenvectors;  // n × r, orthonormal, each ⊥ 1
+  Index lanczos_steps = 0;
+  bool converged = false;
+};
+
+/// Computes the r smallest nontrivial Laplacian eigenpairs of the graph
+/// behind `pinv`. Requires r ≤ n − 1. Throws NumericalError if the
+/// subspace cap is reached with unconverged Ritz pairs and `require_converged`.
+[[nodiscard]] EigenPairs smallest_laplacian_eigenpairs(
+    const solver::LaplacianPinvSolver& pinv, Index r,
+    const LanczosOptions& options = {}, bool require_converged = false);
+
+/// Generic Lanczos on a user-supplied SPD operator restricted to the
+/// subspace orthogonal to the all-ones vector; returns the r *largest*
+/// operator eigenpairs (descending). Building block for the Laplacian
+/// wrapper above and usable with approximate inverses.
+[[nodiscard]] EigenPairs largest_operator_eigenpairs(
+    const std::function<la::Vector(const la::Vector&)>& apply, Index n,
+    Index r, const LanczosOptions& options = {});
+
+}  // namespace sgl::eig

@@ -1,0 +1,104 @@
+#include "graph/coarsening.hpp"
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "la/sparse.hpp"
+
+namespace sgl::graph {
+
+CoarseningResult coarsen_heavy_edge_matching(const Graph& g,
+                                             std::uint64_t seed) {
+  SGL_EXPECTS(g.num_nodes() >= 1, "coarsen: empty graph");
+  const Index n = g.num_nodes();
+  const AdjacencyList adj = g.adjacency_list();
+
+  std::vector<Index> visit_order(static_cast<std::size_t>(n));
+  std::iota(visit_order.begin(), visit_order.end(), Index{0});
+  Rng rng(seed);
+  shuffle(visit_order, rng);
+
+  std::vector<Index> match(static_cast<std::size_t>(n), kInvalidIndex);
+  for (const Index u : visit_order) {
+    if (match[static_cast<std::size_t>(u)] != kInvalidIndex) continue;
+    Real best_weight = -1.0;
+    Index best = kInvalidIndex;
+    for (Index k = adj.row_ptr[static_cast<std::size_t>(u)];
+         k < adj.row_ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+      const Index v = adj.neighbor[static_cast<std::size_t>(k)];
+      if (v == u || match[static_cast<std::size_t>(v)] != kInvalidIndex)
+        continue;
+      if (adj.weight[static_cast<std::size_t>(k)] > best_weight) {
+        best_weight = adj.weight[static_cast<std::size_t>(k)];
+        best = v;
+      }
+    }
+    if (best != kInvalidIndex) {
+      match[static_cast<std::size_t>(u)] = best;
+      match[static_cast<std::size_t>(best)] = u;
+    } else {
+      match[static_cast<std::size_t>(u)] = u;  // singleton aggregate
+    }
+  }
+
+  // Assign coarse ids: the smaller endpoint of each matched pair owns it.
+  CoarseningResult result;
+  result.fine_to_coarse.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  Index next = 0;
+  for (Index u = 0; u < n; ++u) {
+    const Index mate = match[static_cast<std::size_t>(u)];
+    if (mate >= u) {
+      result.fine_to_coarse[static_cast<std::size_t>(u)] = next;
+      if (mate != u) result.fine_to_coarse[static_cast<std::size_t>(mate)] = next;
+      ++next;
+    }
+  }
+
+  // Galerkin edges: sum fine weights between distinct aggregates. Assemble
+  // through triplets so parallel contributions accumulate.
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(g.edges().size());
+  for (const Edge& e : g.edges()) {
+    const Index cs = result.fine_to_coarse[static_cast<std::size_t>(e.s)];
+    const Index ct = result.fine_to_coarse[static_cast<std::size_t>(e.t)];
+    if (cs == ct) continue;
+    triplets.push_back({std::min(cs, ct), std::max(cs, ct), e.weight});
+  }
+  const la::CsrMatrix acc = la::CsrMatrix::from_triplets(next, next, triplets);
+  result.coarse = Graph(next);
+  const auto& rp = acc.row_ptr();
+  const auto& ci = acc.col_idx();
+  const auto& vv = acc.values();
+  for (Index i = 0; i < next; ++i)
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k)
+      result.coarse.add_edge(i, ci[static_cast<std::size_t>(k)],
+                             vv[static_cast<std::size_t>(k)]);
+  return result;
+}
+
+CoarseningResult coarsen_to_size(const Graph& g, Index target_nodes,
+                                 std::uint64_t seed) {
+  SGL_EXPECTS(target_nodes >= 1, "coarsen_to_size: target must be positive");
+  CoarseningResult result;
+  result.coarse = g;
+  result.fine_to_coarse.resize(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(result.fine_to_coarse.begin(), result.fine_to_coarse.end(),
+            Index{0});
+
+  Rng rng(seed);
+  while (result.coarse.num_nodes() > target_nodes) {
+    const CoarseningResult level =
+        coarsen_heavy_edge_matching(result.coarse, rng());
+    if (level.coarse.num_nodes() == result.coarse.num_nodes()) break;  // stall
+    for (Index v = 0; v < g.num_nodes(); ++v) {
+      result.fine_to_coarse[static_cast<std::size_t>(v)] =
+          level.fine_to_coarse[static_cast<std::size_t>(
+              result.fine_to_coarse[static_cast<std::size_t>(v)])];
+    }
+    result.coarse = level.coarse;
+  }
+  return result;
+}
+
+}  // namespace sgl::graph

@@ -1,0 +1,40 @@
+// Graph coarsening by heavy-edge matching.
+//
+// The building block of multilevel spectral methods (the paper's
+// references [13], [15], [16]): pairs of nodes joined by heavy edges are
+// merged, and the coarse graph is the Galerkin restriction Pᵀ L P with a
+// piecewise-constant prolongation P — so coarse quadratic forms agree
+// exactly with fine ones on aggregate-constant vectors, and the coarse
+// spectrum tracks the fine low-frequency spectrum. Useful for multilevel
+// embeddings and as a cheap structural reducer next to SGL's
+// measurement-driven reduction (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sgl::graph {
+
+struct CoarseningResult {
+  Graph coarse;
+  /// fine node → coarse node (surjective onto 0..coarse.num_nodes()−1).
+  std::vector<Index> fine_to_coarse;
+};
+
+/// One level of heavy-edge matching: visits nodes in random order, merges
+/// each unmatched node with its heaviest unmatched neighbor (singletons
+/// survive as their own coarse node). Parallel fine edges between the
+/// same aggregates accumulate; intra-aggregate edges vanish.
+/// The coarse node count is at least half the fine count.
+[[nodiscard]] CoarseningResult coarsen_heavy_edge_matching(
+    const Graph& g, std::uint64_t seed = 17);
+
+/// Repeats heavy-edge matching until the graph has at most `target_nodes`
+/// nodes or a level stalls. The returned map composes all levels.
+[[nodiscard]] CoarseningResult coarsen_to_size(const Graph& g,
+                                               Index target_nodes,
+                                               std::uint64_t seed = 17);
+
+}  // namespace sgl::graph

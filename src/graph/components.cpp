@@ -1,0 +1,102 @@
+#include "graph/components.hpp"
+
+#include <queue>
+
+namespace sgl::graph {
+
+Components connected_components(const Graph& g) {
+  const AdjacencyList adj = g.adjacency_list();
+  Components comp;
+  comp.label.assign(static_cast<std::size_t>(g.num_nodes()), kInvalidIndex);
+  std::vector<Index> queue;
+  for (Index root = 0; root < g.num_nodes(); ++root) {
+    if (comp.label[static_cast<std::size_t>(root)] != kInvalidIndex) continue;
+    const Index c = comp.count++;
+    queue.clear();
+    queue.push_back(root);
+    comp.label[static_cast<std::size_t>(root)] = c;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Index u = queue[head];
+      for (Index k = adj.row_ptr[static_cast<std::size_t>(u)];
+           k < adj.row_ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+        const Index v = adj.neighbor[static_cast<std::size_t>(k)];
+        if (comp.label[static_cast<std::size_t>(v)] == kInvalidIndex) {
+          comp.label[static_cast<std::size_t>(v)] = c;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  return connected_components(g).count == 1;
+}
+
+std::vector<Index> bfs_distances(const Graph& g, Index source) {
+  SGL_EXPECTS(source >= 0 && source < g.num_nodes(),
+              "bfs_distances: source out of range");
+  const AdjacencyList adj = g.adjacency_list();
+  std::vector<Index> dist(static_cast<std::size_t>(g.num_nodes()),
+                          kInvalidIndex);
+  std::vector<Index> queue{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Index u = queue[head];
+    for (Index k = adj.row_ptr[static_cast<std::size_t>(u)];
+         k < adj.row_ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+      const Index v = adj.neighbor[static_cast<std::size_t>(k)];
+      if (dist[static_cast<std::size_t>(v)] == kInvalidIndex) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Index pseudo_peripheral_node(const AdjacencyList& adj, Index start) {
+  const Index n = adj.num_nodes();
+  SGL_EXPECTS(start >= 0 && start < n, "pseudo_peripheral_node: bad start");
+  Index current = start;
+  Index best_ecc = -1;
+  std::vector<Index> dist(static_cast<std::size_t>(n));
+  std::vector<Index> queue;
+  for (int round = 0; round < 8; ++round) {  // converges in 2-3 in practice
+    std::fill(dist.begin(), dist.end(), kInvalidIndex);
+    queue.clear();
+    queue.push_back(current);
+    dist[static_cast<std::size_t>(current)] = 0;
+    Index far_node = current;
+    Index far_dist = 0;
+    Index far_degree = adj.degree(current);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Index u = queue[head];
+      for (Index k = adj.row_ptr[static_cast<std::size_t>(u)];
+           k < adj.row_ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+        const Index v = adj.neighbor[static_cast<std::size_t>(k)];
+        if (dist[static_cast<std::size_t>(v)] == kInvalidIndex) {
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+          const Index dv = dist[static_cast<std::size_t>(v)];
+          const Index degv = adj.degree(v);
+          // Prefer the farthest node; break ties toward low degree, the
+          // standard heuristic for good RCM starting points.
+          if (dv > far_dist || (dv == far_dist && degv < far_degree)) {
+            far_dist = dv;
+            far_node = v;
+            far_degree = degv;
+          }
+        }
+      }
+    }
+    if (far_dist <= best_ecc) break;
+    best_ecc = far_dist;
+    current = far_node;
+  }
+  return current;
+}
+
+}  // namespace sgl::graph

@@ -1,0 +1,31 @@
+// Connectivity queries: BFS, connected components, component labeling.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sgl::graph {
+
+/// Component label (0-based, contiguous) for every node.
+struct Components {
+  std::vector<Index> label;   // size num_nodes
+  Index count = 0;            // number of components
+};
+
+/// Labels connected components via BFS over the adjacency list.
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True if the graph has exactly one connected component (and ≥1 node).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// BFS distances (hop counts) from a source; kInvalidIndex (−1) marks
+/// unreachable nodes.
+[[nodiscard]] std::vector<Index> bfs_distances(const Graph& g, Index source);
+
+/// A node of (approximately) maximum eccentricity found by repeated BFS —
+/// the classic pseudo-peripheral starting point for RCM orderings.
+[[nodiscard]] Index pseudo_peripheral_node(const AdjacencyList& adj,
+                                           Index start);
+
+}  // namespace sgl::graph

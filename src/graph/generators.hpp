@@ -1,0 +1,98 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on SuiteSparse circuit / finite-element matrices
+// ("2D mesh", fe_4elt2, airfoil, crack, G2_circuit). Those files are not
+// redistributable here, so this module provides generators that match each
+// test case's size, average degree, and mesh topology — the properties that
+// drive Laplacian spectra, effective resistances, and SGL behaviour. See
+// DESIGN.md §2 for the substitution rationale. A MatrixMarket loader
+// (graph/matrix_market.hpp) lets the original files be dropped in.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace sgl::graph {
+
+/// Graph plus 2D node coordinates (for mesh generators and drawing).
+struct MeshGraph {
+  Graph graph;
+  std::vector<std::array<Real, 2>> coords;  // per-node (x, y)
+};
+
+/// Path graph 0—1—…—(n−1).
+[[nodiscard]] Graph make_path(Index n, Real weight = 1.0);
+
+/// Cycle graph on n ≥ 3 nodes.
+[[nodiscard]] Graph make_cycle(Index n, Real weight = 1.0);
+
+/// Star graph: node 0 joined to 1..n−1.
+[[nodiscard]] Graph make_star(Index n, Real weight = 1.0);
+
+/// Complete graph on n nodes.
+[[nodiscard]] Graph make_complete(Index n, Real weight = 1.0);
+
+/// nx × ny 4-neighbor grid. With periodic=true both directions wrap,
+/// giving exactly 2·nx·ny edges — the paper's "2D mesh" has |V| = 10,000
+/// and |E| = 20,000, i.e. a 100×100 torus.
+[[nodiscard]] MeshGraph make_grid2d(Index nx, Index ny, bool periodic = false,
+                                    Real weight = 1.0);
+
+/// nx × ny × nz 6-neighbor grid (open boundary).
+[[nodiscard]] Graph make_grid3d(Index nx, Index ny, Index nz,
+                                Real weight = 1.0);
+
+/// Erdős–Rényi G(n, p); parallel edges never produced.
+[[nodiscard]] Graph make_erdos_renyi(Index n, Real p, Rng& rng);
+
+/// Random geometric graph: n uniform points in the unit square, edges
+/// between pairs closer than radius.
+[[nodiscard]] MeshGraph make_random_geometric(Index n, Real radius, Rng& rng);
+
+/// Options for the triangulated finite-element-style mesh generator.
+struct TriMeshOptions {
+  Index nx = 10;
+  Index ny = 10;
+  /// Elliptical holes: {cx, cy, rx, ry} in node-index units; nodes strictly
+  /// inside any ellipse are removed (and the largest component kept).
+  std::vector<std::array<Real, 4>> holes;
+  /// Multiplicative log-uniform weight jitter in [1/jitter, jitter]
+  /// (1.0 = unit weights).
+  Real weight_jitter = 1.0;
+  std::uint64_t seed = 7;
+};
+
+/// Triangulated structured mesh (grid + alternating diagonals ⇒ average
+/// degree ≈ 6, |E| ≈ 3|V| like 2D FE triangulations), with optional holes.
+/// Only the largest connected component is returned, with nodes relabeled
+/// contiguously.
+[[nodiscard]] MeshGraph make_triangulated_mesh(const TriMeshOptions& options);
+
+/// Surrogate for the paper's "airfoil" mesh (|V| = 4,253, |E| = 12,289,
+/// density 2.89): triangulated mesh with an elliptical cut-out.
+[[nodiscard]] MeshGraph make_airfoil_surrogate();
+
+/// Surrogate for "crack" (|V| = 10,240, |E| = 30,380, density 2.97):
+/// triangulated mesh with a thin interior slit.
+[[nodiscard]] MeshGraph make_crack_surrogate();
+
+/// Surrogate for "fe_4elt2" (|V| = 11,143, |E| = 32,818, density 2.945):
+/// triangulated mesh with four holes.
+[[nodiscard]] MeshGraph make_fe4elt2_surrogate();
+
+/// Surrogate for "G2_circuit" (|V| = 150,102, |E| = 288,286, density 1.92):
+/// power-grid-style 2D grid with log-uniform conductances, thinned by
+/// removing random non-tree edges until the paper's edge count is matched.
+[[nodiscard]] MeshGraph make_g2_circuit_surrogate(std::uint64_t seed = 11);
+
+/// Grid-with-randomized-conductances circuit generator used by the G2
+/// surrogate and the scaling experiments.
+[[nodiscard]] MeshGraph make_circuit_grid(Index nx, Index ny,
+                                          Index target_edges,
+                                          Real weight_lo, Real weight_hi,
+                                          std::uint64_t seed);
+
+}  // namespace sgl::graph

@@ -1,0 +1,67 @@
+#include "graph/graph.hpp"
+
+namespace sgl::graph {
+
+la::Vector Graph::weighted_degrees() const {
+  la::Vector d(static_cast<std::size_t>(num_nodes_), 0.0);
+  for (const Edge& e : edges_) {
+    d[static_cast<std::size_t>(e.s)] += e.weight;
+    d[static_cast<std::size_t>(e.t)] += e.weight;
+  }
+  return d;
+}
+
+la::CsrMatrix Graph::laplacian() const {
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(edges_.size() * 4);
+  for (const Edge& e : edges_) {
+    triplets.push_back({e.s, e.s, e.weight});
+    triplets.push_back({e.t, e.t, e.weight});
+    triplets.push_back({e.s, e.t, -e.weight});
+    triplets.push_back({e.t, e.s, -e.weight});
+  }
+  // Isolated nodes still need an (empty) diagonal slot for factorization
+  // codes; a structural zero keeps the pattern square and complete.
+  for (Index i = 0; i < num_nodes_; ++i) triplets.push_back({i, i, 0.0});
+  return la::CsrMatrix::from_triplets(num_nodes_, num_nodes_, triplets);
+}
+
+la::CsrMatrix Graph::adjacency() const {
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    triplets.push_back({e.s, e.t, e.weight});
+    triplets.push_back({e.t, e.s, e.weight});
+  }
+  return la::CsrMatrix::from_triplets(num_nodes_, num_nodes_, triplets);
+}
+
+AdjacencyList Graph::adjacency_list() const {
+  AdjacencyList adj;
+  adj.row_ptr.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++adj.row_ptr[static_cast<std::size_t>(e.s) + 1];
+    ++adj.row_ptr[static_cast<std::size_t>(e.t) + 1];
+  }
+  for (std::size_t i = 1; i < adj.row_ptr.size(); ++i)
+    adj.row_ptr[i] += adj.row_ptr[i - 1];
+
+  adj.neighbor.resize(edges_.size() * 2);
+  adj.weight.resize(edges_.size() * 2);
+  adj.edge_id.resize(edges_.size() * 2);
+  std::vector<Index> cursor(adj.row_ptr.begin(), adj.row_ptr.end() - 1);
+  for (Index id = 0; id < num_edges(); ++id) {
+    const Edge& e = edges_[static_cast<std::size_t>(id)];
+    Index p = cursor[static_cast<std::size_t>(e.s)]++;
+    adj.neighbor[static_cast<std::size_t>(p)] = e.t;
+    adj.weight[static_cast<std::size_t>(p)] = e.weight;
+    adj.edge_id[static_cast<std::size_t>(p)] = id;
+    p = cursor[static_cast<std::size_t>(e.t)]++;
+    adj.neighbor[static_cast<std::size_t>(p)] = e.s;
+    adj.weight[static_cast<std::size_t>(p)] = e.weight;
+    adj.edge_id[static_cast<std::size_t>(p)] = id;
+  }
+  return adj;
+}
+
+}  // namespace sgl::graph

@@ -1,0 +1,52 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+
+namespace sgl::graph {
+
+namespace {
+
+std::vector<Index> spanning_forest_impl(const Graph& g, bool maximize) {
+  std::vector<Index> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), Index{0});
+  const auto& edges = g.edges();
+  std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+    const Real wa = edges[static_cast<std::size_t>(a)].weight;
+    const Real wb = edges[static_cast<std::size_t>(b)].weight;
+    return maximize ? wa > wb : wa < wb;
+  });
+
+  UnionFind uf(g.num_nodes());
+  std::vector<Index> picked;
+  picked.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (const Index id : order) {
+    const Edge& e = edges[static_cast<std::size_t>(id)];
+    if (uf.unite(e.s, e.t)) picked.push_back(id);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace
+
+std::vector<Index> maximum_spanning_forest(const Graph& g) {
+  return spanning_forest_impl(g, /*maximize=*/true);
+}
+
+std::vector<Index> minimum_spanning_forest(const Graph& g) {
+  return spanning_forest_impl(g, /*maximize=*/false);
+}
+
+Graph subgraph_from_edges(const Graph& g, const std::vector<Index>& edge_ids) {
+  Graph sub(g.num_nodes());
+  for (const Index id : edge_ids) {
+    const Edge& e = g.edge(id);
+    sub.add_edge(e.s, e.t, e.weight);
+  }
+  return sub;
+}
+
+}  // namespace sgl::graph

@@ -1,0 +1,25 @@
+// Spanning tree / forest extraction (Kruskal).
+//
+// SGL initializes from the *maximum* spanning tree of the kNN graph
+// (paper Alg. 1 step 2): kNN edge weights are similarities (M / distance²)
+// so the maximum tree keeps the strongest-affinity backbone.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sgl::graph {
+
+/// Edge ids (into g.edges()) of a maximum-weight spanning forest.
+/// For a connected graph this is a spanning tree with n−1 edges.
+[[nodiscard]] std::vector<Index> maximum_spanning_forest(const Graph& g);
+
+/// Edge ids of a minimum-weight spanning forest.
+[[nodiscard]] std::vector<Index> minimum_spanning_forest(const Graph& g);
+
+/// Builds a subgraph of g containing exactly the given edge ids.
+[[nodiscard]] Graph subgraph_from_edges(const Graph& g,
+                                        const std::vector<Index>& edge_ids);
+
+}  // namespace sgl::graph

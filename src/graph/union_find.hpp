@@ -1,0 +1,59 @@
+// Disjoint-set forest with union by rank and path halving.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace sgl::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(Index n)
+      : parent_(static_cast<std::size_t>(n)),
+        rank_(static_cast<std::size_t>(n), 0),
+        num_sets_(n) {
+    SGL_EXPECTS(n >= 0, "UnionFind: negative size");
+    std::iota(parent_.begin(), parent_.end(), Index{0});
+  }
+
+  /// Representative of x's set (with path halving).
+  [[nodiscard]] Index find(Index x) {
+    SGL_EXPECTS(x >= 0 && x < to_index(parent_.size()),
+                "UnionFind::find out of range");
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(Index a, Index b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[static_cast<std::size_t>(a)] < rank_[static_cast<std::size_t>(b)])
+      std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+    if (rank_[static_cast<std::size_t>(a)] == rank_[static_cast<std::size_t>(b)])
+      ++rank_[static_cast<std::size_t>(a)];
+    --num_sets_;
+    return true;
+  }
+
+  [[nodiscard]] bool connected(Index a, Index b) { return find(a) == find(b); }
+
+  /// Number of disjoint sets currently represented.
+  [[nodiscard]] Index num_sets() const noexcept { return num_sets_; }
+
+ private:
+  std::vector<Index> parent_;
+  std::vector<Index> rank_;
+  Index num_sets_;
+};
+
+}  // namespace sgl::graph

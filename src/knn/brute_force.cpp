@@ -1,0 +1,53 @@
+#include "knn/brute_force.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace sgl::knn {
+
+std::vector<Real> to_row_major(const la::DenseMatrix& points) {
+  const Index n = points.rows();
+  const Index dim = points.cols();
+  std::vector<Real> data(static_cast<std::size_t>(n) * dim);
+  for (Index j = 0; j < dim; ++j) {
+    const auto cj = points.col(j);
+    for (Index i = 0; i < n; ++i)
+      data[static_cast<std::size_t>(i) * dim + j] = cj[i];
+  }
+  return data;
+}
+
+KnnResult brute_force_knn(const la::DenseMatrix& points, Index k) {
+  const Index n = points.rows();
+  const Index dim = points.cols();
+  SGL_EXPECTS(n >= 2, "brute_force_knn: need at least two points");
+  SGL_EXPECTS(k >= 1 && k < n, "brute_force_knn: need 1 <= k < N");
+
+  const std::vector<Real> data = to_row_major(points);
+  KnnResult result;
+  result.k = k;
+  result.neighbor.resize(static_cast<std::size_t>(n) * k);
+  result.distance_squared.resize(static_cast<std::size_t>(n) * k);
+
+  std::vector<std::pair<Real, Index>> candidates;
+  candidates.reserve(static_cast<std::size_t>(n) - 1);
+  for (Index i = 0; i < n; ++i) {
+    candidates.clear();
+    for (Index j = 0; j < n; ++j) {
+      if (j == i) continue;
+      candidates.emplace_back(point_distance_squared(data, dim, i, j), j);
+    }
+    std::partial_sort(candidates.begin(), candidates.begin() + k,
+                      candidates.end());
+    for (Index j = 0; j < k; ++j) {
+      result.neighbor[static_cast<std::size_t>(i) * k + j] =
+          candidates[static_cast<std::size_t>(j)].second;
+      result.distance_squared[static_cast<std::size_t>(i) * k + j] =
+          candidates[static_cast<std::size_t>(j)].first;
+    }
+  }
+  return result;
+}
+
+}  // namespace sgl::knn

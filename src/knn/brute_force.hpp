@@ -1,0 +1,48 @@
+// Exact k-nearest-neighbor search by exhaustive scan.
+//
+// Points are the rows of an N×M matrix (node measurement vectors). The
+// scan is O(N²M) — the reference answer for tests and the right choice for
+// small N; large instances use the HNSW index (knn/hnsw.hpp).
+#pragma once
+
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+
+namespace sgl::knn {
+
+/// Neighbor lists for every point: neighbor/distance_squared are k entries
+/// per point, flattened row-major (point i's j-th neighbor at i*k + j),
+/// sorted by increasing distance. Self-matches are excluded.
+struct KnnResult {
+  Index k = 0;
+  std::vector<Index> neighbor;
+  std::vector<Real> distance_squared;
+
+  [[nodiscard]] Index num_points() const {
+    return k > 0 ? to_index(neighbor.size()) / k : 0;
+  }
+};
+
+/// Exact kNN over the rows of `points`. Requires 1 ≤ k < N.
+[[nodiscard]] KnnResult brute_force_knn(const la::DenseMatrix& points, Index k);
+
+/// Row-major copy of a matrix's rows (points), the layout both kNN
+/// backends use for cache-friendly distance evaluation.
+[[nodiscard]] std::vector<Real> to_row_major(const la::DenseMatrix& points);
+
+/// Squared L2 distance between two length-`dim` points in a row-major
+/// buffer.
+[[nodiscard]] inline Real point_distance_squared(const std::vector<Real>& data,
+                                                 Index dim, Index a, Index b) {
+  const Real* pa = data.data() + static_cast<std::size_t>(a) * dim;
+  const Real* pb = data.data() + static_cast<std::size_t>(b) * dim;
+  Real acc = 0.0;
+  for (Index d = 0; d < dim; ++d) {
+    const Real diff = pa[d] - pb[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace sgl::knn

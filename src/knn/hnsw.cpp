@@ -1,0 +1,223 @@
+#include "knn/hnsw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace sgl::knn {
+
+HnswIndex::HnswIndex(const la::DenseMatrix& points, const HnswOptions& options)
+    : num_points_(points.rows()),
+      dim_(points.cols()),
+      data_(to_row_major(points)),
+      options_(options),
+      rng_(options.seed) {
+  SGL_EXPECTS(num_points_ >= 1, "HnswIndex: need at least one point");
+  SGL_EXPECTS(options.max_connections >= 2,
+              "HnswIndex: max_connections must be at least 2");
+  SGL_EXPECTS(options.ef_construction >= options.max_connections,
+              "HnswIndex: ef_construction below max_connections");
+  level_multiplier_ = 1.0 / std::log(static_cast<Real>(options.max_connections));
+  node_level_.resize(static_cast<std::size_t>(num_points_));
+  links_.resize(static_cast<std::size_t>(num_points_));
+  visit_mark_.assign(static_cast<std::size_t>(num_points_), -1);
+  for (Index i = 0; i < num_points_; ++i) insert(i);
+}
+
+Index HnswIndex::greedy_closest(Index query, Index start, Index level) const {
+  Index current = start;
+  Real current_dist = distance(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (const Index nb : neighbors(current, level)) {
+      const Real d = distance(query, nb);
+      if (d < current_dist) {
+        current = nb;
+        current_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<HnswIndex::SearchCandidate> HnswIndex::search_layer(
+    Index query, Index start, Index ef, Index level) const {
+  ++visit_epoch_;
+  // Min-heap of frontier candidates; max-heap of current best ef results.
+  std::priority_queue<SearchCandidate, std::vector<SearchCandidate>,
+                      std::greater<>>
+      frontier;
+  std::priority_queue<SearchCandidate> best;
+
+  const Real d0 = distance(query, start);
+  frontier.push({d0, start});
+  best.push({d0, start});
+  visit_mark_[static_cast<std::size_t>(start)] = visit_epoch_;
+
+  while (!frontier.empty()) {
+    const SearchCandidate candidate = frontier.top();
+    if (candidate.distance > best.top().distance &&
+        to_index(best.size()) >= ef)
+      break;
+    frontier.pop();
+    for (const Index nb : neighbors(candidate.node, level)) {
+      if (visit_mark_[static_cast<std::size_t>(nb)] == visit_epoch_) continue;
+      visit_mark_[static_cast<std::size_t>(nb)] = visit_epoch_;
+      const Real d = distance(query, nb);
+      if (to_index(best.size()) < ef || d < best.top().distance) {
+        frontier.push({d, nb});
+        best.push({d, nb});
+        if (to_index(best.size()) > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<SearchCandidate> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  return out;  // descending distance; callers sort as needed
+}
+
+std::vector<Index> HnswIndex::select_neighbors(
+    [[maybe_unused]] Index query, std::vector<SearchCandidate> candidates,
+    Index m) const {
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<Index> selected;
+  selected.reserve(static_cast<std::size_t>(m));
+  // Diversity heuristic: keep a candidate only if it is closer to the
+  // query than to every neighbor kept so far.
+  for (const SearchCandidate& c : candidates) {
+    if (to_index(selected.size()) >= m) break;
+    bool keep = true;
+    for (const Index s : selected) {
+      if (distance(c.node, s) < c.distance) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(c.node);
+  }
+  // Backfill with closest rejected candidates if diversity left slots empty.
+  if (to_index(selected.size()) < m) {
+    for (const SearchCandidate& c : candidates) {
+      if (to_index(selected.size()) >= m) break;
+      if (std::find(selected.begin(), selected.end(), c.node) ==
+          selected.end())
+        selected.push_back(c.node);
+    }
+  }
+  return selected;
+}
+
+void HnswIndex::insert(Index node) {
+  const Index level = static_cast<Index>(
+      -std::log(std::max(rng_.uniform(), 1e-18)) * level_multiplier_);
+  node_level_[static_cast<std::size_t>(node)] = level;
+  links_[static_cast<std::size_t>(node)].assign(
+      static_cast<std::size_t>(level) + 1, {});
+
+  if (entry_point_ == kInvalidIndex) {
+    entry_point_ = node;
+    max_level_ = level;
+    return;
+  }
+
+  Index current = entry_point_;
+  // Phase 1: greedy descent through layers above the node's level.
+  for (Index l = max_level_; l > level; --l)
+    current = greedy_closest(node, current, l);
+
+  // Phase 2: beam search + linking from min(level, max_level_) down to 0.
+  for (Index l = std::min(level, max_level_); l >= 0; --l) {
+    std::vector<SearchCandidate> candidates =
+        search_layer(node, current, options_.ef_construction, l);
+    const Index m_max =
+        (l == 0) ? 2 * options_.max_connections : options_.max_connections;
+    std::vector<Index> chosen =
+        select_neighbors(node, candidates, options_.max_connections);
+
+    links_[static_cast<std::size_t>(node)][static_cast<std::size_t>(l)] = chosen;
+    for (const Index nb : chosen) {
+      auto& back = links_[static_cast<std::size_t>(nb)][static_cast<std::size_t>(l)];
+      back.push_back(node);
+      if (to_index(back.size()) > m_max) {
+        // Re-select to shrink the over-full list.
+        std::vector<SearchCandidate> all;
+        all.reserve(back.size());
+        for (const Index x : back) all.push_back({distance(nb, x), x});
+        back = select_neighbors(nb, std::move(all), m_max);
+      }
+    }
+    if (!candidates.empty()) {
+      // Closest candidate seeds the next (lower) layer's search.
+      current = std::min_element(candidates.begin(), candidates.end())->node;
+    }
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+}
+
+std::vector<std::pair<Real, Index>> HnswIndex::search_point(Index query,
+                                                            Index k) const {
+  SGL_EXPECTS(query >= 0 && query < num_points_,
+              "HnswIndex::search_point: query out of range");
+  SGL_EXPECTS(k >= 1, "HnswIndex::search_point: k must be positive");
+
+  Index current = entry_point_;
+  for (Index l = max_level_; l > 0; --l)
+    current = greedy_closest(query, current, l);
+
+  const Index ef = std::max(options_.ef_search, k + 1);
+  std::vector<SearchCandidate> found = search_layer(query, current, ef, 0);
+  std::sort(found.begin(), found.end());
+
+  std::vector<std::pair<Real, Index>> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (const SearchCandidate& c : found) {
+    if (c.node == query) continue;  // exclude self
+    out.emplace_back(c.distance, c.node);
+    if (to_index(out.size()) == k) break;
+  }
+  return out;
+}
+
+KnnResult HnswIndex::knn_all(Index k) const {
+  SGL_EXPECTS(k >= 1 && k < num_points_, "HnswIndex::knn_all: need 1 <= k < N");
+  KnnResult result;
+  result.k = k;
+  result.neighbor.assign(static_cast<std::size_t>(num_points_) * k,
+                         kInvalidIndex);
+  result.distance_squared.assign(static_cast<std::size_t>(num_points_) * k,
+                                 0.0);
+  for (Index i = 0; i < num_points_; ++i) {
+    const auto found = search_point(i, k);
+    // HNSW may return fewer than k on pathological graphs; duplicate the
+    // last hit rather than leaving holes (callers dedup via Graph edges).
+    for (Index j = 0; j < k; ++j) {
+      const std::size_t src = std::min<std::size_t>(j, found.size() - 1);
+      SGL_ENSURES(!found.empty(), "HnswIndex::knn_all: empty search result");
+      result.neighbor[static_cast<std::size_t>(i) * k + j] = found[src].second;
+      result.distance_squared[static_cast<std::size_t>(i) * k + j] =
+          found[src].first;
+    }
+  }
+  return result;
+}
+
+KnnResult hnsw_knn(const la::DenseMatrix& points, Index k,
+                   const HnswOptions& options) {
+  const HnswIndex index(points, options);
+  return index.knn_all(k);
+}
+
+}  // namespace sgl::knn

@@ -1,0 +1,104 @@
+// Hierarchical Navigable Small World approximate nearest-neighbor index.
+//
+// From-scratch implementation of Malkov & Yashunin's HNSW (the paper's
+// reference [8] for scalable kNN construction): an exponential hierarchy
+// of proximity graphs searched greedily from the top layer, with
+// beam-search insertion and the distance-diversified neighbor-selection
+// heuristic. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "knn/brute_force.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace sgl::knn {
+
+struct HnswOptions {
+  /// Target out-degree per layer (layer 0 allows 2·max_connections).
+  Index max_connections = 16;
+  /// Beam width during construction.
+  Index ef_construction = 200;
+  /// Beam width during queries (raised automatically to k when smaller).
+  Index ef_search = 64;
+  std::uint64_t seed = 42;
+};
+
+class HnswIndex {
+ public:
+  /// Builds the index over the rows of `points`.
+  HnswIndex(const la::DenseMatrix& points, const HnswOptions& options = {});
+
+  /// k approximate nearest neighbors of the already-indexed point `query`
+  /// (self excluded), sorted by increasing distance.
+  [[nodiscard]] std::vector<std::pair<Real, Index>> search_point(
+      Index query, Index k) const;
+
+  /// kNN lists for every indexed point (the kNN-graph building block).
+  [[nodiscard]] KnnResult knn_all(Index k) const;
+
+  [[nodiscard]] Index num_points() const noexcept { return num_points_; }
+  [[nodiscard]] Index max_level() const noexcept { return max_level_; }
+
+ private:
+  struct SearchCandidate {
+    Real distance;
+    Index node;
+    bool operator<(const SearchCandidate& o) const {
+      return distance < o.distance;
+    }
+    bool operator>(const SearchCandidate& o) const {
+      return distance > o.distance;
+    }
+  };
+
+  [[nodiscard]] Real distance(Index a, Index b) const {
+    return point_distance_squared(data_, dim_, a, b);
+  }
+
+  /// Neighbor slice of `node` at `level`.
+  [[nodiscard]] const std::vector<Index>& neighbors(Index node,
+                                                    Index level) const {
+    return links_[static_cast<std::size_t>(node)][static_cast<std::size_t>(level)];
+  }
+
+  /// Greedy descent at one level: returns the local minimum from `start`.
+  [[nodiscard]] Index greedy_closest(Index query, Index start,
+                                     Index level) const;
+
+  /// Beam search at one level; returns up to `ef` closest candidates
+  /// (max-heap order not guaranteed).
+  [[nodiscard]] std::vector<SearchCandidate> search_layer(Index query,
+                                                          Index start,
+                                                          Index ef,
+                                                          Index level) const;
+
+  /// Neighbor-selection heuristic (keep candidates closer to the query
+  /// than to any already-kept neighbor).
+  [[nodiscard]] std::vector<Index> select_neighbors(
+      Index query, std::vector<SearchCandidate> candidates, Index m) const;
+
+  void insert(Index node);
+
+  Index num_points_ = 0;
+  Index dim_ = 0;
+  std::vector<Real> data_;  // row-major points
+  HnswOptions options_;
+  Real level_multiplier_ = 0.0;
+  Index entry_point_ = kInvalidIndex;
+  Index max_level_ = -1;
+  std::vector<Index> node_level_;
+  // links_[node][level] = neighbor list.
+  std::vector<std::vector<std::vector<Index>>> links_;
+  Rng rng_;
+  mutable std::vector<Index> visit_mark_;
+  mutable Index visit_epoch_ = 0;
+};
+
+/// Convenience wrapper mirroring brute_force_knn.
+[[nodiscard]] KnnResult hnsw_knn(const la::DenseMatrix& points, Index k,
+                                 const HnswOptions& options = {});
+
+}  // namespace sgl::knn

@@ -1,0 +1,101 @@
+#include "knn/knn_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "graph/components.hpp"
+
+namespace sgl::knn {
+
+namespace {
+
+/// Adds the minimum-distance edge between every smaller component and the
+/// rest until one component remains. O(components · N · M) — components
+/// are rare for mesh-like measurement manifolds, so the simple exact scan
+/// is fine and deterministic.
+void connect_components(graph::Graph& g, const std::vector<Real>& data,
+                        Index dim, Real weight_numerator, Real floor2) {
+  for (;;) {
+    const graph::Components comp = graph::connected_components(g);
+    if (comp.count <= 1) return;
+
+    // Pick the smallest component and link it to its nearest outside node.
+    std::vector<Index> size(static_cast<std::size_t>(comp.count), 0);
+    for (const Index c : comp.label) ++size[static_cast<std::size_t>(c)];
+    const Index smallest = to_index(static_cast<std::size_t>(
+        std::min_element(size.begin(), size.end()) - size.begin()));
+
+    Real best = std::numeric_limits<Real>::infinity();
+    Index best_s = kInvalidIndex;
+    Index best_t = kInvalidIndex;
+    for (Index s = 0; s < g.num_nodes(); ++s) {
+      if (comp.label[static_cast<std::size_t>(s)] != smallest) continue;
+      for (Index t = 0; t < g.num_nodes(); ++t) {
+        if (comp.label[static_cast<std::size_t>(t)] == smallest) continue;
+        const Real d = point_distance_squared(data, dim, s, t);
+        if (d < best) {
+          best = d;
+          best_s = s;
+          best_t = t;
+        }
+      }
+    }
+    SGL_ASSERT(best_s != kInvalidIndex, "connect_components: no cross pair");
+    g.add_edge(best_s, best_t, weight_numerator / std::max(best, floor2));
+  }
+}
+
+}  // namespace
+
+graph::Graph build_knn_graph(const la::DenseMatrix& x,
+                             const KnnGraphOptions& options) {
+  const Index n = x.rows();
+  const Index m = x.cols();
+  SGL_EXPECTS(n >= 2, "build_knn_graph: need at least two points");
+  SGL_EXPECTS(options.k >= 1 && options.k < n,
+              "build_knn_graph: need 1 <= k < N");
+
+  KnnBackend backend = options.backend;
+  if (backend == KnnBackend::kAuto) {
+    backend = (n <= 4096) ? KnnBackend::kBruteForce : KnnBackend::kHnsw;
+  }
+  const KnnResult knn = (backend == KnnBackend::kBruteForce)
+                            ? brute_force_knn(x, options.k)
+                            : hnsw_knn(x, options.k, options.hnsw);
+
+  // Median neighbor distance defines the duplicate-point floor.
+  std::vector<Real> dists = knn.distance_squared;
+  std::sort(dists.begin(), dists.end());
+  const Real median = dists.empty() ? 0.0 : dists[dists.size() / 2];
+  const Real floor2 = std::max(options.distance_floor_rel * std::max(median, Real{1.0}),
+                               1e-300);
+
+  // Symmetrize by union; keep the smaller distance if both directions hit.
+  const Real weight_numerator = static_cast<Real>(m);
+  std::map<std::pair<Index, Index>, Real> pair_dist;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < knn.k; ++j) {
+      const Index nb = knn.neighbor[static_cast<std::size_t>(i) * knn.k + j];
+      if (nb == i || nb == kInvalidIndex) continue;
+      const Real d =
+          knn.distance_squared[static_cast<std::size_t>(i) * knn.k + j];
+      const auto key = std::minmax(i, nb);
+      auto [it, inserted] = pair_dist.try_emplace({key.first, key.second}, d);
+      if (!inserted) it->second = std::min(it->second, d);
+    }
+  }
+
+  graph::Graph g(n);
+  for (const auto& [key, d] : pair_dist) {
+    g.add_edge(key.first, key.second, weight_numerator / std::max(d, floor2));
+  }
+
+  if (options.ensure_connected) {
+    const std::vector<Real> data = to_row_major(x);
+    connect_components(g, data, m, weight_numerator, floor2);
+  }
+  return g;
+}
+
+}  // namespace sgl::knn

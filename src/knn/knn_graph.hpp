@@ -1,0 +1,40 @@
+// kNN graph construction from measurement data (SGL Step 1 substrate).
+//
+// Nodes are rows of the voltage measurement matrix X ∈ R^{N×M}; the graph
+// connects each node to its k nearest rows with the paper's similarity
+// weight w_st = M / ‖X(s,:) − X(t,:)‖² (eq. 15), so that low data distance
+// means high conductance. Neighbor lists are symmetrized by union, and the
+// graph is optionally repaired to a single connected component (SGL needs
+// a connected candidate graph to extract a spanning tree).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/hnsw.hpp"
+
+namespace sgl::knn {
+
+enum class KnnBackend {
+  kBruteForce,
+  kHnsw,
+  /// Brute force below 4,096 points, HNSW above.
+  kAuto,
+};
+
+struct KnnGraphOptions {
+  Index k = 5;
+  KnnBackend backend = KnnBackend::kAuto;
+  HnswOptions hnsw;
+  /// Join components with their nearest cross-component pairs until the
+  /// graph is connected.
+  bool ensure_connected = true;
+  /// Floor for distances when converting to weights, relative to the
+  /// median neighbor distance (guards duplicate points).
+  Real distance_floor_rel = 1e-12;
+};
+
+/// Builds the weighted kNN graph over the rows of `x`.
+[[nodiscard]] graph::Graph build_knn_graph(const la::DenseMatrix& x,
+                                           const KnnGraphOptions& options = {});
+
+}  // namespace sgl::knn

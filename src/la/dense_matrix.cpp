@@ -1,0 +1,37 @@
+#include "la/dense_matrix.hpp"
+
+namespace sgl::la {
+
+DenseMatrix gram(const DenseMatrix& a) {
+  const Index n = a.cols();
+  DenseMatrix c(n, n);
+  for (Index j = 0; j < n; ++j) {
+    const auto cj = a.col(j);
+    for (Index i = 0; i <= j; ++i) {
+      const auto ci = a.col(i);
+      Real acc = 0.0;
+      for (Index k = 0; k < a.rows(); ++k) acc += ci[k] * cj[k];
+      c(i, j) = acc;
+      c(j, i) = acc;
+    }
+  }
+  return c;
+}
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  SGL_EXPECTS(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  DenseMatrix c(a.rows(), b.cols());
+  for (Index j = 0; j < b.cols(); ++j) {
+    auto cj = c.col(j);
+    const auto bj = b.col(j);
+    for (Index k = 0; k < a.cols(); ++k) {
+      const Real bkj = bj[k];
+      if (bkj == 0.0) continue;
+      const auto ak = a.col(k);
+      for (Index i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
+    }
+  }
+  return c;
+}
+
+}  // namespace sgl::la

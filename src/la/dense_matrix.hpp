@@ -1,0 +1,159 @@
+// Column-major dense matrix.
+//
+// DenseMatrix stores measurement matrices (X, Y ∈ R^{N×M}), eigenvector
+// blocks, and small dense systems. Column-major layout makes "one
+// measurement = one contiguous column" and keeps per-column solves
+// cache-friendly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sgl::la {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows × cols matrix, zero-initialized.
+  DenseMatrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0.0) {
+    SGL_EXPECTS(rows >= 0 && cols >= 0, "DenseMatrix: negative dimension");
+  }
+
+  [[nodiscard]] Index rows() const noexcept { return rows_; }
+  [[nodiscard]] Index cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] Real& operator()(Index i, Index j) {
+    SGL_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "DenseMatrix: index out of range");
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  [[nodiscard]] Real operator()(Index i, Index j) const {
+    SGL_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "DenseMatrix: index out of range");
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  /// Contiguous view of column j.
+  [[nodiscard]] std::span<Real> col(Index j) {
+    SGL_ASSERT(j >= 0 && j < cols_, "DenseMatrix::col out of range");
+    return {data_.data() + static_cast<std::size_t>(j) * rows_,
+            static_cast<std::size_t>(rows_)};
+  }
+  [[nodiscard]] std::span<const Real> col(Index j) const {
+    SGL_ASSERT(j >= 0 && j < cols_, "DenseMatrix::col out of range");
+    return {data_.data() + static_cast<std::size_t>(j) * rows_,
+            static_cast<std::size_t>(rows_)};
+  }
+
+  /// Copies column j into a Vector.
+  [[nodiscard]] Vector col_vector(Index j) const {
+    const auto c = col(j);
+    return Vector(c.begin(), c.end());
+  }
+
+  /// Overwrites column j from a vector of matching length.
+  void set_col(Index j, const Vector& v) {
+    SGL_EXPECTS(to_index(v.size()) == rows_, "set_col: length mismatch");
+    auto c = col(j);
+    for (Index i = 0; i < rows_; ++i) c[i] = v[i];
+  }
+
+  /// Copies row i into a Vector (strided gather).
+  [[nodiscard]] Vector row_vector(Index i) const {
+    SGL_EXPECTS(i >= 0 && i < rows_, "row_vector: out of range");
+    Vector r(static_cast<std::size_t>(cols_));
+    for (Index j = 0; j < cols_; ++j) r[j] = (*this)(i, j);
+    return r;
+  }
+
+  /// Squared Euclidean distance between rows s and t:
+  /// ‖Xᵀ(e_s − e_t)‖² — the z_data term of paper eq. (13).
+  [[nodiscard]] Real row_distance_squared(Index s, Index t) const {
+    SGL_ASSERT(s >= 0 && s < rows_ && t >= 0 && t < rows_,
+               "row_distance_squared: out of range");
+    Real acc = 0.0;
+    const Real* base = data_.data();
+    const std::size_t stride = static_cast<std::size_t>(rows_);
+    for (Index j = 0; j < cols_; ++j) {
+      const Real d = base[stride * j + s] - base[stride * j + t];
+      acc += d * d;
+    }
+    return acc;
+  }
+
+  /// Frobenius inner product with another matrix of identical shape.
+  [[nodiscard]] Real frobenius_dot(const DenseMatrix& other) const {
+    SGL_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_,
+                "frobenius_dot: shape mismatch");
+    Real acc = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
+    return acc;
+  }
+
+  /// Sum of squared entries: Tr(XᵀX).
+  [[nodiscard]] Real frobenius_norm_squared() const {
+    Real acc = 0.0;
+    for (const Real v : data_) acc += v * v;
+    return acc;
+  }
+
+  /// y = A x (A is this matrix).
+  [[nodiscard]] Vector multiply(const Vector& x) const {
+    SGL_EXPECTS(to_index(x.size()) == cols_, "multiply: size mismatch");
+    Vector y(static_cast<std::size_t>(rows_), 0.0);
+    for (Index j = 0; j < cols_; ++j) {
+      const auto cj = col(j);
+      const Real xj = x[j];
+      if (xj == 0.0) continue;
+      for (Index i = 0; i < rows_; ++i) y[i] += cj[i] * xj;
+    }
+    return y;
+  }
+
+  /// y = Aᵀ x.
+  [[nodiscard]] Vector multiply_transposed(const Vector& x) const {
+    SGL_EXPECTS(to_index(x.size()) == rows_, "multiply_transposed: size mismatch");
+    Vector y(static_cast<std::size_t>(cols_), 0.0);
+    for (Index j = 0; j < cols_; ++j) {
+      const auto cj = col(j);
+      Real acc = 0.0;
+      for (Index i = 0; i < rows_; ++i) acc += cj[i] * x[i];
+      y[j] = acc;
+    }
+    return y;
+  }
+
+  /// Returns the transposed matrix.
+  [[nodiscard]] DenseMatrix transposed() const {
+    DenseMatrix t(cols_, rows_);
+    for (Index j = 0; j < cols_; ++j)
+      for (Index i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  /// Raw storage access (column-major, rows() * cols() entries).
+  [[nodiscard]] const std::vector<Real>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<Real>& data() noexcept { return data_; }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Real> data_;
+};
+
+/// C = Aᵀ A (Gram matrix), used by small dense subproblems.
+[[nodiscard]] DenseMatrix gram(const DenseMatrix& a);
+
+/// C = A B.
+[[nodiscard]] DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace sgl::la

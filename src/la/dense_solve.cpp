@@ -1,0 +1,48 @@
+#include "la/dense_solve.hpp"
+
+#include <cmath>
+
+namespace sgl::la {
+
+void dense_ldlt_factor(DenseMatrix& a, Real shift_floor) {
+  SGL_EXPECTS(a.rows() == a.cols(), "dense_ldlt_factor: matrix must be square");
+  const Index n = a.rows();
+  Real max_diag = 0.0;
+  for (Index i = 0; i < n; ++i) max_diag = std::max(max_diag, std::abs(a(i, i)));
+  const Real floor_value = std::max(shift_floor * max_diag, 1e-300);
+
+  for (Index j = 0; j < n; ++j) {
+    Real d = a(j, j);
+    for (Index k = 0; k < j; ++k) {
+      const Real l = a(j, k);
+      d -= l * l * a(k, k);
+    }
+    if (d < floor_value) d = floor_value;
+    a(j, j) = d;
+    for (Index i = j + 1; i < n; ++i) {
+      Real v = a(i, j);
+      for (Index k = 0; k < j; ++k) v -= a(i, k) * a(j, k) * a(k, k);
+      a(i, j) = v / d;
+    }
+  }
+}
+
+Vector dense_ldlt_solve(const DenseMatrix& factor, const Vector& b) {
+  const Index n = factor.rows();
+  SGL_EXPECTS(to_index(b.size()) == n, "dense_ldlt_solve: size mismatch");
+  Vector x = b;
+  for (Index i = 0; i < n; ++i) {
+    Real v = x[static_cast<std::size_t>(i)];
+    for (Index k = 0; k < i; ++k) v -= factor(i, k) * x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(i)] = v;
+  }
+  for (Index i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] /= factor(i, i);
+  for (Index i = n - 1; i >= 0; --i) {
+    Real v = x[static_cast<std::size_t>(i)];
+    for (Index k = i + 1; k < n; ++k) v -= factor(k, i) * x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(i)] = v;
+  }
+  return x;
+}
+
+}  // namespace sgl::la

@@ -1,0 +1,22 @@
+// Small dense symmetric solves (used for AMG coarsest grids and tests).
+#pragma once
+
+#include "la/dense_matrix.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sgl::la {
+
+/// In-place LDLᵀ factorization of a symmetric positive-(semi)definite
+/// matrix stored densely. Returns the factor packed into `a` (unit lower
+/// triangle of L below the diagonal, D on the diagonal).
+///
+/// Pivots smaller than `shift_floor * max_diag` are clamped to that value,
+/// which regularizes semidefinite inputs (e.g. grounded Laplacians of
+/// barely-connected coarse grids) instead of failing.
+void dense_ldlt_factor(DenseMatrix& a, Real shift_floor = 1e-14);
+
+/// Solves L D Lᵀ x = b given a factor from dense_ldlt_factor.
+[[nodiscard]] Vector dense_ldlt_solve(const DenseMatrix& factor,
+                                      const Vector& b);
+
+}  // namespace sgl::la

@@ -1,0 +1,102 @@
+// Sparse matrix storage: triplet (COO) assembly and CSR kernels.
+//
+// CsrMatrix is the workhorse for Laplacians, preconditioners and Galerkin
+// coarse operators. Duplicate triplets are summed during assembly, matching
+// finite-element / circuit-stamping conventions.
+#pragma once
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sgl::la {
+
+/// One (row, col, value) entry of a matrix under assembly.
+struct Triplet {
+  Index row = 0;
+  Index col = 0;
+  Real value = 0.0;
+};
+
+/// Compressed-sparse-row matrix with sorted column indices per row.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Assembles from triplets; duplicates are summed, rows end up with
+  /// strictly increasing column indices. Entries that sum to exactly zero
+  /// are kept (structural nonzeros), which factorization codes rely on.
+  static CsrMatrix from_triplets(Index rows, Index cols,
+                                 const std::vector<Triplet>& triplets);
+
+  /// Identity matrix of order n.
+  static CsrMatrix identity(Index n);
+
+  [[nodiscard]] Index rows() const noexcept { return rows_; }
+  [[nodiscard]] Index cols() const noexcept { return cols_; }
+  [[nodiscard]] Index nnz() const noexcept { return to_index(values_.size()); }
+
+  [[nodiscard]] const std::vector<Index>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<Index>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<Real>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::vector<Real>& values() noexcept { return values_; }
+
+  /// Value at (i, j); 0 if the entry is not stored. O(log nnz(i)).
+  [[nodiscard]] Real at(Index i, Index j) const;
+
+  /// y = A x.
+  void multiply(const Vector& x, Vector& y) const;
+  [[nodiscard]] Vector multiply(const Vector& x) const {
+    Vector y(static_cast<std::size_t>(rows_));
+    multiply(x, y);
+    return y;
+  }
+
+  /// y = Aᵀ x.
+  [[nodiscard]] Vector multiply_transposed(const Vector& x) const;
+
+  /// xᵀ A x (A symmetric or not — plain quadratic form).
+  [[nodiscard]] Real quadratic_form(const Vector& x) const;
+
+  /// Diagonal entries as a vector (0 where absent).
+  [[nodiscard]] Vector diagonal() const;
+
+  /// Aᵀ in CSR form.
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// Scales all stored values by alpha.
+  void scale(Real alpha) {
+    for (Real& v : values_) v *= alpha;
+  }
+
+  /// True if the sparsity pattern and values are symmetric to tolerance.
+  [[nodiscard]] bool is_symmetric(Real tol = 1e-12) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_ptr_;  // size rows_ + 1
+  std::vector<Index> col_idx_;  // size nnz
+  std::vector<Real> values_;    // size nnz
+
+  friend CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b);
+  friend CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, Real alpha,
+                       Real beta);
+};
+
+/// C = A B (row-wise gather SpGEMM with a dense accumulator).
+[[nodiscard]] CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b);
+
+/// C = alpha A + beta B (same shape).
+[[nodiscard]] CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b,
+                            Real alpha = 1.0, Real beta = 1.0);
+
+}  // namespace sgl::la

@@ -1,0 +1,90 @@
+// Dense vector type and BLAS-1 style helpers.
+//
+// A vector is simply std::vector<Real>; the free functions below provide
+// the handful of kernels the rest of the library needs (dot products,
+// norms, axpy, centering). Keeping the type a plain std::vector makes the
+// public API trivially interoperable with user code.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace sgl::la {
+
+using Vector = std::vector<Real>;
+
+/// Dot product <x, y>. Sizes must match.
+[[nodiscard]] inline Real dot(const Vector& x, const Vector& y) {
+  SGL_EXPECTS(x.size() == y.size(), "dot: size mismatch");
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// Squared Euclidean norm.
+[[nodiscard]] inline Real norm2_squared(const Vector& x) {
+  Real acc = 0.0;
+  for (const Real v : x) acc += v * v;
+  return acc;
+}
+
+/// Euclidean norm.
+[[nodiscard]] inline Real norm2(const Vector& x) {
+  return std::sqrt(norm2_squared(x));
+}
+
+/// Infinity norm.
+[[nodiscard]] inline Real norm_inf(const Vector& x) {
+  Real acc = 0.0;
+  for (const Real v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+/// y += alpha * x.
+inline void axpy(Real alpha, const Vector& x, Vector& y) {
+  SGL_EXPECTS(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha.
+inline void scale(Vector& x, Real alpha) {
+  for (Real& v : x) v *= alpha;
+}
+
+/// Arithmetic mean of the entries (0 for empty input).
+[[nodiscard]] inline Real mean(const Vector& x) {
+  if (x.empty()) return 0.0;
+  Real acc = 0.0;
+  for (const Real v : x) acc += v;
+  return acc / static_cast<Real>(x.size());
+}
+
+/// Subtracts the mean so the result is orthogonal to the all-ones vector.
+inline void center(Vector& x) {
+  const Real m = mean(x);
+  for (Real& v : x) v -= m;
+}
+
+/// Normalizes to unit Euclidean length; returns the original norm.
+/// A zero vector is left unchanged and 0 is returned.
+inline Real normalize(Vector& x) {
+  const Real n = norm2(x);
+  if (n > 0.0) scale(x, 1.0 / n);
+  return n;
+}
+
+/// Squared Euclidean distance between two vectors.
+[[nodiscard]] inline Real distance_squared(const Vector& x, const Vector& y) {
+  SGL_EXPECTS(x.size() == y.size(), "distance_squared: size mismatch");
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Real d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace sgl::la

@@ -1,0 +1,79 @@
+#include "measure/measurements.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace sgl::measure {
+
+Measurements generate_measurements(const graph::Graph& ground_truth,
+                                   const MeasurementOptions& options) {
+  const Index n = ground_truth.num_nodes();
+  const Index m = options.num_measurements;
+  SGL_EXPECTS(m >= 1, "generate_measurements: need at least one measurement");
+  SGL_EXPECTS(n >= 3, "generate_measurements: graph too small");
+
+  const solver::LaplacianPinvSolver pinv(ground_truth, options.solver);
+  Rng rng(options.seed);
+
+  Measurements out;
+  out.voltages = la::DenseMatrix(n, m);
+  out.currents = la::DenseMatrix(n, m);
+  la::Vector y(static_cast<std::size_t>(n));
+  for (Index i = 0; i < m; ++i) {
+    for (Real& v : y) v = rng.normal();
+    la::center(y);     // current conservation: Σ y = 0
+    la::normalize(y);  // unit excitation
+    out.currents.set_col(i, y);
+    out.voltages.set_col(i, pinv.apply(y));
+  }
+  return out;
+}
+
+void add_noise(la::DenseMatrix& voltages, Real zeta, std::uint64_t seed) {
+  SGL_EXPECTS(zeta >= 0.0, "add_noise: negative noise level");
+  if (zeta == 0.0) return;
+  Rng rng(seed);
+  la::Vector eps(static_cast<std::size_t>(voltages.rows()));
+  for (Index j = 0; j < voltages.cols(); ++j) {
+    for (Real& v : eps) v = rng.normal();
+    la::normalize(eps);
+    auto col = voltages.col(j);
+    Real norm = 0.0;
+    for (const Real v : col) norm += v * v;
+    norm = std::sqrt(norm);
+    for (Index i = 0; i < voltages.rows(); ++i)
+      col[i] += zeta * norm * eps[static_cast<std::size_t>(i)];
+  }
+}
+
+std::vector<Index> sample_nodes(Index num_nodes, Index subset,
+                                std::uint64_t seed) {
+  SGL_EXPECTS(subset >= 1 && subset <= num_nodes,
+              "sample_nodes: subset size out of range");
+  Rng rng(seed);
+  std::vector<Index> all(static_cast<std::size_t>(num_nodes));
+  std::iota(all.begin(), all.end(), Index{0});
+  shuffle(all, rng);
+  all.resize(static_cast<std::size_t>(subset));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+la::DenseMatrix take_rows(const la::DenseMatrix& x,
+                          const std::vector<Index>& rows) {
+  la::DenseMatrix out(to_index(rows.size()), x.cols());
+  for (Index j = 0; j < x.cols(); ++j) {
+    const auto src = x.col(j);
+    auto dst = out.col(j);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      SGL_EXPECTS(rows[i] >= 0 && rows[i] < x.rows(),
+                  "take_rows: row index out of range");
+      dst[to_index(i)] = src[rows[i]];
+    }
+  }
+  return out;
+}
+
+}  // namespace sgl::measure

@@ -1,0 +1,72 @@
+#include "measure/resistance_sketch.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sgl::measure {
+
+namespace {
+
+Index resolve_projections(const graph::Graph& g, const SketchOptions& options) {
+  if (options.num_projections > 0) return options.num_projections;
+  SGL_EXPECTS(options.epsilon > 0.0 && options.epsilon < 1.0,
+              "ResistanceSketch: epsilon must lie in (0, 1)");
+  const Real n = static_cast<Real>(g.num_nodes());
+  return static_cast<Index>(
+      std::ceil(24.0 * std::log(n) / (options.epsilon * options.epsilon)));
+}
+
+/// Computes Y = C W^{1/2} B row by row without materializing C: row i of Y
+/// accumulates ±√(w_e/M) into the endpoints of every edge e.
+la::DenseMatrix sketch_currents(const graph::Graph& g, Index m,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix y(g.num_nodes(), m);
+  const Real inv_sqrt_m = 1.0 / std::sqrt(static_cast<Real>(m));
+  for (Index i = 0; i < m; ++i) {
+    auto yi = y.col(i);
+    for (const graph::Edge& e : g.edges()) {
+      const Real c = rng.rademacher() * inv_sqrt_m * std::sqrt(e.weight);
+      yi[e.s] += c;
+      yi[e.t] -= c;
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+ResistanceSketch::ResistanceSketch(const graph::Graph& g,
+                                   const SketchOptions& options) {
+  const Index m = resolve_projections(g, options);
+  const la::DenseMatrix y = sketch_currents(g, m, options.seed);
+  const solver::LaplacianPinvSolver pinv(g, options.solver);
+  sketch_ = la::DenseMatrix(g.num_nodes(), m);
+  for (Index i = 0; i < m; ++i) {
+    // Rows of C W^{1/2} B are orthogonal to 1 by construction (each edge
+    // contributes +c and −c), so the pseudo-inverse solve is exact.
+    sketch_.set_col(i, pinv.apply(y.col_vector(i)));
+  }
+}
+
+Real ResistanceSketch::estimate(Index s, Index t) const {
+  SGL_EXPECTS(s >= 0 && s < sketch_.rows() && t >= 0 && t < sketch_.rows(),
+              "ResistanceSketch::estimate: node out of range");
+  SGL_EXPECTS(s != t, "ResistanceSketch::estimate: distinct nodes required");
+  return sketch_.row_distance_squared(s, t);
+}
+
+Measurements sketch_measurements(const graph::Graph& g,
+                                 const SketchOptions& options) {
+  const Index m = resolve_projections(g, options);
+  Measurements out;
+  out.currents = sketch_currents(g, m, options.seed);
+  const solver::LaplacianPinvSolver pinv(g, options.solver);
+  out.voltages = la::DenseMatrix(g.num_nodes(), m);
+  for (Index i = 0; i < m; ++i)
+    out.voltages.set_col(i, pinv.apply(out.currents.col_vector(i)));
+  return out;
+}
+
+}  // namespace sgl::measure

@@ -1,0 +1,56 @@
+// Johnson–Lindenstrauss effective-resistance sketch (paper §II-D).
+//
+// Implements the exact construction of the paper's sample-complexity
+// argument (the Spielman–Srivastava sketch): with C a random ±1/√M matrix
+// of shape M×|E| and Y = C W^{1/2} B, solving L x_i = y_i for every row of
+// Y yields a voltage matrix X whose column space compresses all pairwise
+// effective resistances:
+//   (1−ε) Reff(s,t) ≤ ‖Xᵀ e_st‖² ≤ (1+ε) Reff(s,t)  w.h.p. for
+//   M = 24 ln N / ε².
+// These (X, Y) pairs are also valid SGL measurement inputs, giving the
+// theory-mode generator used in the sample-complexity experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "la/dense_matrix.hpp"
+#include "measure/measurements.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace sgl::measure {
+
+struct SketchOptions {
+  /// Number of random projections M; 0 derives M = ⌈24 ln N / ε²⌉.
+  Index num_projections = 0;
+  Real epsilon = 0.5;
+  std::uint64_t seed = 99;
+  solver::LaplacianSolverOptions solver;
+};
+
+class ResistanceSketch {
+ public:
+  ResistanceSketch(const graph::Graph& g, const SketchOptions& options = {});
+
+  /// (1±ε)-approximate effective resistance ‖Xᵀ e_st‖².
+  [[nodiscard]] Real estimate(Index s, Index t) const;
+
+  [[nodiscard]] Index num_projections() const noexcept {
+    return sketch_.cols();
+  }
+
+  /// The underlying voltage matrix X (column i solves L x_i = y_i).
+  [[nodiscard]] const la::DenseMatrix& voltages() const noexcept {
+    return sketch_;
+  }
+
+ private:
+  la::DenseMatrix sketch_;  // N × M, rows indexed by node
+};
+
+/// Builds the paper's theory-mode measurement pair: X from the JL sketch
+/// and Y the matching current excitations (rows of C W^{1/2} B).
+[[nodiscard]] Measurements sketch_measurements(const graph::Graph& g,
+                                               const SketchOptions& options = {});
+
+}  // namespace sgl::measure

@@ -1,0 +1,205 @@
+#include "solver/amg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "la/dense_solve.hpp"
+
+namespace sgl::solver {
+
+namespace {
+
+/// Greedy Vaněk-style aggregation over the strength graph.
+/// Returns aggregate ids (contiguous from 0) for every node.
+std::vector<Index> aggregate_nodes(const la::CsrMatrix& a, Real theta,
+                                   Index& num_aggregates) {
+  const Index n = a.rows();
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vv = a.values();
+
+  // Strong-neighbor test threshold per row.
+  la::Vector row_max(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    Real m = 0.0;
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (ci[static_cast<std::size_t>(k)] != i)
+        m = std::max(m, std::abs(vv[static_cast<std::size_t>(k)]));
+    }
+    row_max[static_cast<std::size_t>(i)] = m;
+  }
+  const auto strong = [&](Index i, Index k) {
+    const Index j = ci[static_cast<std::size_t>(k)];
+    return j != i && std::abs(vv[static_cast<std::size_t>(k)]) >=
+                         theta * row_max[static_cast<std::size_t>(i)];
+  };
+
+  std::vector<Index> agg(static_cast<std::size_t>(n), kInvalidIndex);
+  num_aggregates = 0;
+
+  // Pass 1: seed aggregates around nodes whose strong neighborhood is
+  // entirely unclaimed.
+  for (Index i = 0; i < n; ++i) {
+    if (agg[static_cast<std::size_t>(i)] != kInvalidIndex) continue;
+    bool free_nbhd = true;
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1] && free_nbhd; ++k) {
+      if (strong(i, k) &&
+          agg[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])] !=
+              kInvalidIndex)
+        free_nbhd = false;
+    }
+    if (!free_nbhd) continue;
+    const Index id = num_aggregates++;
+    agg[static_cast<std::size_t>(i)] = id;
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (strong(i, k))
+        agg[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])] = id;
+    }
+  }
+
+  // Pass 2: attach leftovers to the strongest neighboring aggregate.
+  for (Index i = 0; i < n; ++i) {
+    if (agg[static_cast<std::size_t>(i)] != kInvalidIndex) continue;
+    Real best = -1.0;
+    Index best_agg = kInvalidIndex;
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Index j = ci[static_cast<std::size_t>(k)];
+      if (j == i || agg[static_cast<std::size_t>(j)] == kInvalidIndex) continue;
+      const Real s = std::abs(vv[static_cast<std::size_t>(k)]);
+      if (s > best) {
+        best = s;
+        best_agg = agg[static_cast<std::size_t>(j)];
+      }
+    }
+    if (best_agg != kInvalidIndex) {
+      agg[static_cast<std::size_t>(i)] = best_agg;
+    } else {
+      // Isolated node (no neighbors at all): its own aggregate.
+      agg[static_cast<std::size_t>(i)] = num_aggregates++;
+    }
+  }
+  return agg;
+}
+
+la::CsrMatrix build_prolongation(const std::vector<Index>& agg,
+                                 Index num_aggregates) {
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(agg.size());
+  for (std::size_t i = 0; i < agg.size(); ++i)
+    triplets.push_back({to_index(i), agg[i], 1.0});
+  return la::CsrMatrix::from_triplets(to_index(agg.size()), num_aggregates,
+                                      triplets);
+}
+
+}  // namespace
+
+AmgHierarchy::AmgHierarchy(const la::CsrMatrix& a, const AmgOptions& options)
+    : options_(options) {
+  SGL_EXPECTS(a.rows() == a.cols(), "AmgHierarchy: matrix must be square");
+  SGL_EXPECTS(options.theta >= 0.0 && options.theta <= 1.0,
+              "AmgHierarchy: theta out of [0, 1]");
+
+  levels_.push_back({a, a.diagonal(), {}, {}});
+  while (to_index(levels_.size()) < options_.max_levels &&
+         levels_.back().a.rows() > options_.coarse_size) {
+    const la::CsrMatrix& fine = levels_.back().a;
+    Index nc = 0;
+    std::vector<Index> agg = aggregate_nodes(fine, options_.theta, nc);
+    if (nc >= fine.rows()) break;  // aggregation stalled; stop coarsening
+    la::CsrMatrix p = build_prolongation(agg, nc);
+    la::CsrMatrix coarse = la::spgemm(p.transposed(), la::spgemm(fine, p));
+    levels_.push_back({std::move(coarse), {}, std::move(p), std::move(agg)});
+    levels_.back().diag = levels_.back().a.diagonal();
+  }
+
+  // Dense factor of the coarsest operator. The shift floor regularizes the
+  // near-null constant mode if the input was a barely-grounded Laplacian.
+  const la::CsrMatrix& coarsest = levels_.back().a;
+  const Index nc = coarsest.rows();
+  coarse_factor_ = la::DenseMatrix(nc, nc);
+  const auto& rp = coarsest.row_ptr();
+  const auto& ci = coarsest.col_idx();
+  const auto& vv = coarsest.values();
+  for (Index i = 0; i < nc; ++i)
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k)
+      coarse_factor_(i, ci[static_cast<std::size_t>(k)]) =
+          vv[static_cast<std::size_t>(k)];
+  la::dense_ldlt_factor(coarse_factor_, 1e-12);
+}
+
+Index AmgHierarchy::size() const noexcept { return levels_.front().a.rows(); }
+
+Real AmgHierarchy::operator_complexity() const {
+  Real total = 0.0;
+  for (const Level& level : levels_) total += static_cast<Real>(level.a.nnz());
+  return total / static_cast<Real>(levels_.front().a.nnz());
+}
+
+void AmgHierarchy::smooth(const Level& level, const la::Vector& rhs,
+                          la::Vector& x, bool forward) const {
+  const la::CsrMatrix& a = level.a;
+  const Index n = a.rows();
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vv = a.values();
+  const auto relax_row = [&](Index i) {
+    Real acc = rhs[static_cast<std::size_t>(i)];
+    for (Index k = rp[static_cast<std::size_t>(i)];
+         k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Index j = ci[static_cast<std::size_t>(k)];
+      if (j != i)
+        acc -= vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] =
+        acc / level.diag[static_cast<std::size_t>(i)];
+  };
+  if (forward) {
+    for (Index i = 0; i < n; ++i) relax_row(i);
+  } else {
+    for (Index i = n - 1; i >= 0; --i) relax_row(i);
+  }
+}
+
+void AmgHierarchy::cycle(std::size_t depth, const la::Vector& rhs,
+                         la::Vector& x) const {
+  const Level& level = levels_[depth];
+  if (depth + 1 == levels_.size()) {
+    x = la::dense_ldlt_solve(coarse_factor_, rhs);
+    return;
+  }
+
+  x.assign(rhs.size(), 0.0);
+  // Symmetric smoothing: forward sweeps down-cycle, backward sweeps
+  // up-cycle keep the V-cycle a symmetric operator.
+  for (Index s = 0; s < options_.pre_smooth; ++s)
+    smooth(level, rhs, x, /*forward=*/true);
+
+  la::Vector residual(rhs.size());
+  level.a.multiply(x, residual);
+  for (std::size_t i = 0; i < rhs.size(); ++i)
+    residual[i] = rhs[i] - residual[i];
+
+  const Level& next = levels_[depth + 1];
+  la::Vector coarse_rhs = next.p.multiply_transposed(residual);
+  la::Vector coarse_x;
+  cycle(depth + 1, coarse_rhs, coarse_x);
+
+  la::Vector correction = next.p.multiply(coarse_x);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += correction[i];
+
+  for (Index s = 0; s < options_.post_smooth; ++s)
+    smooth(level, rhs, x, /*forward=*/false);
+}
+
+void AmgHierarchy::v_cycle(const la::Vector& r, la::Vector& z) const {
+  SGL_EXPECTS(to_index(r.size()) == size(), "v_cycle: size mismatch");
+  cycle(0, r, z);
+}
+
+}  // namespace sgl::solver

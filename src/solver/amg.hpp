@@ -1,0 +1,85 @@
+// Aggregation-based algebraic multigrid.
+//
+// Plays the role of the paper's near-linear SDD solvers ([7] KMP, [14]
+// SAMG): a V-cycle over a hierarchy built by greedy strength-based
+// aggregation with piecewise-constant prolongation and Galerkin coarse
+// operators, smoothed by symmetric Gauss–Seidel. One V-cycle is a fixed
+// SPD operator, so AmgPreconditioner plugs directly into PCG.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+#include "la/sparse.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace sgl::solver {
+
+struct AmgOptions {
+  /// Strength threshold: j is a strong neighbor of i when
+  /// |a_ij| ≥ theta · max_{k≠i} |a_ik|.
+  Real theta = 0.25;
+  /// Stop coarsening below this size and solve densely.
+  Index coarse_size = 64;
+  Index max_levels = 25;
+  Index pre_smooth = 1;
+  Index post_smooth = 1;
+};
+
+/// Multigrid hierarchy for one SPD matrix.
+class AmgHierarchy {
+ public:
+  explicit AmgHierarchy(const la::CsrMatrix& a, const AmgOptions& options = {});
+
+  /// One V-cycle approximating A⁻¹ r (zero initial guess).
+  void v_cycle(const la::Vector& r, la::Vector& z) const;
+
+  [[nodiscard]] Index num_levels() const noexcept {
+    return to_index(levels_.size());
+  }
+  [[nodiscard]] Index size() const noexcept;
+
+  /// Total stored nonzeros across all level operators divided by the fine
+  /// operator's nonzeros (grid complexity; small = cheap cycles).
+  [[nodiscard]] Real operator_complexity() const;
+
+ private:
+  struct Level {
+    la::CsrMatrix a;
+    la::Vector diag;
+    la::CsrMatrix p;   // prolongation to this level from the next-coarser
+    std::vector<Index> aggregate;  // fine node -> aggregate id
+  };
+
+  void smooth(const Level& level, const la::Vector& rhs, la::Vector& x,
+              bool forward) const;
+  void cycle(std::size_t depth, const la::Vector& rhs, la::Vector& x) const;
+
+  AmgOptions options_;
+  std::vector<Level> levels_;
+  la::DenseMatrix coarse_factor_;  // dense LDLᵀ of the coarsest operator
+};
+
+/// Preconditioner adapter: z = one V-cycle applied to r.
+class AmgPreconditioner final : public Preconditioner {
+ public:
+  explicit AmgPreconditioner(const la::CsrMatrix& a,
+                             const AmgOptions& options = {})
+      : hierarchy_(a, options) {}
+
+  void apply(const la::Vector& r, la::Vector& z) const override {
+    hierarchy_.v_cycle(r, z);
+  }
+  [[nodiscard]] Index size() const noexcept override {
+    return hierarchy_.size();
+  }
+  [[nodiscard]] const AmgHierarchy& hierarchy() const noexcept {
+    return hierarchy_;
+  }
+
+ private:
+  AmgHierarchy hierarchy_;
+};
+
+}  // namespace sgl::solver

@@ -1,0 +1,148 @@
+#include "solver/cholesky.hpp"
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+
+namespace sgl::solver {
+
+CholeskySolver::CholeskySolver(const la::CsrMatrix& a, OrderingMethod ordering) {
+  SGL_EXPECTS(a.rows() == a.cols(), "CholeskySolver: matrix must be square");
+  const WallTimer timer;
+  n_ = a.rows();
+  stats_.n = n_;
+  stats_.input_nnz = a.nnz();
+
+  perm_ = compute_ordering(a, ordering);
+  inv_perm_ = invert_permutation(perm_);
+  const la::CsrMatrix pa = permute_symmetric(a, perm_);
+
+  const auto& rp = pa.row_ptr();
+  const auto& ci = pa.col_idx();
+  const auto& vv = pa.values();
+  const std::size_t un = static_cast<std::size_t>(n_);
+
+  // --- Symbolic: elimination tree and per-column factor counts. ---------
+  // Row k of the (symmetric) matrix restricted to indices < k is the
+  // pattern of column k of the upper factor; walking each entry up the
+  // elimination tree enumerates the columns it updates.
+  std::vector<Index> parent(un, kInvalidIndex);
+  std::vector<Index> flag(un, kInvalidIndex);
+  std::vector<Index> l_nnz(un, 0);
+  for (Index k = 0; k < n_; ++k) {
+    parent[static_cast<std::size_t>(k)] = kInvalidIndex;
+    flag[static_cast<std::size_t>(k)] = k;
+    for (Index p = rp[static_cast<std::size_t>(k)];
+         p < rp[static_cast<std::size_t>(k) + 1]; ++p) {
+      Index i = ci[static_cast<std::size_t>(p)];
+      if (i >= k) continue;
+      for (; flag[static_cast<std::size_t>(i)] != k;
+           i = parent[static_cast<std::size_t>(i)]) {
+        if (parent[static_cast<std::size_t>(i)] == kInvalidIndex)
+          parent[static_cast<std::size_t>(i)] = k;
+        ++l_nnz[static_cast<std::size_t>(i)];
+        flag[static_cast<std::size_t>(i)] = k;
+      }
+    }
+  }
+
+  l_col_ptr_.assign(un + 1, 0);
+  for (Index j = 0; j < n_; ++j)
+    l_col_ptr_[static_cast<std::size_t>(j) + 1] =
+        l_col_ptr_[static_cast<std::size_t>(j)] + l_nnz[static_cast<std::size_t>(j)];
+  const Index total_nnz = l_col_ptr_[un];
+  stats_.factor_nnz = total_nnz;
+  l_row_idx_.resize(static_cast<std::size_t>(total_nnz));
+  l_values_.resize(static_cast<std::size_t>(total_nnz));
+  d_.assign(un, 0.0);
+
+  // --- Numeric: up-looking, one sparse triangular solve per row k. ------
+  std::vector<Index> next_slot(l_col_ptr_.begin(), l_col_ptr_.end() - 1);
+  std::vector<Real> y(un, 0.0);
+  std::vector<Index> pattern(un, 0);
+  std::vector<Index> stack(un, 0);
+
+  for (Index k = 0; k < n_; ++k) {
+    Index top = n_;
+    flag[static_cast<std::size_t>(k)] = k;
+    d_[static_cast<std::size_t>(k)] = 0.0;
+    for (Index p = rp[static_cast<std::size_t>(k)];
+         p < rp[static_cast<std::size_t>(k) + 1]; ++p) {
+      const Index col = ci[static_cast<std::size_t>(p)];
+      if (col > k) continue;
+      if (col == k) {
+        d_[static_cast<std::size_t>(k)] += vv[static_cast<std::size_t>(p)];
+        continue;
+      }
+      y[static_cast<std::size_t>(col)] += vv[static_cast<std::size_t>(p)];
+      Index len = 0;
+      for (Index i = col; flag[static_cast<std::size_t>(i)] != k;
+           i = parent[static_cast<std::size_t>(i)]) {
+        pattern[static_cast<std::size_t>(len++)] = i;
+        flag[static_cast<std::size_t>(i)] = k;
+      }
+      while (len > 0) stack[static_cast<std::size_t>(--top)] = pattern[static_cast<std::size_t>(--len)];
+    }
+
+    for (Index s = top; s < n_; ++s) {
+      const Index i = stack[static_cast<std::size_t>(s)];
+      const Real yi = y[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] = 0.0;
+      const Index p2 = next_slot[static_cast<std::size_t>(i)];
+      for (Index p = l_col_ptr_[static_cast<std::size_t>(i)]; p < p2; ++p) {
+        y[static_cast<std::size_t>(l_row_idx_[static_cast<std::size_t>(p)])] -=
+            l_values_[static_cast<std::size_t>(p)] * yi;
+      }
+      const Real l_ki = yi / d_[static_cast<std::size_t>(i)];
+      d_[static_cast<std::size_t>(k)] -= l_ki * yi;
+      l_row_idx_[static_cast<std::size_t>(p2)] = k;
+      l_values_[static_cast<std::size_t>(p2)] = l_ki;
+      ++next_slot[static_cast<std::size_t>(i)];
+    }
+    if (!(d_[static_cast<std::size_t>(k)] > 0.0)) {
+      throw NumericalError(
+          "CholeskySolver: non-positive pivot at column " + std::to_string(k) +
+          " — matrix is not positive definite");
+    }
+  }
+  stats_.factor_seconds = timer.seconds();
+}
+
+void CholeskySolver::solve_in_place(la::Vector& x) const {
+  SGL_EXPECTS(to_index(x.size()) == n_, "CholeskySolver::solve: size mismatch");
+  // Permute, forward solve L y = b, diagonal scale, back solve Lᵀ x = y,
+  // un-permute.
+  la::Vector b(static_cast<std::size_t>(n_));
+  for (Index i = 0; i < n_; ++i)
+    b[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+
+  for (Index j = 0; j < n_; ++j) {
+    const Real bj = b[static_cast<std::size_t>(j)];
+    if (bj == 0.0) continue;
+    for (Index p = l_col_ptr_[static_cast<std::size_t>(j)];
+         p < l_col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+      b[static_cast<std::size_t>(l_row_idx_[static_cast<std::size_t>(p)])] -=
+          l_values_[static_cast<std::size_t>(p)] * bj;
+    }
+  }
+  for (Index j = 0; j < n_; ++j) b[static_cast<std::size_t>(j)] /= d_[static_cast<std::size_t>(j)];
+  for (Index j = n_ - 1; j >= 0; --j) {
+    Real acc = b[static_cast<std::size_t>(j)];
+    for (Index p = l_col_ptr_[static_cast<std::size_t>(j)];
+         p < l_col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+      acc -= l_values_[static_cast<std::size_t>(p)] *
+             b[static_cast<std::size_t>(l_row_idx_[static_cast<std::size_t>(p)])];
+    }
+    b[static_cast<std::size_t>(j)] = acc;
+  }
+
+  for (Index i = 0; i < n_; ++i)
+    x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] = b[static_cast<std::size_t>(i)];
+}
+
+la::Vector CholeskySolver::solve(const la::Vector& b) const {
+  la::Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+}  // namespace sgl::solver

@@ -1,0 +1,56 @@
+// Sparse LDLᵀ factorization for symmetric positive definite systems.
+//
+// Up-looking factorization in the style of the classic LDL algorithm
+// (elimination-tree symbolic analysis + one sparse triangular solve per
+// column), combined with the fill-reducing orderings in ordering.hpp.
+// On the ultra-sparse graphs SGL produces (spanning tree + εN extra
+// edges) the factor is essentially linear in N; on 2D meshes nested
+// dissection keeps fill near O(N log N).
+#pragma once
+
+#include <vector>
+
+#include "la/sparse.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/ordering.hpp"
+
+namespace sgl::solver {
+
+/// Factorization statistics (for benchmarks and regression tests).
+struct CholeskyStats {
+  Index n = 0;
+  Index input_nnz = 0;     // nnz of the (full symmetric) input
+  Index factor_nnz = 0;    // nnz of L (strictly lower part)
+  double factor_seconds = 0.0;
+};
+
+class CholeskySolver {
+ public:
+  /// Factors the SPD matrix `a` (full symmetric storage) as
+  /// P a Pᵀ = L D Lᵀ. Throws NumericalError if a pivot is ≤ 0
+  /// (matrix not positive definite).
+  explicit CholeskySolver(const la::CsrMatrix& a,
+                          OrderingMethod ordering = OrderingMethod::kAuto);
+
+  /// Solves a x = b.
+  [[nodiscard]] la::Vector solve(const la::Vector& b) const;
+
+  /// In-place variant reusing caller storage.
+  void solve_in_place(la::Vector& x) const;
+
+  [[nodiscard]] Index size() const noexcept { return n_; }
+  [[nodiscard]] const CholeskyStats& stats() const noexcept { return stats_; }
+
+ private:
+  Index n_ = 0;
+  std::vector<Index> perm_;      // perm_[new] = old
+  std::vector<Index> inv_perm_;  // inv_perm_[old] = new
+  // L in compressed-column form (unit diagonal implicit).
+  std::vector<Index> l_col_ptr_;
+  std::vector<Index> l_row_idx_;
+  std::vector<Real> l_values_;
+  la::Vector d_;  // diagonal of D
+  CholeskyStats stats_;
+};
+
+}  // namespace sgl::solver

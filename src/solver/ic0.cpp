@@ -1,0 +1,117 @@
+#include "solver/ic0.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace sgl::solver {
+
+bool Ic0Preconditioner::try_factor(const la::CsrMatrix& a, Real shift) {
+  const Index n = a.rows();
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& avv = a.values();
+
+  // Lower-triangle pattern of A (including the diagonal).
+  row_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  diag_pos_.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  for (Index i = 0; i < n; ++i) {
+    for (Index k = arp[static_cast<std::size_t>(i)];
+         k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
+      const Index j = aci[static_cast<std::size_t>(k)];
+      if (j > i) continue;
+      if (j == i) diag_pos_[static_cast<std::size_t>(i)] = to_index(col_idx_.size());
+      col_idx_.push_back(j);
+      Real v = avv[static_cast<std::size_t>(k)];
+      if (j == i) v += shift;
+      values_.push_back(v);
+    }
+    row_ptr_[static_cast<std::size_t>(i) + 1] = to_index(col_idx_.size());
+    if (diag_pos_[static_cast<std::size_t>(i)] == kInvalidIndex) return false;
+  }
+
+  // Row-oriented IC(0): for each row i, update entries from previously
+  // factored rows restricted to the existing pattern.
+  for (Index i = 0; i < n; ++i) {
+    const Index row_begin = row_ptr_[static_cast<std::size_t>(i)];
+    const Index row_diag = diag_pos_[static_cast<std::size_t>(i)];
+    for (Index k = row_begin; k <= row_diag; ++k) {
+      const Index j = col_idx_[static_cast<std::size_t>(k)];
+      Real sum = values_[static_cast<std::size_t>(k)];
+      // Dot product of rows i and j over columns < j (pattern-restricted
+      // two-pointer merge; both rows are sorted).
+      Index pi = row_begin;
+      Index pj = row_ptr_[static_cast<std::size_t>(j)];
+      const Index j_diag = diag_pos_[static_cast<std::size_t>(j)];
+      while (pi < k && pj < j_diag) {
+        const Index ci = col_idx_[static_cast<std::size_t>(pi)];
+        const Index cj = col_idx_[static_cast<std::size_t>(pj)];
+        if (ci == cj) {
+          sum -= values_[static_cast<std::size_t>(pi)] *
+                 values_[static_cast<std::size_t>(pj)];
+          ++pi;
+          ++pj;
+        } else if (ci < cj) {
+          ++pi;
+        } else {
+          ++pj;
+        }
+      }
+      if (j == i) {
+        if (!(sum > 0.0)) return false;
+        values_[static_cast<std::size_t>(k)] = std::sqrt(sum);
+      } else {
+        values_[static_cast<std::size_t>(k)] =
+            sum / values_[static_cast<std::size_t>(j_diag)];
+      }
+    }
+  }
+  return true;
+}
+
+Ic0Preconditioner::Ic0Preconditioner(const la::CsrMatrix& a) {
+  SGL_EXPECTS(a.rows() == a.cols(), "Ic0Preconditioner: matrix must be square");
+  n_ = a.rows();
+
+  // Shifted-IC fallback: boost the diagonal until the factorization
+  // succeeds. Grounded Laplacians succeed with shift 0.
+  Real max_diag = 0.0;
+  for (const Real d : a.diagonal()) max_diag = std::max(max_diag, std::abs(d));
+  shift_ = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (try_factor(a, shift_)) return;
+    shift_ = (shift_ == 0.0) ? 1e-3 * max_diag : 2.0 * shift_;
+  }
+  throw NumericalError(
+      "Ic0Preconditioner: factorization failed even with diagonal shifts");
+}
+
+void Ic0Preconditioner::apply(const la::Vector& r, la::Vector& z) const {
+  SGL_EXPECTS(to_index(r.size()) == n_, "Ic0Preconditioner: size mismatch");
+  z = r;
+  // Forward solve L y = r (rows are sorted; diagonal is last ≤ i entry).
+  for (Index i = 0; i < n_; ++i) {
+    Real acc = z[static_cast<std::size_t>(i)];
+    const Index diag = diag_pos_[static_cast<std::size_t>(i)];
+    for (Index k = row_ptr_[static_cast<std::size_t>(i)]; k < diag; ++k) {
+      acc -= values_[static_cast<std::size_t>(k)] *
+             z[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    z[static_cast<std::size_t>(i)] = acc / values_[static_cast<std::size_t>(diag)];
+  }
+  // Backward solve Lᵀ z = y using column access = transposed row sweep.
+  for (Index i = n_ - 1; i >= 0; --i) {
+    const Index diag = diag_pos_[static_cast<std::size_t>(i)];
+    const Real zi = z[static_cast<std::size_t>(i)] /
+                    values_[static_cast<std::size_t>(diag)];
+    z[static_cast<std::size_t>(i)] = zi;
+    for (Index k = row_ptr_[static_cast<std::size_t>(i)]; k < diag; ++k) {
+      z[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] -=
+          values_[static_cast<std::size_t>(k)] * zi;
+    }
+  }
+}
+
+}  // namespace sgl::solver

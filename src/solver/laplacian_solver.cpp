@@ -1,0 +1,123 @@
+#include "solver/laplacian_solver.hpp"
+
+#include <cmath>
+
+#include "graph/components.hpp"
+
+namespace sgl::solver {
+
+namespace {
+
+/// Reduced Laplacian with the ground row/column deleted. Node i > ground
+/// maps to i − 1 (ground is 0 in this library's convention).
+la::CsrMatrix build_grounded_laplacian(const graph::Graph& g, Index ground) {
+  const Index n = g.num_nodes();
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(g.edges().size() * 4);
+  const auto reduced = [ground](Index v) { return v > ground ? v - 1 : v; };
+  for (const graph::Edge& e : g.edges()) {
+    const bool s_live = (e.s != ground);
+    const bool t_live = (e.t != ground);
+    if (s_live) triplets.push_back({reduced(e.s), reduced(e.s), e.weight});
+    if (t_live) triplets.push_back({reduced(e.t), reduced(e.t), e.weight});
+    if (s_live && t_live) {
+      triplets.push_back({reduced(e.s), reduced(e.t), -e.weight});
+      triplets.push_back({reduced(e.t), reduced(e.s), -e.weight});
+    }
+  }
+  return la::CsrMatrix::from_triplets(n - 1, n - 1, triplets);
+}
+
+}  // namespace
+
+LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,
+                                         const LaplacianSolverOptions& options)
+    : n_(g.num_nodes()), pcg_options_(options.pcg) {
+  SGL_EXPECTS(n_ >= 2, "LaplacianPinvSolver: need at least two nodes");
+  SGL_EXPECTS(graph::is_connected(g),
+              "LaplacianPinvSolver: graph must be connected");
+
+  grounded_ = build_grounded_laplacian(g, ground_);
+
+  method_ = options.method;
+  if (method_ == LaplacianMethod::kAuto) {
+    const Real avg_degree =
+        2.0 * static_cast<Real>(g.num_edges()) / static_cast<Real>(n_);
+    // Ultra-sparse learned graphs and small meshes factor in near-linear
+    // time; large denser meshes go to AMG-preconditioned CG.
+    method_ = (n_ <= 30000 || avg_degree <= 3.0) ? LaplacianMethod::kCholesky
+                                                 : LaplacianMethod::kPcgAmg;
+  }
+
+  switch (method_) {
+    case LaplacianMethod::kCholesky:
+      cholesky_ = std::make_unique<CholeskySolver>(grounded_, options.ordering);
+      break;
+    case LaplacianMethod::kPcgJacobi:
+      preconditioner_ = std::make_unique<JacobiPreconditioner>(grounded_);
+      break;
+    case LaplacianMethod::kPcgIc0:
+      preconditioner_ = std::make_unique<Ic0Preconditioner>(grounded_);
+      break;
+    case LaplacianMethod::kPcgTree:
+      preconditioner_ = std::make_unique<TreePreconditioner>(g);
+      break;
+    case LaplacianMethod::kPcgAmg:
+      preconditioner_ = std::make_unique<AmgPreconditioner>(grounded_, options.amg);
+      break;
+    case LaplacianMethod::kAuto:
+      SGL_ASSERT(false, "kAuto must be resolved above");
+      break;
+  }
+}
+
+la::Vector LaplacianPinvSolver::apply(const la::Vector& y) const {
+  SGL_EXPECTS(to_index(y.size()) == n_, "LaplacianPinvSolver: size mismatch");
+  // Project out the nullspace component, then drop the grounded entry.
+  la::Vector rhs = y;
+  la::center(rhs);
+  la::Vector b(static_cast<std::size_t>(n_ - 1));
+  for (Index i = 0, j = 0; i < n_; ++i) {
+    if (i == ground_) continue;
+    b[static_cast<std::size_t>(j++)] = rhs[static_cast<std::size_t>(i)];
+  }
+
+  la::Vector xg;
+  if (method_ == LaplacianMethod::kCholesky) {
+    xg = cholesky_->solve(b);
+    last_pcg_iterations_ = 0;
+  } else {
+    xg.assign(b.size(), 0.0);
+    const PcgResult res = pcg_solve(grounded_, b, xg, *preconditioner_,
+                                    pcg_options_);
+    last_pcg_iterations_ = res.iterations;
+    if (!res.converged) {
+      throw NumericalError(
+          "LaplacianPinvSolver: PCG stalled at relative residual " +
+          std::to_string(res.relative_residual));
+    }
+  }
+
+  // Re-insert the grounded node and center: for a connected graph the
+  // grounded solution differs from L⁺y by a multiple of the ones vector.
+  la::Vector x(static_cast<std::size_t>(n_));
+  for (Index i = 0, j = 0; i < n_; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        (i == ground_) ? 0.0 : xg[static_cast<std::size_t>(j++)];
+  }
+  la::center(x);
+  return x;
+}
+
+Real LaplacianPinvSolver::effective_resistance(Index s, Index t) const {
+  SGL_EXPECTS(s >= 0 && s < n_ && t >= 0 && t < n_,
+              "effective_resistance: node out of range");
+  SGL_EXPECTS(s != t, "effective_resistance: distinct nodes required");
+  la::Vector e(static_cast<std::size_t>(n_), 0.0);
+  e[static_cast<std::size_t>(s)] = 1.0;
+  e[static_cast<std::size_t>(t)] = -1.0;
+  const la::Vector x = apply(e);
+  return x[static_cast<std::size_t>(s)] - x[static_cast<std::size_t>(t)];
+}
+
+}  // namespace sgl::solver

@@ -1,0 +1,78 @@
+// Exact application of the Laplacian pseudo-inverse L⁺.
+//
+// For a connected graph, grounding one node makes the reduced system SPD;
+// solving the grounded system and re-centering the result gives exactly
+// L⁺y whenever the right-hand side is orthogonal to the all-ones vector —
+// the situation everywhere in SGL (current vectors sum to zero, e_s − e_t
+// probes, Lanczos iterates). This facade hides the grounding bookkeeping
+// and picks between a direct LDLᵀ factorization and PCG (Jacobi- or
+// AMG-preconditioned), mirroring how a circuit simulator grounds a node
+// of the admittance matrix.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "solver/amg.hpp"
+#include "solver/cholesky.hpp"
+#include "solver/ic0.hpp"
+#include "solver/pcg.hpp"
+#include "solver/tree_preconditioner.hpp"
+
+namespace sgl::solver {
+
+enum class LaplacianMethod {
+  kCholesky,
+  kPcgJacobi,
+  kPcgIc0,
+  kPcgTree,
+  kPcgAmg,
+  /// Cholesky for small or ultra-sparse graphs, PCG-AMG for large meshes.
+  kAuto,
+};
+
+struct LaplacianSolverOptions {
+  LaplacianMethod method = LaplacianMethod::kAuto;
+  OrderingMethod ordering = OrderingMethod::kAuto;
+  PcgOptions pcg;
+  AmgOptions amg;
+};
+
+class LaplacianPinvSolver {
+ public:
+  /// Builds a solver for the Laplacian of `g`. The graph must be connected
+  /// (checked; required for pseudo-inverse semantics).
+  explicit LaplacianPinvSolver(const graph::Graph& g,
+                               const LaplacianSolverOptions& options = {});
+
+  /// x = L⁺ y. `y` is centered internally, so any vector may be passed;
+  /// the component along the all-ones nullspace is ignored, exactly as the
+  /// pseudo-inverse prescribes.
+  [[nodiscard]] la::Vector apply(const la::Vector& y) const;
+
+  /// Effective resistance between s and t: (e_s − e_t)ᵀ L⁺ (e_s − e_t).
+  [[nodiscard]] Real effective_resistance(Index s, Index t) const;
+
+  [[nodiscard]] Index num_nodes() const noexcept { return n_; }
+
+  /// Method actually selected after kAuto resolution.
+  [[nodiscard]] LaplacianMethod method() const noexcept { return method_; }
+
+  /// PCG iterations spent in the most recent apply() (0 for Cholesky).
+  [[nodiscard]] Index last_pcg_iterations() const noexcept {
+    return last_pcg_iterations_;
+  }
+
+ private:
+  Index n_ = 0;
+  Index ground_ = 0;  // grounded node (index 0 by convention)
+  LaplacianMethod method_ = LaplacianMethod::kCholesky;
+  la::CsrMatrix grounded_;  // (n−1)×(n−1) SPD reduced Laplacian
+  std::unique_ptr<CholeskySolver> cholesky_;
+  std::unique_ptr<Preconditioner> preconditioner_;
+  PcgOptions pcg_options_;
+  mutable Index last_pcg_iterations_ = 0;
+};
+
+}  // namespace sgl::solver

@@ -1,0 +1,65 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace sgl::solver {
+
+PcgResult pcg_solve(const la::CsrMatrix& a, const la::Vector& b, la::Vector& x,
+                    const Preconditioner& m, const PcgOptions& options) {
+  const Index n = a.rows();
+  SGL_EXPECTS(a.rows() == a.cols(), "pcg_solve: matrix must be square");
+  SGL_EXPECTS(to_index(b.size()) == n, "pcg_solve: rhs size mismatch");
+  SGL_EXPECTS(m.size() == n, "pcg_solve: preconditioner size mismatch");
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+
+  const Real b_norm = la::norm2(b);
+  PcgResult result;
+  if (b_norm == 0.0) {
+    x.assign(b.size(), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  la::Vector r(b.size());
+  la::Vector ap(b.size());
+  a.multiply(x, ap);
+  for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ap[i];
+
+  la::Vector z;
+  m.apply(r, z);
+  la::Vector p = z;
+  Real rz = la::dot(r, z);
+
+  for (Index it = 0; it < options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const Real p_ap = la::dot(p, ap);
+    if (!(p_ap > 0.0)) {
+      // Loss of positive definiteness (or exact convergence): stop.
+      break;
+    }
+    const Real alpha = rz / p_ap;
+    la::axpy(alpha, p, x);
+    la::axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+
+    const Real rel = la::norm2(r) / b_norm;
+    result.relative_residual = rel;
+    if (rel <= options.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    m.apply(r, z);
+    const Real rz_new = la::dot(r, z);
+    const Real beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.relative_residual = la::norm2(r) / b_norm;
+  result.converged = result.relative_residual <= options.rel_tolerance;
+  return result;
+}
+
+}  // namespace sgl::solver

@@ -1,0 +1,26 @@
+// Preconditioned conjugate gradient.
+#pragma once
+
+#include "la/sparse.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace sgl::solver {
+
+struct PcgOptions {
+  Real rel_tolerance = 1e-10;  // on ‖r‖ / ‖b‖
+  Index max_iterations = 2000;
+};
+
+struct PcgResult {
+  Index iterations = 0;
+  Real relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for SPD A with preconditioner M. `x` carries the initial
+/// guess in and the solution out.
+PcgResult pcg_solve(const la::CsrMatrix& a, const la::Vector& b, la::Vector& x,
+                    const Preconditioner& m, const PcgOptions& options = {});
+
+}  // namespace sgl::solver

@@ -1,0 +1,63 @@
+// Preconditioner interface and the simple point preconditioners.
+//
+// A preconditioner approximates A⁻¹ with a fixed symmetric positive
+// definite operator z = M⁻¹ r — the contract PCG requires.
+#pragma once
+
+#include <memory>
+
+#include "la/sparse.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sgl::solver {
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// z = M⁻¹ r. `z` is resized as needed.
+  virtual void apply(const la::Vector& r, la::Vector& z) const = 0;
+
+  /// Problem dimension.
+  [[nodiscard]] virtual Index size() const noexcept = 0;
+};
+
+/// M = I (plain conjugate gradient).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  explicit IdentityPreconditioner(Index n) : n_(n) {}
+  void apply(const la::Vector& r, la::Vector& z) const override { z = r; }
+  [[nodiscard]] Index size() const noexcept override { return n_; }
+
+ private:
+  Index n_;
+};
+
+/// M = diag(A). Cheap, modest acceleration.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const la::CsrMatrix& a);
+  void apply(const la::Vector& r, la::Vector& z) const override;
+  [[nodiscard]] Index size() const noexcept override {
+    return to_index(inv_diag_.size());
+  }
+
+ private:
+  la::Vector inv_diag_;
+};
+
+/// Symmetric Gauss–Seidel: M = (D + L) D⁻¹ (D + U); one forward plus one
+/// backward sweep, symmetric by construction.
+class SgsPreconditioner final : public Preconditioner {
+ public:
+  /// Keeps a reference to `a`; the matrix must outlive the preconditioner.
+  explicit SgsPreconditioner(const la::CsrMatrix& a);
+  void apply(const la::Vector& r, la::Vector& z) const override;
+  [[nodiscard]] Index size() const noexcept override { return a_.rows(); }
+
+ private:
+  const la::CsrMatrix& a_;
+  la::Vector diag_;
+};
+
+}  // namespace sgl::solver

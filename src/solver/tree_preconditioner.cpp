@@ -1,0 +1,94 @@
+#include "solver/tree_preconditioner.hpp"
+
+#include "graph/components.hpp"
+#include "graph/mst.hpp"
+
+namespace sgl::solver {
+
+TreePreconditioner::TreePreconditioner(const graph::Graph& g) {
+  SGL_EXPECTS(g.num_nodes() >= 2, "TreePreconditioner: need >= 2 nodes");
+  SGL_EXPECTS(graph::is_connected(g),
+              "TreePreconditioner: graph must be connected");
+  n_ = g.num_nodes() - 1;
+
+  const std::vector<Index> tree_ids = graph::maximum_spanning_forest(g);
+  const graph::Graph tree = graph::subgraph_from_edges(g, tree_ids);
+  const graph::AdjacencyList adj = tree.adjacency_list();
+
+  // Root the tree at the ground (node 0) by BFS; eliminating nodes in
+  // reverse BFS order (leaves first) is a perfect zero-fill order.
+  const Index ground = 0;
+  std::vector<Index> order{ground};
+  std::vector<Index> parent(static_cast<std::size_t>(g.num_nodes()),
+                            kInvalidIndex);
+  std::vector<Real> parent_weight(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  seen[static_cast<std::size_t>(ground)] = true;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const Index u = order[head];
+    for (Index k = adj.row_ptr[static_cast<std::size_t>(u)];
+         k < adj.row_ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+      const Index v = adj.neighbor[static_cast<std::size_t>(k)];
+      if (seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      parent[static_cast<std::size_t>(v)] = u;
+      parent_weight[static_cast<std::size_t>(v)] =
+          adj.weight[static_cast<std::size_t>(k)];
+      order.push_back(v);
+    }
+  }
+  SGL_ENSURES(to_index(order.size()) == g.num_nodes(),
+              "TreePreconditioner: spanning tree does not span");
+
+  // Grounded-tree diagonal (node v > 0 → reduced index v − 1; edges into
+  // the ground contribute only to the surviving endpoint's diagonal).
+  diag_.assign(static_cast<std::size_t>(n_), 0.0);
+  for (const graph::Edge& e : tree.edges()) {
+    if (e.s != ground) diag_[static_cast<std::size_t>(e.s - 1)] += e.weight;
+    if (e.t != ground) diag_[static_cast<std::size_t>(e.t - 1)] += e.weight;
+  }
+
+  // LDLᵀ on the tree, computed once: eliminating leaf v with tree-edge
+  // weight w to parent p gives L(p, v) = −w / D(v) and the Schur update
+  // D(p) ← D(p) − w² / D(v). One off-diagonal entry per node: zero fill.
+  elimination_.reserve(static_cast<std::size_t>(n_));
+  for (std::size_t i = order.size(); i-- > 1;) {  // skip the ground itself
+    const Index v = order[i];
+    const Index p = parent[static_cast<std::size_t>(v)];
+    Elimination e;
+    e.node = v - 1;
+    e.parent = (p == ground) ? kInvalidIndex : p - 1;
+    const Real w = parent_weight[static_cast<std::size_t>(v)];
+    e.weight = -w / diag_[static_cast<std::size_t>(e.node)];  // L(p, v)
+    if (e.parent != kInvalidIndex) {
+      diag_[static_cast<std::size_t>(e.parent)] -=
+          w * w / diag_[static_cast<std::size_t>(e.node)];
+    }
+    elimination_.push_back(e);
+  }
+}
+
+void TreePreconditioner::apply(const la::Vector& r, la::Vector& z) const {
+  SGL_EXPECTS(to_index(r.size()) == n_, "TreePreconditioner: size mismatch");
+  z = r;
+  // Forward solve L y = r (children are eliminated before their parent).
+  for (const Elimination& e : elimination_) {
+    if (e.parent != kInvalidIndex) {
+      z[static_cast<std::size_t>(e.parent)] -=
+          e.weight * z[static_cast<std::size_t>(e.node)];
+    }
+  }
+  // Diagonal solve D y = y.
+  for (Index i = 0; i < n_; ++i)
+    z[static_cast<std::size_t>(i)] /= diag_[static_cast<std::size_t>(i)];
+  // Backward solve Lᵀ z = y (root to leaves).
+  for (std::size_t i = elimination_.size(); i-- > 0;) {
+    const Elimination& e = elimination_[i];
+    if (e.parent != kInvalidIndex) {
+      z[static_cast<std::size_t>(e.node)] -=
+          e.weight * z[static_cast<std::size_t>(e.parent)];
+    }
+  }
+}
+
+}  // namespace sgl::solver

@@ -1,0 +1,120 @@
+#include "spectral/clustering.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace sgl::spectral {
+
+namespace {
+
+Real row_to_center_distance(const la::DenseMatrix& points, Index row,
+                            const la::DenseMatrix& centers, Index center) {
+  Real acc = 0.0;
+  for (Index j = 0; j < points.cols(); ++j) {
+    const Real d = points(row, j) - centers(center, j);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<Index> kmeans(const la::DenseMatrix& points, Index k,
+                          const KMeansOptions& options) {
+  const Index n = points.rows();
+  const Index dim = points.cols();
+  SGL_EXPECTS(n >= 1 && dim >= 1, "kmeans: empty input");
+  SGL_EXPECTS(k >= 1 && k <= n, "kmeans: need 1 <= k <= N");
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  la::DenseMatrix centers(k, dim);
+  std::vector<Real> min_dist(static_cast<std::size_t>(n),
+                             std::numeric_limits<Real>::infinity());
+  Index first = rng.uniform_int(n);
+  for (Index j = 0; j < dim; ++j) centers(0, j) = points(first, j);
+  for (Index c = 1; c < k; ++c) {
+    Real total = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const Real d = row_to_center_distance(points, i, centers, c - 1);
+      min_dist[static_cast<std::size_t>(i)] =
+          std::min(min_dist[static_cast<std::size_t>(i)], d);
+      total += min_dist[static_cast<std::size_t>(i)];
+    }
+    Real target = rng.uniform() * total;
+    Index chosen = n - 1;
+    for (Index i = 0; i < n; ++i) {
+      target -= min_dist[static_cast<std::size_t>(i)];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    for (Index j = 0; j < dim; ++j) centers(c, j) = points(chosen, j);
+  }
+
+  // Lloyd iterations.
+  std::vector<Index> label(static_cast<std::size_t>(n), 0);
+  std::vector<Index> count(static_cast<std::size_t>(k), 0);
+  for (Index it = 0; it < options.max_iterations; ++it) {
+    bool changed = false;
+    for (Index i = 0; i < n; ++i) {
+      Real best = std::numeric_limits<Real>::infinity();
+      Index best_c = 0;
+      for (Index c = 0; c < k; ++c) {
+        const Real d = row_to_center_distance(points, i, centers, c);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (label[static_cast<std::size_t>(i)] != best_c) {
+        label[static_cast<std::size_t>(i)] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && it > 0) break;
+
+    // Recompute centers; empty clusters re-seed at the farthest point.
+    la::DenseMatrix sums(k, dim);
+    std::fill(count.begin(), count.end(), Index{0});
+    for (Index i = 0; i < n; ++i) {
+      const Index c = label[static_cast<std::size_t>(i)];
+      ++count[static_cast<std::size_t>(c)];
+      for (Index j = 0; j < dim; ++j) sums(c, j) += points(i, j);
+    }
+    for (Index c = 0; c < k; ++c) {
+      if (count[static_cast<std::size_t>(c)] == 0) {
+        const Index pick = rng.uniform_int(n);
+        for (Index j = 0; j < dim; ++j) centers(c, j) = points(pick, j);
+        continue;
+      }
+      const Real inv = 1.0 / static_cast<Real>(count[static_cast<std::size_t>(c)]);
+      for (Index j = 0; j < dim; ++j) centers(c, j) = sums(c, j) * inv;
+    }
+  }
+  return label;
+}
+
+std::vector<Index> spectral_clusters(const graph::Graph& g, Index k,
+                                     const EmbeddingOptions& embedding,
+                                     const KMeansOptions& kmeans_options) {
+  const Embedding emb = compute_embedding(g, embedding);
+  return kmeans(emb.u, k, kmeans_options);
+}
+
+std::vector<std::array<Real, 2>> spectral_layout(
+    const graph::Graph& g, const EmbeddingOptions& embedding) {
+  EmbeddingOptions opt = embedding;
+  opt.r = std::max<Index>(opt.r, 3);  // need u2 and u3
+  const Embedding emb = compute_embedding(g, opt);
+  std::vector<std::array<Real, 2>> coords(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (Index i = 0; i < g.num_nodes(); ++i)
+    coords[static_cast<std::size_t>(i)] = {emb.u(i, 0), emb.u(i, 1)};
+  return coords;
+}
+
+}  // namespace sgl::spectral

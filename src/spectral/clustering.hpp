@@ -1,0 +1,33 @@
+// Spectral clustering (k-means++ on embedding rows) and spectral drawing
+// (u2/u3 coordinates), the visualization tools of the paper's figures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spectral/embedding.hpp"
+
+namespace sgl::spectral {
+
+struct KMeansOptions {
+  Index max_iterations = 100;
+  std::uint64_t seed = 5;
+};
+
+/// Lloyd's k-means with k-means++ seeding over the rows of `points`.
+/// Returns a cluster label per row.
+[[nodiscard]] std::vector<Index> kmeans(const la::DenseMatrix& points, Index k,
+                                        const KMeansOptions& options = {});
+
+/// Spectral clustering: k-means on the (r−1)-dimensional embedding.
+[[nodiscard]] std::vector<Index> spectral_clusters(
+    const graph::Graph& g, Index k, const EmbeddingOptions& embedding = {},
+    const KMeansOptions& kmeans_options = {});
+
+/// Spectral drawing (Koren): node coordinates (u2(i), u3(i)).
+[[nodiscard]] std::vector<std::array<Real, 2>> spectral_layout(
+    const graph::Graph& g, const EmbeddingOptions& embedding = {});
+
+}  // namespace sgl::spectral

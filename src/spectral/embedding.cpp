@@ -1,0 +1,32 @@
+#include "spectral/embedding.hpp"
+
+#include <cmath>
+
+namespace sgl::spectral {
+
+Embedding compute_embedding(const graph::Graph& g,
+                            const EmbeddingOptions& options) {
+  SGL_EXPECTS(options.r >= 2, "compute_embedding: r must be at least 2");
+  SGL_EXPECTS(options.sigma2 > 0.0, "compute_embedding: sigma2 must be positive");
+  const Index dims = std::min(options.r - 1, g.num_nodes() - 1);
+
+  const solver::LaplacianPinvSolver pinv(g, options.solver);
+  const eig::EigenPairs pairs =
+      eig::smallest_laplacian_eigenpairs(pinv, dims, options.lanczos);
+
+  Embedding out;
+  out.eigenvalues = pairs.eigenvalues;
+  out.u = la::DenseMatrix(g.num_nodes(), dims);
+  const Real inv_sigma2 = 1.0 / options.sigma2;
+  for (Index c = 0; c < dims; ++c) {
+    const Real scale =
+        1.0 / std::sqrt(pairs.eigenvalues[static_cast<std::size_t>(c)] +
+                        inv_sigma2);
+    const auto src = pairs.eigenvectors.col(c);
+    auto dst = out.u.col(c);
+    for (Index i = 0; i < g.num_nodes(); ++i) dst[i] = scale * src[i];
+  }
+  return out;
+}
+
+}  // namespace sgl::spectral

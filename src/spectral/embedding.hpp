@@ -1,0 +1,37 @@
+// Spectral graph embedding (paper eq. 12): the scaled eigenvector subspace
+//   Ur = [ u_2/√(λ_2 + 1/σ²), …, u_r/√(λ_r + 1/σ²) ]
+// whose pairwise row distances approximate effective resistances
+// (exactly, as r → N and σ² → ∞).
+#pragma once
+
+#include "eig/lanczos.hpp"
+#include "graph/graph.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace sgl::spectral {
+
+struct EmbeddingOptions {
+  /// Number of eigenvectors r as in the paper: columns u_2 … u_r, so the
+  /// embedding has r−1 dimensions.
+  Index r = 5;
+  Real sigma2 = 1e6;
+  eig::LanczosOptions lanczos;
+  solver::LaplacianSolverOptions solver;
+};
+
+struct Embedding {
+  la::Vector eigenvalues;  // λ_2 … λ_r (ascending)
+  la::DenseMatrix u;       // N × (r−1), column i scaled by 1/√(λ+1/σ²)
+};
+
+/// Computes the embedding of a connected graph.
+[[nodiscard]] Embedding compute_embedding(const graph::Graph& g,
+                                          const EmbeddingOptions& options = {});
+
+/// ‖Urᵀ(e_s − e_t)‖² — the z_emb term of the sensitivity (eq. 13).
+[[nodiscard]] inline Real embedding_distance_squared(const la::DenseMatrix& u,
+                                                     Index s, Index t) {
+  return u.row_distance_squared(s, t);
+}
+
+}  // namespace sgl::spectral

@@ -1,0 +1,63 @@
+// Spectral comparison metrics used by the evaluation figures: eigenvalue
+// scatter data, Pearson correlation, and effective-resistance correlation
+// between a ground-truth graph and a learned graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eig/lanczos.hpp"
+#include "graph/graph.hpp"
+
+namespace sgl::spectral {
+
+/// Pearson correlation coefficient of two equal-length samples.
+[[nodiscard]] Real pearson_correlation(const la::Vector& a,
+                                       const la::Vector& b);
+
+/// Mean relative error |a_i − b_i| / max(|a_i|, tiny), averaged.
+[[nodiscard]] Real mean_relative_error(const la::Vector& reference,
+                                       const la::Vector& approx);
+
+struct SpectrumComparison {
+  la::Vector reference;  // first K nontrivial eigenvalues of the truth
+  la::Vector approx;     // same for the learned graph
+  Real correlation = 0.0;
+  Real mean_rel_error = 0.0;
+};
+
+/// Computes the first K nontrivial eigenvalues of both graphs and the
+/// scatter statistics the paper plots ("True" vs "Appr." eigenvalues).
+[[nodiscard]] SpectrumComparison compare_spectra(
+    const graph::Graph& reference, const graph::Graph& learned, Index k,
+    const eig::LanczosOptions& lanczos = {},
+    const solver::LaplacianSolverOptions& solver = {});
+
+/// Uniformly random distinct node pairs (s ≠ t).
+[[nodiscard]] std::vector<std::pair<Index, Index>> sample_node_pairs(
+    Index num_nodes, Index count, std::uint64_t seed);
+
+/// Node pairs stratified by graph distance: each pair is (s, endpoint of a
+/// random walk of 1, 2, 4, … up to max_hops hops from s). Mixing scales
+/// this way yields effective resistances spanning short- and long-range
+/// values — the spread visible in the paper's Fig. 7 scatters, which a
+/// uniform sampler misses on meshes (distant-pair Reff is nearly
+/// constant).
+[[nodiscard]] std::vector<std::pair<Index, Index>> sample_node_pairs_by_hops(
+    const graph::Graph& g, Index count, std::uint64_t seed,
+    Index max_hops = 64);
+
+struct ResistanceComparison {
+  la::Vector reference;  // Reff on the ground-truth graph, per pair
+  la::Vector approx;     // Reff on the learned graph, per pair
+  Real correlation = 0.0;
+};
+
+/// Exact effective resistances on both graphs over the given pairs
+/// (Fig. 7 scatter data).
+[[nodiscard]] ResistanceComparison compare_effective_resistances(
+    const graph::Graph& reference, const graph::Graph& learned,
+    const std::vector<std::pair<Index, Index>>& pairs,
+    const solver::LaplacianSolverOptions& solver = {});
+
+}  // namespace sgl::spectral

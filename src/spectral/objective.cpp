@@ -1,0 +1,64 @@
+#include "spectral/objective.hpp"
+
+#include <cmath>
+
+namespace sgl::spectral {
+
+Real laplacian_quadratic_trace(const graph::Graph& g,
+                               const la::DenseMatrix& x) {
+  SGL_EXPECTS(x.rows() == g.num_nodes(),
+              "laplacian_quadratic_trace: row count mismatch");
+  Real acc = 0.0;
+  for (const graph::Edge& e : g.edges())
+    acc += e.weight * x.row_distance_squared(e.s, e.t);
+  return acc;
+}
+
+ObjectiveBreakdown graphical_lasso_objective(const graph::Graph& g,
+                                             const la::DenseMatrix& x,
+                                             const ObjectiveOptions& options) {
+  SGL_EXPECTS(x.cols() >= 1, "graphical_lasso_objective: empty measurements");
+  SGL_EXPECTS(options.sigma2 > 0.0,
+              "graphical_lasso_objective: sigma2 must be positive");
+  const Index k = std::min(options.num_eigenvalues, g.num_nodes() - 1);
+  const Real inv_sigma2 = 1.0 / options.sigma2;
+
+  const solver::LaplacianPinvSolver pinv(g, options.solver);
+  eig::LanczosOptions lanczos = options.lanczos;
+  if (lanczos.max_subspace == 0) {
+    // The 50-eigenvalue log det needs a roomier subspace than embedding.
+    lanczos.max_subspace = std::min(g.num_nodes() - 1, 2 * k + 40);
+  }
+  const eig::EigenPairs pairs =
+      eig::smallest_laplacian_eigenpairs(pinv, k, lanczos);
+
+  ObjectiveBreakdown out;
+  out.log_det = std::log(inv_sigma2);  // trivial eigenvalue λ1 = 0
+  for (const Real lambda : pairs.eigenvalues)
+    out.log_det += std::log(lambda + inv_sigma2);
+
+  const Real m = static_cast<Real>(x.cols());
+  out.trace_term = (laplacian_quadratic_trace(g, x) +
+                    inv_sigma2 * x.frobenius_norm_squared()) /
+                   m;
+  return out;
+}
+
+ScaledObjective optimal_scale_objective(const graph::Graph& g,
+                                        const la::DenseMatrix& x,
+                                        const ObjectiveOptions& options) {
+  SGL_EXPECTS(x.cols() >= 1, "optimal_scale_objective: empty measurements");
+  const Index k = std::min(options.num_eigenvalues, g.num_nodes() - 1);
+  const Real m = static_cast<Real>(x.cols());
+  const Real t = laplacian_quadratic_trace(g, x) / m;
+  SGL_EXPECTS(t > 0.0, "optimal_scale_objective: zero quadratic trace");
+
+  ScaledObjective out;
+  out.scale = static_cast<Real>(k) / t;
+  graph::Graph scaled = g;
+  scaled.scale_weights(out.scale);
+  out.objective = graphical_lasso_objective(scaled, x, options);
+  return out;
+}
+
+}  // namespace sgl::spectral

@@ -1,0 +1,74 @@
+#include "spectral/sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace sgl::spectral {
+
+SparsifyResult spectral_sparsify(const graph::Graph& g,
+                                 const SparsifyOptions& options) {
+  SGL_EXPECTS(g.num_edges() >= 1, "spectral_sparsify: graph has no edges");
+  SGL_EXPECTS(options.epsilon > 0.0 && options.epsilon < 1.0,
+              "spectral_sparsify: epsilon must lie in (0, 1)");
+
+  // Approximate effective resistances from one JL sketch (near-linear:
+  // O(log N) Laplacian solves).
+  measure::SketchOptions sketch_options = options.sketch;
+  if (sketch_options.num_projections == 0)
+    sketch_options.epsilon = std::min(options.epsilon, Real{0.3});
+  const measure::ResistanceSketch sketch(g, sketch_options);
+
+  // Leverage scores p_e ∝ w_e·Reff(e); Σ_e w_e Reff(e) = N − 1 exactly,
+  // so the normalized scores form a genuine distribution.
+  const Index m = g.num_edges();
+  std::vector<Real> leverage(static_cast<std::size_t>(m));
+  Real total = 0.0;
+  for (Index e = 0; e < m; ++e) {
+    const graph::Edge& edge = g.edge(e);
+    leverage[static_cast<std::size_t>(e)] =
+        edge.weight * std::max(sketch.estimate(edge.s, edge.t), Real{0.0});
+    total += leverage[static_cast<std::size_t>(e)];
+  }
+  SGL_ENSURES(total > 0.0, "spectral_sparsify: degenerate leverage scores");
+
+  Index q = options.num_samples;
+  if (q <= 0) {
+    const Real n = static_cast<Real>(g.num_nodes());
+    q = static_cast<Index>(std::ceil(options.oversampling * n * std::log(n) /
+                                     (options.epsilon * options.epsilon)));
+  }
+  q = std::max<Index>(q, 1);
+
+  // Cumulative distribution for O(log m) sampling.
+  std::vector<Real> cdf(static_cast<std::size_t>(m));
+  Real acc = 0.0;
+  for (Index e = 0; e < m; ++e) {
+    acc += leverage[static_cast<std::size_t>(e)] / total;
+    cdf[static_cast<std::size_t>(e)] = acc;
+  }
+  cdf.back() = 1.0;
+
+  Rng rng(options.seed);
+  std::map<Index, Real> sampled_weight;  // edge id -> accumulated weight
+  for (Index draw = 0; draw < q; ++draw) {
+    const Real u = rng.uniform();
+    const Index e = to_index(static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin()));
+    const Real p = leverage[static_cast<std::size_t>(e)] / total;
+    sampled_weight[e] += g.edge(e).weight / (static_cast<Real>(q) * p);
+  }
+
+  SparsifyResult result;
+  result.samples_drawn = q;
+  result.sparsifier = graph::Graph(g.num_nodes());
+  for (const auto& [e, w] : sampled_weight) {
+    result.sparsifier.add_edge(g.edge(e).s, g.edge(e).t, w);
+  }
+  result.distinct_edges = result.sparsifier.num_edges();
+  return result;
+}
+
+}  // namespace sgl::spectral

@@ -1,0 +1,45 @@
+// Spectral graph sparsification by effective resistances
+// (Spielman–Srivastava, the paper's reference [10]).
+//
+// SGL is framed as the *densification* dual of spectral sparsification:
+// sparsification samples edges of a dense graph with probability
+// proportional to the leverage score w_e·Reff(e) and reweights them so the
+// sparsifier's Laplacian approximates the original's; SGL adds edges until
+// the analogous distortion reaches 1. Having both directions in one
+// library lets users round-trip: densify from measurements, sparsify a
+// dense candidate graph, compare spectra.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "measure/resistance_sketch.hpp"
+
+namespace sgl::spectral {
+
+struct SparsifyOptions {
+  /// Target quality: resistances sketched to (1±ε); the number of sampled
+  /// edges grows as O(N log N / ε²).
+  Real epsilon = 0.5;
+  /// Oversampling constant C in q = C·N·log(N)/ε² samples.
+  Real oversampling = 0.4;
+  /// Explicit sample count (0 = derive from epsilon/oversampling).
+  Index num_samples = 0;
+  std::uint64_t seed = 1234;
+  measure::SketchOptions sketch;
+};
+
+struct SparsifyResult {
+  graph::Graph sparsifier;
+  Index samples_drawn = 0;   // q (with repetition)
+  Index distinct_edges = 0;  // edges surviving in the sparsifier
+};
+
+/// Samples edges with probability ∝ w_e·R̃eff(e) (leverage scores from the
+/// JL sketch) and reweights each kept edge by w_e/(q·p_e), so the
+/// sparsifier is an unbiased Laplacian estimator. The input graph must be
+/// connected.
+[[nodiscard]] SparsifyResult spectral_sparsify(
+    const graph::Graph& g, const SparsifyOptions& options = {});
+
+}  // namespace sgl::spectral

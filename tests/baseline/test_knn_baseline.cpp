@@ -1,0 +1,72 @@
+// Unit tests for the kNN-graph baseline.
+#include <gtest/gtest.h>
+
+#include "baseline/knn_baseline.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "measure/measurements.hpp"
+
+namespace sgl::baseline {
+namespace {
+
+measure::Measurements grid_measurements(Index nx, Index ny, Index m) {
+  const graph::Graph g = graph::make_grid2d(nx, ny).graph;
+  measure::MeasurementOptions options;
+  options.num_measurements = m;
+  return measure::generate_measurements(g, options);
+}
+
+TEST(KnnBaseline, ProducesConnectedGraphOfExpectedDensity) {
+  const measure::Measurements m = grid_measurements(12, 12, 40);
+  KnnBaselineOptions options;
+  options.k = 5;
+  const KnnBaselineResult r = learn_knn_baseline(m.voltages, &m.currents, options);
+  EXPECT_TRUE(graph::is_connected(r.graph));
+  // Union-symmetrized 5NN graphs land between 2.5 and 5.0 density.
+  EXPECT_GT(r.graph.density(), 2.4);
+  EXPECT_LT(r.graph.density(), 5.0);
+}
+
+TEST(KnnBaseline, ScalingAppliedWhenCurrentsGiven) {
+  const measure::Measurements m = grid_measurements(10, 10, 30);
+  KnnBaselineOptions options;
+  const KnnBaselineResult with_y =
+      learn_knn_baseline(m.voltages, &m.currents, options);
+  const KnnBaselineResult without =
+      learn_knn_baseline(m.voltages, nullptr, options);
+  EXPECT_NE(with_y.scale_factor, 1.0);
+  EXPECT_DOUBLE_EQ(without.scale_factor, 1.0);
+  ASSERT_EQ(with_y.graph.num_edges(), without.graph.num_edges());
+  for (Index e = 0; e < with_y.graph.num_edges(); ++e)
+    EXPECT_NEAR(with_y.graph.edge(e).weight,
+                without.graph.edge(e).weight * with_y.scale_factor,
+                1e-9 * with_y.graph.edge(e).weight);
+}
+
+TEST(KnnBaseline, EdgeScalingFlagDisables) {
+  const measure::Measurements m = grid_measurements(8, 8, 20);
+  KnnBaselineOptions options;
+  options.edge_scaling = false;
+  const KnnBaselineResult r = learn_knn_baseline(m.voltages, &m.currents, options);
+  EXPECT_DOUBLE_EQ(r.scale_factor, 1.0);
+}
+
+TEST(KnnBaseline, KControlsDensity) {
+  const measure::Measurements m = grid_measurements(10, 10, 30);
+  KnnBaselineOptions k3;
+  k3.k = 3;
+  KnnBaselineOptions k8;
+  k8.k = 8;
+  const KnnBaselineResult r3 = learn_knn_baseline(m.voltages, nullptr, k3);
+  const KnnBaselineResult r8 = learn_knn_baseline(m.voltages, nullptr, k8);
+  EXPECT_LT(r3.graph.num_edges(), r8.graph.num_edges());
+}
+
+TEST(KnnBaseline, ReportsTiming) {
+  const measure::Measurements m = grid_measurements(8, 8, 20);
+  const KnnBaselineResult r = learn_knn_baseline(m.voltages, &m.currents, {});
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sgl::baseline

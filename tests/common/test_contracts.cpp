@@ -1,0 +1,53 @@
+// Unit tests for contract macros and error types.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace sgl {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(SGL_EXPECTS(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(SGL_EXPECTS(false, "must fail"), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+  EXPECT_THROW(SGL_ENSURES(false, "post"), ContractViolation);
+}
+
+TEST(Contracts, MessageContainsExpressionAndNote) {
+  try {
+    SGL_EXPECTS(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ContractViolationIsInvalidArgument) {
+  try {
+    SGL_EXPECTS(false, "x");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(Contracts, NumericalErrorIsRuntimeError) {
+  try {
+    throw NumericalError("pivot failure");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "pivot failure");
+  }
+}
+
+}  // namespace
+}  // namespace sgl

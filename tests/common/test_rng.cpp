@@ -1,0 +1,132 @@
+// Unit tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sgl {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123);
+  Rng b(124);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const Real u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const Real u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  Real acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(13);
+  std::vector<int> count(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++count[static_cast<std::size_t>(rng.uniform_int(10))];
+  for (const int c : count) EXPECT_NEAR(c, n / 10, 600);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  Real mean = 0.0;
+  Real var = 0.0;
+  std::vector<Real> xs(n);
+  for (auto& x : xs) x = rng.normal();
+  for (const Real x : xs) mean += x;
+  mean /= n;
+  for (const Real x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, RademacherIsBalanced) {
+  Rng rng(19);
+  int plus = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) plus += (rng.rademacher() > 0.0);
+  EXPECT_NEAR(plus, n / 2, 800);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(23);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (child1() == child2());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(v, rng);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0);
+  EXPECT_EQ(*s.rbegin(), 99);
+}
+
+TEST(Rng, ShuffleDeterministicPerSeed) {
+  std::vector<int> a(50), b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng r1(31), r2(31);
+  shuffle(a, r1);
+  shuffle(b, r2);
+  EXPECT_EQ(a, b);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformIndexStaysInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+    EXPECT_LT(rng.uniform_int(5), 5);
+    EXPECT_GE(rng.uniform_int(5), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 1234567ull,
+                                           ~0ull));
+
+}  // namespace
+}  // namespace sgl

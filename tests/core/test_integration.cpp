@@ -1,0 +1,136 @@
+// End-to-end integration tests: the full measurement → SGL → evaluation
+// pipeline on each experiment family the paper uses, at reduced scale.
+#include <gtest/gtest.h>
+
+#include "baseline/knn_baseline.hpp"
+#include "core/sgl.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "measure/measurements.hpp"
+#include "spectral/metrics.hpp"
+#include "spectral/objective.hpp"
+
+namespace sgl::core {
+namespace {
+
+TEST(Integration, GridRecoveryPreservesSpectrum) {
+  // Miniature of the paper's "2D mesh" experiment.
+  const graph::Graph truth = graph::make_grid2d(20, 20, /*periodic=*/true).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 50;
+  const measure::Measurements m = measure::generate_measurements(truth, mopt);
+
+  const SglResult result = learn_graph(m.voltages, m.currents);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.learned.density(), 1.3);
+
+  const spectral::SpectrumComparison cmp =
+      spectral::compare_spectra(truth, result.learned, 20);
+  EXPECT_GT(cmp.correlation, 0.95);
+  // λ2 recovered within a factor band (edge scaling pins the scale).
+  EXPECT_NEAR(cmp.approx[0] / cmp.reference[0], 1.0, 0.5);
+}
+
+TEST(Integration, TriangulatedMeshRecovery) {
+  // Miniature of the airfoil/fe_4elt2 family.
+  graph::TriMeshOptions topt;
+  topt.nx = 18;
+  topt.ny = 18;
+  topt.holes = {{9.0, 9.0, 3.0, 3.0}};
+  const graph::MeshGraph mesh = graph::make_triangulated_mesh(topt);
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 50;
+  const measure::Measurements m =
+      measure::generate_measurements(mesh.graph, mopt);
+
+  const SglResult result = learn_graph(m.voltages, m.currents);
+  EXPECT_TRUE(graph::is_connected(result.learned));
+  EXPECT_LT(result.learned.density(), 1.4);
+  EXPECT_LT(result.learned.density(), mesh.graph.density() / 2.0);
+
+  const spectral::SpectrumComparison cmp =
+      spectral::compare_spectra(mesh.graph, result.learned, 15);
+  EXPECT_GT(cmp.correlation, 0.9);
+}
+
+TEST(Integration, SglSparserThanBaselineWithComparableSpectrum) {
+  // The Fig. 2/3 story in miniature: SGL achieves a similar spectral fit
+  // with a fraction of the kNN baseline's edges.
+  const graph::Graph truth = graph::make_grid2d(16, 16).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 50;
+  const measure::Measurements m = measure::generate_measurements(truth, mopt);
+
+  const SglResult sgl = learn_graph(m.voltages, m.currents);
+  baseline::KnnBaselineOptions bopt;
+  const baseline::KnnBaselineResult knn =
+      baseline::learn_knn_baseline(m.voltages, &m.currents, bopt);
+
+  EXPECT_LT(sgl.learned.density(), 0.55 * knn.graph.density());
+  const spectral::SpectrumComparison sgl_cmp =
+      spectral::compare_spectra(truth, sgl.learned, 15);
+  EXPECT_GT(sgl_cmp.correlation, 0.9);
+}
+
+TEST(Integration, ReducedNetworkLearning) {
+  // Fig. 8 in miniature: learn a smaller spectrally-similar graph from a
+  // random 30% subset of node voltages, no currents.
+  const graph::Graph truth = graph::make_grid2d(18, 18).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 60;
+  const measure::Measurements m = measure::generate_measurements(truth, mopt);
+
+  const Index subset = truth.num_nodes() * 3 / 10;
+  const auto nodes = measure::sample_nodes(truth.num_nodes(), subset, 4);
+  const la::DenseMatrix x_sub = measure::take_rows(m.voltages, nodes);
+
+  const SglResult result = learn_graph(x_sub);
+  EXPECT_EQ(result.learned.num_nodes(), subset);
+  EXPECT_TRUE(graph::is_connected(result.learned));
+
+  // Spectral correlation of the first eigenvalues (scale-free check, as
+  // the reduced graph has no current measurements to pin its scale).
+  const Index k = 10;
+  const solver::LaplacianPinvSolver pinv_truth(truth);
+  const solver::LaplacianPinvSolver pinv_small(result.learned);
+  const auto eig_truth = eig::smallest_laplacian_eigenpairs(pinv_truth, k);
+  const auto eig_small = eig::smallest_laplacian_eigenpairs(pinv_small, k);
+  EXPECT_GT(spectral::pearson_correlation(eig_truth.eigenvalues,
+                                          eig_small.eigenvalues),
+            0.8);
+}
+
+TEST(Integration, NoisyMeasurementsStillRecoverStructure) {
+  // Fig. 9 in miniature: ζ = 0.25 noise still preserves the few smallest
+  // eigenvalues reasonably well.
+  const graph::Graph truth = graph::make_grid2d(16, 16, true).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 50;
+  const measure::Measurements m = measure::generate_measurements(truth, mopt);
+  la::DenseMatrix noisy = m.voltages;
+  measure::add_noise(noisy, 0.25, 77);
+
+  const SglResult result = learn_graph(noisy, m.currents);
+  const spectral::SpectrumComparison cmp =
+      spectral::compare_spectra(truth, result.learned, 10);
+  EXPECT_GT(cmp.correlation, 0.8);
+}
+
+TEST(Integration, MoreMeasurementsImproveRecovery) {
+  // Fig. 10 in miniature: spectrum error shrinks as M grows.
+  const graph::Graph truth = graph::make_grid2d(14, 14).graph;
+  const auto error_for = [&truth](Index num_measurements) {
+    measure::MeasurementOptions mopt;
+    mopt.num_measurements = num_measurements;
+    mopt.seed = 55;
+    const measure::Measurements m =
+        measure::generate_measurements(truth, mopt);
+    const SglResult result = learn_graph(m.voltages, m.currents);
+    return spectral::compare_spectra(truth, result.learned, 10).mean_rel_error;
+  };
+  // Generous margin: only require that 50 measurements beat 5 clearly.
+  EXPECT_LT(error_for(50), error_for(5) * 1.2);
+}
+
+}  // namespace
+}  // namespace sgl::core

@@ -1,0 +1,112 @@
+// Unit tests for stagewise per-edge weight refinement.
+#include <gtest/gtest.h>
+
+#include "core/refine.hpp"
+#include "core/sgl.hpp"
+#include "graph/generators.hpp"
+#include "measure/measurements.hpp"
+#include "spectral/objective.hpp"
+
+namespace sgl::core {
+namespace {
+
+TEST(Refine, ImprovesObjectiveAfterSgl) {
+  const graph::Graph truth = graph::make_grid2d(12, 12).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 40;
+  const measure::Measurements m = measure::generate_measurements(truth, mopt);
+
+  SglResult learned = learn_graph(m.voltages, m.currents);
+  spectral::ObjectiveOptions oopt;
+  oopt.num_eigenvalues = 30;
+  const Real f_before =
+      spectral::graphical_lasso_objective(learned.learned, m.voltages, oopt)
+          .value();
+
+  RefineOptions ropt;
+  ropt.r = 15;
+  const RefineResult r = refine_edge_weights(learned.learned, m.voltages, ropt);
+  EXPECT_GE(r.iterations, 1);
+  const Real f_after =
+      spectral::graphical_lasso_objective(learned.learned, m.voltages, oopt)
+          .value();
+  EXPECT_GT(f_after, f_before);
+}
+
+TEST(Refine, MoreIterationsDoNotHurtTheObjective) {
+  // The max log-ratio is not monotone step to step (edges are coupled),
+  // but the objective after a long refinement run must be at least as
+  // good as after a single step.
+  const graph::Graph truth = graph::make_grid2d(10, 10).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 30;
+  const measure::Measurements m = measure::generate_measurements(truth, mopt);
+  const SglResult learned = learn_graph(m.voltages, m.currents);
+  spectral::ObjectiveOptions oopt;
+  oopt.num_eigenvalues = 25;
+
+  RefineOptions one;
+  one.max_iterations = 1;
+  one.r = 12;
+  graph::Graph g1 = learned.learned;
+  refine_edge_weights(g1, m.voltages, one);
+  const Real f_one =
+      spectral::graphical_lasso_objective(g1, m.voltages, oopt).value();
+
+  RefineOptions many = one;
+  many.max_iterations = 25;
+  graph::Graph g2 = learned.learned;
+  refine_edge_weights(g2, m.voltages, many);
+  const Real f_many =
+      spectral::graphical_lasso_objective(g2, m.voltages, oopt).value();
+  EXPECT_GE(f_many, f_one - std::abs(f_one) * 0.02);
+}
+
+TEST(Refine, KeepsTopologyAndPositivity) {
+  const graph::Graph truth = graph::make_grid2d(9, 9).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 25;
+  const measure::Measurements m = measure::generate_measurements(truth, mopt);
+  SglResult learned = learn_graph(m.voltages, m.currents);
+  const Index edges_before = learned.learned.num_edges();
+
+  refine_edge_weights(learned.learned, m.voltages);
+  EXPECT_EQ(learned.learned.num_edges(), edges_before);
+  for (const graph::Edge& e : learned.learned.edges()) EXPECT_GT(e.weight, 0.0);
+}
+
+TEST(Refine, PerIterationChangeIsClamped) {
+  const graph::Graph truth = graph::make_grid2d(8, 8).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 20;
+  const measure::Measurements m = measure::generate_measurements(truth, mopt);
+  SglResult learned = learn_graph(m.voltages, m.currents);
+  const graph::Graph before = learned.learned;
+
+  RefineOptions ropt;
+  ropt.max_iterations = 1;
+  ropt.max_change = 1.5;
+  refine_edge_weights(learned.learned, m.voltages, ropt);
+  for (Index e = 0; e < before.num_edges(); ++e) {
+    const Real ratio =
+        learned.learned.edge(e).weight / before.edge(e).weight;
+    EXPECT_GE(ratio, 1.0 / 1.5 - 1e-9);
+    EXPECT_LE(ratio, 1.5 + 1e-9);
+  }
+}
+
+TEST(Refine, Contracts) {
+  graph::Graph g = graph::make_path(5);
+  la::DenseMatrix wrong_rows(4, 2);
+  EXPECT_THROW(refine_edge_weights(g, wrong_rows), ContractViolation);
+  la::DenseMatrix x(5, 2);
+  RefineOptions bad;
+  bad.step = 0.0;
+  EXPECT_THROW(refine_edge_weights(g, x, bad), ContractViolation);
+  bad.step = 0.5;
+  bad.max_change = 1.0;
+  EXPECT_THROW(refine_edge_weights(g, x, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::core

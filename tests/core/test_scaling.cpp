@@ -1,0 +1,75 @@
+// Unit tests for spectral edge scaling (paper eqs. 21–23).
+#include <gtest/gtest.h>
+
+#include "core/scaling.hpp"
+#include "graph/generators.hpp"
+#include "measure/measurements.hpp"
+
+namespace sgl::core {
+namespace {
+
+TEST(Scaling, TruthGraphScaleIsNearOne) {
+  // Measurements generated on the same graph: eq. 23 must return ≈ 1.
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  const measure::Measurements m = measure::generate_measurements(g);
+  const Real factor = spectral_edge_scale_factor(g, m.voltages, m.currents);
+  EXPECT_NEAR(factor, 1.0, 1e-9);
+}
+
+class ScalingRecoverySweep : public ::testing::TestWithParam<Real> {};
+
+TEST_P(ScalingRecoverySweep, RecoversUniformMisscaling) {
+  // If the graph's weights are c× the generating weights, voltages on it
+  // are (1/c)× the measured ones, and eq. 23 returns exactly 1/c — so
+  // applying the scaling restores the generating weights.
+  const Real c = GetParam();
+  const graph::Graph truth = graph::make_grid2d(7, 9).graph;
+  const measure::Measurements m = measure::generate_measurements(truth);
+
+  graph::Graph misscaled = truth;
+  misscaled.scale_weights(c);
+  const Real factor =
+      spectral_edge_scale_factor(misscaled, m.voltages, m.currents);
+  EXPECT_NEAR(factor, 1.0 / c, 1e-8 / c);
+
+  graph::Graph repaired = misscaled;
+  const Real applied =
+      apply_spectral_edge_scaling(repaired, m.voltages, m.currents);
+  EXPECT_NEAR(applied, factor, 1e-12);
+  for (Index e = 0; e < truth.num_edges(); ++e)
+    EXPECT_NEAR(repaired.edge(e).weight, truth.edge(e).weight, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScalingRecoverySweep,
+                         ::testing::Values(0.01, 0.5, 2.0, 100.0));
+
+TEST(Scaling, AfterScalingEnergyRatioIsOne) {
+  // The defining property: mean ‖x̃‖²/‖x‖² = 1 after scaling, for any
+  // learned topology (here: a different graph than the ground truth).
+  const graph::Graph truth = graph::make_grid2d(6, 6).graph;
+  const measure::Measurements m = measure::generate_measurements(truth);
+
+  graph::Graph other = graph::make_grid2d(6, 6, /*periodic=*/false, 3.7).graph;
+  other.add_edge(0, 35, 5.0);
+  apply_spectral_edge_scaling(other, m.voltages, m.currents);
+  const Real residual_factor =
+      spectral_edge_scale_factor(other, m.voltages, m.currents);
+  EXPECT_NEAR(residual_factor, 1.0, 1e-9);
+}
+
+TEST(Scaling, Contracts) {
+  const graph::Graph g = graph::make_grid2d(4, 4).graph;
+  const la::DenseMatrix x(16, 3);
+  const la::DenseMatrix y_wrong(16, 2);
+  EXPECT_THROW((void)spectral_edge_scale_factor(g, x, y_wrong),
+               ContractViolation);
+  const la::DenseMatrix x_wrong_rows(15, 3);
+  const la::DenseMatrix y(16, 3);
+  EXPECT_THROW((void)spectral_edge_scale_factor(g, x_wrong_rows, y),
+               ContractViolation);
+  // Zero voltage columns are rejected.
+  EXPECT_THROW((void)spectral_edge_scale_factor(g, x, y), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::core

@@ -1,0 +1,267 @@
+// Unit tests for the SGL learner (paper Algorithm 1 mechanics).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sgl.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "measure/measurements.hpp"
+#include "spectral/embedding.hpp"
+
+namespace sgl::core {
+namespace {
+
+measure::Measurements grid_measurements(Index nx, Index ny, Index m,
+                                        std::uint64_t seed = 2021) {
+  const graph::Graph g = graph::make_grid2d(nx, ny).graph;
+  measure::MeasurementOptions options;
+  options.num_measurements = m;
+  options.seed = seed;
+  return measure::generate_measurements(g, options);
+}
+
+TEST(SglLearner, InitialGraphIsSpanningTreeOfKnn) {
+  const measure::Measurements m = grid_measurements(10, 10, 30);
+  SglConfig config;
+  SglLearner learner(m.voltages, config);
+  EXPECT_EQ(learner.current_graph().num_edges(),
+            learner.current_graph().num_nodes() - 1);
+  EXPECT_TRUE(graph::is_connected(learner.current_graph()));
+  EXPECT_TRUE(graph::is_connected(learner.knn_graph()));
+  EXPECT_EQ(learner.iteration(), 0);
+  EXPECT_FALSE(learner.converged());
+}
+
+TEST(SglLearner, StepAddsAtMostCeilNBetaEdges) {
+  const measure::Measurements m = grid_measurements(12, 12, 30);
+  SglConfig config;
+  config.beta = 0.02;  // ⌈144·0.02⌉ = 3
+  SglLearner learner(m.voltages, config);
+  const Index before = learner.current_graph().num_edges();
+  const SglIterationStats stats = learner.step();
+  EXPECT_LE(stats.edges_added, 3);
+  EXPECT_EQ(learner.current_graph().num_edges(), before + stats.edges_added);
+  EXPECT_EQ(stats.iteration, 1);
+  EXPECT_EQ(stats.total_edges, learner.current_graph().num_edges());
+}
+
+TEST(SglLearner, HistoryAccumulates) {
+  const measure::Measurements m = grid_measurements(8, 8, 25);
+  SglConfig config;
+  config.max_iterations = 5;
+  SglLearner learner(m.voltages, config);
+  for (int i = 0; i < 3 && !learner.converged(); ++i) learner.step();
+  EXPECT_LE(learner.history().size(), 3u);
+  if (learner.history().size() >= 2) {
+    EXPECT_EQ(learner.history()[0].iteration, 1);
+    EXPECT_EQ(learner.history()[1].iteration, 2);
+  }
+}
+
+TEST(SglLearner, StepAfterConvergenceIsNoop) {
+  const measure::Measurements m = grid_measurements(6, 6, 20);
+  SglConfig config;
+  SglLearner learner(m.voltages, config);
+  while (!learner.converged()) learner.step();
+  const Index edges = learner.current_graph().num_edges();
+  const SglIterationStats stats = learner.step();
+  EXPECT_EQ(stats.edges_added, 0);
+  EXPECT_EQ(learner.current_graph().num_edges(), edges);
+}
+
+TEST(SglLearner, ObserverSeesEveryIteration) {
+  const measure::Measurements m = grid_measurements(8, 8, 25);
+  SglConfig config;
+  config.max_iterations = 50;
+  std::vector<Index> seen;
+  config.observer = [&seen](Index iteration, Real, Index) {
+    seen.push_back(iteration);
+  };
+  SglLearner learner(m.voltages, config);
+  const SglResult result = learner.run(nullptr);
+  EXPECT_EQ(to_index(seen.size()), result.iterations);
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], to_index(i) + 1);
+}
+
+TEST(SglLearner, RunRespectsMaxIterations) {
+  const measure::Measurements m = grid_measurements(12, 12, 30);
+  SglConfig config;
+  config.max_iterations = 2;
+  config.tolerance = 0.0;  // never converge by tolerance
+  SglLearner learner(m.voltages, config);
+  const SglResult result = learner.run(nullptr);
+  EXPECT_LE(result.iterations, 2);
+}
+
+TEST(SglLearner, LearnedGraphStaysConnectedAndSparse) {
+  const measure::Measurements m = grid_measurements(12, 12, 40);
+  const SglResult result = learn_graph(m.voltages, m.currents);
+  EXPECT_TRUE(graph::is_connected(result.learned));
+  EXPECT_TRUE(result.converged);
+  // Ultra-sparse: density close to a tree's (n−1)/n ≈ 1, far below kNN's.
+  EXPECT_LT(result.learned.density(), 1.3);
+  EXPECT_GE(result.learned.num_edges(), result.learned.num_nodes() - 1);
+}
+
+TEST(SglLearner, AddedEdgesComeFromCandidatePool) {
+  const measure::Measurements m = grid_measurements(10, 10, 30);
+  SglConfig config;
+  SglLearner learner(m.voltages, config);
+  const SglResult result = learner.run(nullptr);
+  // Every learned edge must exist in the kNN graph (same endpoints).
+  std::set<std::pair<Index, Index>> candidate_pairs;
+  for (const graph::Edge& e : result.knn_graph.edges())
+    candidate_pairs.emplace(e.s, e.t);
+  for (const graph::Edge& e : result.learned.edges())
+    EXPECT_TRUE(candidate_pairs.count({e.s, e.t})) << e.s << "," << e.t;
+}
+
+TEST(SglLearner, EdgeWeightsFollowDataDistances) {
+  const measure::Measurements m = grid_measurements(9, 9, 30);
+  SglConfig config;
+  config.edge_scaling = false;  // inspect raw M/z_data weights
+  SglLearner learner(m.voltages, config);
+  const SglResult result = learner.run(nullptr);
+  const Real cols = static_cast<Real>(m.voltages.cols());
+  for (const graph::Edge& e : result.learned.edges()) {
+    const Real z = m.voltages.row_distance_squared(e.s, e.t);
+    EXPECT_NEAR(e.weight, cols / z, cols / z * 1e-9);
+  }
+}
+
+TEST(SglLearner, VoltageOnlyRunSkipsScaling) {
+  const measure::Measurements m = grid_measurements(8, 8, 25);
+  const SglResult result = learn_graph(m.voltages);
+  EXPECT_DOUBLE_EQ(result.scale_factor, 1.0);
+}
+
+TEST(SglLearner, ScalingChangesOnlyScale) {
+  const measure::Measurements m = grid_measurements(8, 8, 25);
+  SglConfig config;
+  const SglResult with_y = learn_graph(m.voltages, m.currents, config);
+  config.edge_scaling = false;
+  const SglResult without = learn_graph(m.voltages, m.currents, config);
+  ASSERT_EQ(with_y.learned.num_edges(), without.learned.num_edges());
+  for (Index e = 0; e < with_y.learned.num_edges(); ++e) {
+    EXPECT_NEAR(with_y.learned.edge(e).weight,
+                without.learned.edge(e).weight * with_y.scale_factor,
+                1e-9 * with_y.learned.edge(e).weight);
+  }
+}
+
+TEST(SglLearner, DeterministicAcrossRuns) {
+  const measure::Measurements m = grid_measurements(9, 9, 25);
+  const SglResult a = learn_graph(m.voltages, m.currents);
+  const SglResult b = learn_graph(m.voltages, m.currents);
+  ASSERT_EQ(a.learned.num_edges(), b.learned.num_edges());
+  for (Index e = 0; e < a.learned.num_edges(); ++e) {
+    EXPECT_EQ(a.learned.edge(e).s, b.learned.edge(e).s);
+    EXPECT_EQ(a.learned.edge(e).t, b.learned.edge(e).t);
+    EXPECT_DOUBLE_EQ(a.learned.edge(e).weight, b.learned.edge(e).weight);
+  }
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(SglLearner, StepwiseMatchesOneShot) {
+  const measure::Measurements m = grid_measurements(9, 9, 25);
+  SglConfig config;
+  SglLearner stepwise(m.voltages, config);
+  while (!stepwise.converged() && !stepwise.exhausted() &&
+         stepwise.iteration() < config.max_iterations) {
+    stepwise.step();
+  }
+  const SglResult a = stepwise.finalize(&m.currents);
+  const SglResult b = learn_graph(m.voltages, m.currents, config);
+  EXPECT_EQ(a.learned.num_edges(), b.learned.num_edges());
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(SglLearner, SmaxTrendsDownward) {
+  const measure::Measurements m = grid_measurements(12, 12, 40);
+  SglConfig config;
+  const SglResult result = learn_graph(m.voltages, m.currents, config);
+  ASSERT_GE(result.history.size(), 3u);
+  // Overall decreasing trend: last recorded smax well below the first.
+  EXPECT_LT(result.history.back().smax, result.history.front().smax);
+}
+
+TEST(SglLearner, ConvergenceCertificateHolds) {
+  // After convergence, every remaining candidate edge's sensitivity
+  // (recomputed from a fresh embedding of the final graph) is below
+  // tolerance — the paper's §II-C optimality certificate.
+  const measure::Measurements m = grid_measurements(10, 10, 30);
+  SglConfig config;
+  SglLearner learner(m.voltages, config);
+  const SglResult result = learner.run(nullptr);  // unscaled weights
+  ASSERT_TRUE(result.converged);
+
+  spectral::EmbeddingOptions eopt;
+  eopt.r = config.r;
+  eopt.sigma2 = config.sigma2;
+  const spectral::Embedding emb =
+      spectral::compute_embedding(result.learned, eopt);
+
+  std::set<std::pair<Index, Index>> learned_pairs;
+  for (const graph::Edge& e : result.learned.edges())
+    learned_pairs.emplace(e.s, e.t);
+  const Real cols = static_cast<Real>(m.voltages.cols());
+  for (const graph::Edge& e : result.knn_graph.edges()) {
+    if (learned_pairs.count({e.s, e.t})) continue;  // not a candidate anymore
+    const Real z_emb = emb.u.row_distance_squared(e.s, e.t);
+    const Real z_data = m.voltages.row_distance_squared(e.s, e.t);
+    // Tolerance padded for the eigensolver's own tolerance.
+    EXPECT_LE(z_emb - z_data / cols, config.tolerance + 1e-8);
+  }
+}
+
+TEST(SglLearner, InvariantToMeasurementColumnPermutation) {
+  // Reordering the measurement pairs (columns of X and Y together) must
+  // not change the learned graph.
+  const measure::Measurements m = grid_measurements(8, 8, 12);
+  la::DenseMatrix x_perm(m.voltages.rows(), m.voltages.cols());
+  la::DenseMatrix y_perm(m.currents.rows(), m.currents.cols());
+  const std::vector<Index> perm{5, 2, 9, 0, 11, 7, 1, 10, 3, 8, 6, 4};
+  for (Index j = 0; j < 12; ++j) {
+    x_perm.set_col(j, m.voltages.col_vector(perm[static_cast<std::size_t>(j)]));
+    y_perm.set_col(j, m.currents.col_vector(perm[static_cast<std::size_t>(j)]));
+  }
+  const SglResult a = learn_graph(m.voltages, m.currents);
+  const SglResult b = learn_graph(x_perm, y_perm);
+  ASSERT_EQ(a.learned.num_edges(), b.learned.num_edges());
+  for (Index e = 0; e < a.learned.num_edges(); ++e) {
+    EXPECT_EQ(a.learned.edge(e).s, b.learned.edge(e).s);
+    EXPECT_EQ(a.learned.edge(e).t, b.learned.edge(e).t);
+    EXPECT_NEAR(a.learned.edge(e).weight, b.learned.edge(e).weight,
+                1e-6 * a.learned.edge(e).weight);
+  }
+}
+
+TEST(SglLearner, Contracts) {
+  la::DenseMatrix x(2, 3);  // too few nodes
+  SglConfig config;
+  EXPECT_THROW(SglLearner(x, config), ContractViolation);
+
+  la::DenseMatrix ok(10, 3);
+  config.k = 10;
+  EXPECT_THROW(SglLearner(ok, config), ContractViolation);
+  config.k = 3;
+  config.r = 1;
+  EXPECT_THROW(SglLearner(ok, config), ContractViolation);
+  config.r = 5;
+  config.beta = 0.0;
+  EXPECT_THROW(SglLearner(ok, config), ContractViolation);
+  config.beta = 1e-3;
+  config.tolerance = -1.0;
+  EXPECT_THROW(SglLearner(ok, config), ContractViolation);
+}
+
+TEST(SglLearner, MismatchedXYShapesThrow) {
+  const measure::Measurements m = grid_measurements(6, 6, 10);
+  la::DenseMatrix y_bad(36, 9);
+  EXPECT_THROW(learn_graph(m.voltages, y_bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::core

@@ -1,0 +1,156 @@
+// Unit tests for the dense symmetric eigensolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "eig/dense_eig.hpp"
+#include "graph/generators.hpp"
+
+namespace sgl::eig {
+namespace {
+
+la::DenseMatrix random_symmetric(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix a(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j <= i; ++j) {
+      const Real v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+TEST(DenseEig, DiagonalMatrixEigenvaluesSorted) {
+  la::DenseMatrix a(3, 3);
+  a(0, 0) = 5.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 2.0;
+  const DenseEigResult r = dense_symmetric_eig(a);
+  EXPECT_NEAR(r.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], 5.0, 1e-12);
+}
+
+TEST(DenseEig, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  la::DenseMatrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0; a(1, 0) = 1.0; a(1, 1) = 2.0;
+  const DenseEigResult r = dense_symmetric_eig(a);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(DenseEig, SingleElement) {
+  la::DenseMatrix a(1, 1);
+  a(0, 0) = 7.0;
+  const DenseEigResult r = dense_symmetric_eig(a);
+  EXPECT_NEAR(r.eigenvalues[0], 7.0, 1e-14);
+  EXPECT_NEAR(r.eigenvectors(0, 0), 1.0, 1e-14);
+}
+
+class DenseEigSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DenseEigSweep, ResidualsAndOrthonormality) {
+  const Index n = 25;
+  const la::DenseMatrix a = random_symmetric(n, GetParam());
+  const DenseEigResult r = dense_symmetric_eig(a);
+
+  // A v = λ v for every pair.
+  for (Index j = 0; j < n; ++j) {
+    const la::Vector v = r.eigenvectors.col_vector(j);
+    const la::Vector av = a.multiply(v);
+    for (Index i = 0; i < n; ++i)
+      EXPECT_NEAR(av[static_cast<std::size_t>(i)],
+                  r.eigenvalues[static_cast<std::size_t>(j)] *
+                      v[static_cast<std::size_t>(i)],
+                  1e-8);
+  }
+  // Ascending eigenvalues.
+  for (Index j = 1; j < n; ++j)
+    EXPECT_LE(r.eigenvalues[static_cast<std::size_t>(j - 1)],
+              r.eigenvalues[static_cast<std::size_t>(j)] + 1e-12);
+  // Orthonormal columns.
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i; j < n; ++j) {
+      const Real d = la::dot(r.eigenvectors.col_vector(i),
+                             r.eigenvectors.col_vector(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseEigSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+TEST(DenseEig, TraceAndDeterminantInvariants) {
+  const la::DenseMatrix a = random_symmetric(10, 42);
+  const DenseEigResult r = dense_symmetric_eig(a);
+  Real trace = 0.0;
+  for (Index i = 0; i < 10; ++i) trace += a(i, i);
+  Real eig_sum = 0.0;
+  for (const Real v : r.eigenvalues) eig_sum += v;
+  EXPECT_NEAR(trace, eig_sum, 1e-9);
+}
+
+TEST(DenseEig, PathLaplacianMatchesClosedForm) {
+  // Path Laplacian eigenvalues: 4 sin²(kπ / (2n)), k = 0..n−1.
+  const Index n = 12;
+  const graph::Graph g = graph::make_path(n);
+  const la::CsrMatrix lap = g.laplacian();
+  la::DenseMatrix dense(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) dense(i, j) = lap.at(i, j);
+  const DenseEigResult r = dense_symmetric_eig(dense);
+  for (Index k = 0; k < n; ++k) {
+    const Real expected =
+        4.0 * std::pow(std::sin(static_cast<Real>(k) * M_PI / (2.0 * n)), 2);
+    EXPECT_NEAR(r.eigenvalues[static_cast<std::size_t>(k)], expected, 1e-9);
+  }
+}
+
+TEST(TridiagonalEig, MatchesDensePath) {
+  // Tridiagonal [2, −1] chain = grounded path Laplacian-like matrix.
+  const Index n = 9;
+  la::Vector d(static_cast<std::size_t>(n), 2.0);
+  la::Vector e(static_cast<std::size_t>(n) - 1, -1.0);
+  const DenseEigResult r = tridiagonal_eig(d, e);
+  // Eigenvalues of the (2, −1) tridiagonal: 2 − 2cos(kπ/(n+1)), k = 1..n.
+  for (Index k = 1; k <= n; ++k) {
+    const Real expected =
+        2.0 - 2.0 * std::cos(static_cast<Real>(k) * M_PI / (n + 1));
+    EXPECT_NEAR(r.eigenvalues[static_cast<std::size_t>(k - 1)], expected, 1e-9);
+  }
+  // Residual check with vectors.
+  for (Index j = 0; j < n; ++j) {
+    const la::Vector v = r.eigenvectors.col_vector(j);
+    for (Index i = 0; i < n; ++i) {
+      Real av = 2.0 * v[static_cast<std::size_t>(i)];
+      if (i > 0) av -= v[static_cast<std::size_t>(i - 1)];
+      if (i + 1 < n) av -= v[static_cast<std::size_t>(i + 1)];
+      EXPECT_NEAR(av,
+                  r.eigenvalues[static_cast<std::size_t>(j)] *
+                      v[static_cast<std::size_t>(i)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(TridiagonalEig, ValuesOnlyModeSkipsVectors) {
+  la::Vector d{1.0, 2.0, 3.0};
+  la::Vector e{0.0, 0.0};
+  const DenseEigResult r = tridiagonal_eig(d, e, /*want_vectors=*/false);
+  EXPECT_TRUE(r.eigenvectors.empty());
+  EXPECT_NEAR(r.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(DenseEig, NonSquareThrows) {
+  EXPECT_THROW(dense_symmetric_eig(la::DenseMatrix(2, 3)), ContractViolation);
+}
+
+TEST(TridiagonalEig, SizeMismatchThrows) {
+  EXPECT_THROW(tridiagonal_eig({1.0, 2.0}, {0.0, 0.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::eig

@@ -1,0 +1,196 @@
+// Unit tests for shift-invert Lanczos on Laplacian pseudo-inverses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "eig/dense_eig.hpp"
+#include "eig/lanczos.hpp"
+#include "graph/generators.hpp"
+
+namespace sgl::eig {
+namespace {
+
+la::DenseMatrix laplacian_dense(const graph::Graph& g) {
+  const la::CsrMatrix lap = g.laplacian();
+  la::DenseMatrix dense(lap.rows(), lap.cols());
+  for (Index i = 0; i < lap.rows(); ++i)
+    for (Index j = 0; j < lap.cols(); ++j) dense(i, j) = lap.at(i, j);
+  return dense;
+}
+
+TEST(Lanczos, PathGraphMatchesClosedForm) {
+  const Index n = 40;
+  const graph::Graph g = graph::make_path(n);
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 4);
+  ASSERT_EQ(pairs.eigenvalues.size(), 4u);
+  for (Index k = 1; k <= 4; ++k) {
+    const Real expected =
+        4.0 * std::pow(std::sin(static_cast<Real>(k) * M_PI / (2.0 * n)), 2);
+    EXPECT_NEAR(pairs.eigenvalues[static_cast<std::size_t>(k - 1)], expected,
+                1e-8);
+  }
+}
+
+TEST(Lanczos, GridMatchesDenseEig) {
+  const graph::Graph g = graph::make_grid2d(7, 6).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 6);
+
+  const DenseEigResult dense = dense_symmetric_eig(laplacian_dense(g));
+  // dense.eigenvalues[0] ≈ 0 (trivial); compare the next six.
+  for (Index i = 0; i < 6; ++i)
+    EXPECT_NEAR(pairs.eigenvalues[static_cast<std::size_t>(i)],
+                dense.eigenvalues[static_cast<std::size_t>(i + 1)], 1e-8);
+}
+
+TEST(Lanczos, EigenvectorsResidualSmall) {
+  const graph::Graph g = graph::make_grid2d(8, 5).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 5);
+  const la::CsrMatrix lap = g.laplacian();
+  for (Index j = 0; j < 5; ++j) {
+    const la::Vector v = pairs.eigenvectors.col_vector(j);
+    const la::Vector lv = lap.multiply(v);
+    const Real lambda = pairs.eigenvalues[static_cast<std::size_t>(j)];
+    for (Index i = 0; i < g.num_nodes(); ++i)
+      EXPECT_NEAR(lv[static_cast<std::size_t>(i)],
+                  lambda * v[static_cast<std::size_t>(i)], 1e-7);
+  }
+}
+
+TEST(Lanczos, EigenvectorsOrthonormalAndCentered) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 4);
+  for (Index i = 0; i < 4; ++i) {
+    const la::Vector vi = pairs.eigenvectors.col_vector(i);
+    EXPECT_NEAR(la::mean(vi), 0.0, 1e-10);  // ⊥ 1
+    for (Index j = i; j < 4; ++j) {
+      const Real d = la::dot(vi, pairs.eigenvectors.col_vector(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Lanczos, CompleteGraphHasFlatSpectrum) {
+  // K_n Laplacian: nontrivial eigenvalues all equal n.
+  const Index n = 10;
+  const graph::Graph g = graph::make_complete(n);
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 3);
+  for (const Real lambda : pairs.eigenvalues)
+    EXPECT_NEAR(lambda, static_cast<Real>(n), 1e-7);
+}
+
+TEST(Lanczos, WeightScalingScalesEigenvalues) {
+  graph::Graph g = graph::make_grid2d(5, 5).graph;
+  const solver::LaplacianPinvSolver pinv1(g);
+  const Real lambda2 = smallest_laplacian_eigenpairs(pinv1, 1).eigenvalues[0];
+  g.scale_weights(3.0);
+  const solver::LaplacianPinvSolver pinv3(g);
+  const Real lambda2_scaled =
+      smallest_laplacian_eigenpairs(pinv3, 1).eigenvalues[0];
+  EXPECT_NEAR(lambda2_scaled, 3.0 * lambda2, 1e-8);
+}
+
+class LanczosGraphSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(LanczosGraphSweep, CycleSpectrumMatchesClosedForm) {
+  const Index n = GetParam();
+  const graph::Graph g = graph::make_cycle(n);
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 2);
+  // Cycle eigenvalues 2 − 2cos(2πk/n); λ2 = λ3 (double multiplicity).
+  const Real expected = 2.0 - 2.0 * std::cos(2.0 * M_PI / n);
+  EXPECT_NEAR(pairs.eigenvalues[0], expected, 1e-8);
+  EXPECT_NEAR(pairs.eigenvalues[1], expected, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(CycleSizes, LanczosGraphSweep,
+                         ::testing::Values(Index{8}, Index{16}, Index{33},
+                                           Index{64}));
+
+TEST(Lanczos, StarGraphExtremeDegeneracy) {
+  // Star K_{1,9}: Laplacian spectrum is {0, 1 ×8, 10} — eigenvalue 1 has
+  // multiplicity 8, so every Lanczos block collapses after ~2 steps and
+  // the restart logic must assemble the copies.
+  const Index n = 10;
+  const graph::Graph g = graph::make_star(n);
+  const solver::LaplacianPinvSolver pinv(g);
+  LanczosOptions options;
+  options.max_subspace = n - 1;
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 6, options);
+  for (Index i = 0; i < 6; ++i)
+    EXPECT_NEAR(pairs.eigenvalues[static_cast<std::size_t>(i)], 1.0, 1e-8);
+}
+
+TEST(Lanczos, TorusDoubleEigenvaluesRecovered) {
+  // A square torus has doubly degenerate low modes; the first four
+  // nontrivial eigenvalues are two equal pairs.
+  const graph::Graph g = graph::make_grid2d(6, 6, /*periodic=*/true).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 4);
+  EXPECT_NEAR(pairs.eigenvalues[0], pairs.eigenvalues[1], 1e-7);
+  EXPECT_NEAR(pairs.eigenvalues[2], pairs.eigenvalues[3], 1e-7);
+  EXPECT_NEAR(pairs.eigenvalues[0], pairs.eigenvalues[2], 1e-7);
+  EXPECT_NEAR(pairs.eigenvalues[0], 2.0 - 2.0 * std::cos(2.0 * M_PI / 6.0),
+              1e-7);
+}
+
+TEST(Lanczos, PinvAgreesWithDensePseudoInverse) {
+  // Cross-validate the full stack: Lanczos eigenpairs reconstruct L⁺
+  // action like the dense eigendecomposition does.
+  const graph::Graph g = graph::make_grid2d(5, 4).graph;
+  const Index n = g.num_nodes();
+  const solver::LaplacianPinvSolver pinv(g);
+  const DenseEigResult dense = dense_symmetric_eig(laplacian_dense(g));
+
+  Rng rng(4);
+  la::Vector y(static_cast<std::size_t>(n));
+  for (auto& v : y) v = rng.normal();
+  la::center(y);
+  const la::Vector via_solver = pinv.apply(y);
+  la::Vector via_dense(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 1; i < n; ++i) {  // skip the zero eigenvalue
+    const la::Vector u = dense.eigenvectors.col_vector(i);
+    const Real coef = la::dot(u, y) / dense.eigenvalues[static_cast<std::size_t>(i)];
+    la::axpy(coef, u, via_dense);
+  }
+  for (Index i = 0; i < n; ++i)
+    EXPECT_NEAR(via_solver[static_cast<std::size_t>(i)],
+                via_dense[static_cast<std::size_t>(i)], 1e-8);
+}
+
+TEST(Lanczos, FullSubspaceIsExact) {
+  // With m_cap = n−1 the Krylov space spans the whole 1-perp subspace.
+  const graph::Graph g = graph::make_path(10);
+  const solver::LaplacianPinvSolver pinv(g);
+  LanczosOptions options;
+  options.max_subspace = 9;
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 9, options);
+  const DenseEigResult dense = dense_symmetric_eig(laplacian_dense(g));
+  for (Index i = 0; i < 9; ++i)
+    EXPECT_NEAR(pairs.eigenvalues[static_cast<std::size_t>(i)],
+                dense.eigenvalues[static_cast<std::size_t>(i + 1)], 1e-9);
+}
+
+TEST(Lanczos, RejectsBadArguments) {
+  const graph::Graph g = graph::make_path(5);
+  const solver::LaplacianPinvSolver pinv(g);
+  EXPECT_THROW(smallest_laplacian_eigenpairs(pinv, 0), ContractViolation);
+  EXPECT_THROW(smallest_laplacian_eigenpairs(pinv, 5), ContractViolation);
+}
+
+TEST(Lanczos, DeterministicAcrossRuns) {
+  const graph::Graph g = graph::make_grid2d(6, 5).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs a = smallest_laplacian_eigenpairs(pinv, 3);
+  const EigenPairs b = smallest_laplacian_eigenpairs(pinv, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(a.eigenvalues[i], b.eigenvalues[i]);
+}
+
+}  // namespace
+}  // namespace sgl::eig

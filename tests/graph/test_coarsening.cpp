@@ -1,0 +1,119 @@
+// Unit tests for heavy-edge-matching coarsening.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/coarsening.hpp"
+#include "graph/components.hpp"
+#include "eig/lanczos.hpp"
+#include "graph/generators.hpp"
+
+namespace sgl::graph {
+namespace {
+
+TEST(Coarsening, HalvesNodeCountOnMatchableGraphs) {
+  const Graph g = make_grid2d(10, 10).graph;
+  const CoarseningResult r = coarsen_heavy_edge_matching(g);
+  EXPECT_GE(r.coarse.num_nodes(), 50);
+  EXPECT_LT(r.coarse.num_nodes(), 100);
+}
+
+TEST(Coarsening, MapIsSurjectiveAndInRange) {
+  const Graph g = make_grid2d(8, 7).graph;
+  const CoarseningResult r = coarsen_heavy_edge_matching(g);
+  std::vector<bool> hit(static_cast<std::size_t>(r.coarse.num_nodes()), false);
+  for (const Index c : r.fine_to_coarse) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, r.coarse.num_nodes());
+    hit[static_cast<std::size_t>(c)] = true;
+  }
+  for (const bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(Coarsening, AggregatesHaveAtMostTwoNodes) {
+  const Graph g = make_grid2d(9, 9).graph;
+  const CoarseningResult r = coarsen_heavy_edge_matching(g);
+  std::vector<Index> count(static_cast<std::size_t>(r.coarse.num_nodes()), 0);
+  for (const Index c : r.fine_to_coarse) ++count[static_cast<std::size_t>(c)];
+  for (const Index c : count) EXPECT_LE(c, 2);
+}
+
+TEST(Coarsening, PreservesConnectivity) {
+  const Graph g = make_grid2d(12, 12).graph;
+  const CoarseningResult r = coarsen_heavy_edge_matching(g);
+  EXPECT_TRUE(is_connected(r.coarse));
+}
+
+TEST(Coarsening, GalerkinQuadraticFormAgreesOnAggregateConstants) {
+  // For any coarse vector z, zᵀ L_c z must equal (Pz)ᵀ L (Pz).
+  const Graph g = make_circuit_grid(8, 8, 0, 0.5, 5.0, 3).graph;
+  const CoarseningResult r = coarsen_heavy_edge_matching(g);
+  Rng rng(5);
+  la::Vector z(static_cast<std::size_t>(r.coarse.num_nodes()));
+  for (auto& v : z) v = rng.normal();
+  la::Vector pz(static_cast<std::size_t>(g.num_nodes()));
+  for (Index v = 0; v < g.num_nodes(); ++v)
+    pz[static_cast<std::size_t>(v)] =
+        z[static_cast<std::size_t>(r.fine_to_coarse[static_cast<std::size_t>(v)])];
+  EXPECT_NEAR(r.coarse.laplacian().quadratic_form(z),
+              g.laplacian().quadratic_form(pz), 1e-9);
+}
+
+TEST(Coarsening, HeavyEdgesCollapseFirst) {
+  // A graph of heavy pairs connected by light edges: matching must merge
+  // exactly the heavy pairs.
+  Graph g(6);
+  g.add_edge(0, 1, 100.0);
+  g.add_edge(2, 3, 100.0);
+  g.add_edge(4, 5, 100.0);
+  g.add_edge(1, 2, 0.1);
+  g.add_edge(3, 4, 0.1);
+  const CoarseningResult r = coarsen_heavy_edge_matching(g);
+  EXPECT_EQ(r.coarse.num_nodes(), 3);
+  EXPECT_EQ(r.fine_to_coarse[0], r.fine_to_coarse[1]);
+  EXPECT_EQ(r.fine_to_coarse[2], r.fine_to_coarse[3]);
+  EXPECT_EQ(r.fine_to_coarse[4], r.fine_to_coarse[5]);
+}
+
+TEST(Coarsening, SingletonGraphSurvives) {
+  const CoarseningResult r = coarsen_heavy_edge_matching(Graph(1));
+  EXPECT_EQ(r.coarse.num_nodes(), 1);
+  EXPECT_EQ(r.fine_to_coarse[0], 0);
+}
+
+TEST(Coarsening, CoarsenToSizeReachesTarget) {
+  const Graph g = make_grid2d(16, 16).graph;  // 256 nodes
+  const CoarseningResult r = coarsen_to_size(g, 40);
+  EXPECT_LE(r.coarse.num_nodes(), 40);
+  EXPECT_TRUE(is_connected(r.coarse));
+  // Composed map still valid.
+  for (const Index c : r.fine_to_coarse) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, r.coarse.num_nodes());
+  }
+}
+
+TEST(Coarsening, CoarseSpectrumTracksFineLowEnd) {
+  // Piecewise-constant Galerkin coarsening approximately preserves the
+  // smallest nontrivial eigenvalue scale (within a small constant).
+  const Graph g = make_grid2d(14, 14).graph;
+  const CoarseningResult r = coarsen_heavy_edge_matching(g);
+  const sgl::solver::LaplacianPinvSolver pinv_fine(g);
+  const sgl::solver::LaplacianPinvSolver pinv_coarse(r.coarse);
+  const Real l2_fine =
+      sgl::eig::smallest_laplacian_eigenpairs(pinv_fine, 1).eigenvalues[0];
+  const Real l2_coarse =
+      sgl::eig::smallest_laplacian_eigenpairs(pinv_coarse, 1).eigenvalues[0];
+  EXPECT_GT(l2_coarse, 0.5 * l2_fine);
+  EXPECT_LT(l2_coarse, 6.0 * l2_fine);
+}
+
+TEST(Coarsening, DeterministicPerSeed) {
+  const Graph g = make_grid2d(9, 8).graph;
+  const CoarseningResult a = coarsen_heavy_edge_matching(g, 7);
+  const CoarseningResult b = coarsen_heavy_edge_matching(g, 7);
+  EXPECT_EQ(a.fine_to_coarse, b.fine_to_coarse);
+  EXPECT_EQ(a.coarse.num_edges(), b.coarse.num_edges());
+}
+
+}  // namespace
+}  // namespace sgl::graph

@@ -1,0 +1,74 @@
+// Unit tests for connectivity queries.
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace sgl::graph {
+namespace {
+
+TEST(Components, SingleComponentPath) {
+  const Graph g = make_path(5);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  for (const Index l : c.label) EXPECT_EQ(l, 0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, TwoIslands) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3);  // {0,1}, {2}, {3,4}
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, EmptyGraphIsNotConnected) {
+  EXPECT_FALSE(is_connected(Graph(0)));
+}
+
+TEST(Components, SingleNodeIsConnected) {
+  EXPECT_TRUE(is_connected(Graph(1)));
+}
+
+TEST(Components, BfsDistancesOnPath) {
+  const Graph g = make_path(6);
+  const auto d = bfs_distances(g, 2);
+  EXPECT_EQ(d[2], 0);
+  EXPECT_EQ(d[0], 2);
+  EXPECT_EQ(d[5], 3);
+}
+
+TEST(Components, BfsUnreachableIsMarked) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], kInvalidIndex);
+  EXPECT_EQ(d[3], kInvalidIndex);
+}
+
+TEST(Components, BfsOnGridHasManhattanRadius) {
+  const MeshGraph mesh = make_grid2d(7, 7);
+  const auto d = bfs_distances(mesh.graph, 0);  // corner
+  // Farthest point of a 7×7 grid from a corner is the opposite corner at
+  // Manhattan distance 12.
+  Index max_d = 0;
+  for (const Index v : d) max_d = std::max(max_d, v);
+  EXPECT_EQ(max_d, 12);
+}
+
+TEST(Components, PseudoPeripheralFindsPathEndpoint) {
+  const Graph g = make_path(9);
+  const AdjacencyList adj = g.adjacency_list();
+  const Index p = pseudo_peripheral_node(adj, 4);
+  EXPECT_TRUE(p == 0 || p == 8);
+}
+
+}  // namespace
+}  // namespace sgl::graph

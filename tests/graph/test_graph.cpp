@@ -1,0 +1,146 @@
+// Unit tests for the core Graph type and its derived matrices.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace sgl::graph {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  return g;
+}
+
+TEST(Graph, ConstructionAndCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.density(), 1.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+}
+
+TEST(Graph, AddEdgeCanonicalizesEndpoints) {
+  Graph g(4);
+  g.add_edge(3, 1, 2.0);
+  EXPECT_EQ(g.edge(0).s, 1);
+  EXPECT_EQ(g.edge(0).t, 3);
+}
+
+TEST(Graph, AddEdgeContracts) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), ContractViolation);   // self loop
+  EXPECT_THROW(g.add_edge(0, 3, 1.0), ContractViolation);   // out of range
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), ContractViolation);   // zero weight
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), ContractViolation);  // negative
+}
+
+TEST(Graph, WeightedDegrees) {
+  const Graph g = triangle();
+  const la::Vector d = g.weighted_degrees();
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+TEST(Graph, LaplacianRowSumsAreZero) {
+  const Graph g = triangle();
+  const la::CsrMatrix lap = g.laplacian();
+  const la::Vector ones(3, 1.0);
+  const la::Vector row_sums = lap.multiply(ones);
+  for (const Real v : row_sums) EXPECT_NEAR(v, 0.0, 1e-14);
+}
+
+TEST(Graph, LaplacianIsSymmetricAndMatchesStamp) {
+  const Graph g = triangle();
+  const la::CsrMatrix lap = g.laplacian();
+  EXPECT_TRUE(lap.is_symmetric());
+  EXPECT_DOUBLE_EQ(lap.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(lap.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(lap.at(0, 2), -3.0);
+  EXPECT_DOUBLE_EQ(lap.at(1, 2), -2.0);
+}
+
+TEST(Graph, LaplacianQuadraticFormMatchesEq1) {
+  // xᵀLx = Σ w_st (x_s − x_t)² (paper eq. 1).
+  const Graph g = triangle();
+  const la::Vector x{1.0, 2.0, 4.0};
+  const Real expected = 1.0 * 1.0 + 2.0 * 4.0 + 3.0 * 9.0;
+  EXPECT_NEAR(g.laplacian().quadratic_form(x), expected, 1e-12);
+}
+
+TEST(Graph, LaplacianIsPositiveSemidefinite) {
+  const Graph g = triangle();
+  const la::CsrMatrix lap = g.laplacian();
+  // Any vector gives a nonnegative quadratic form.
+  const std::vector<la::Vector> probes{{1.0, -1.0, 0.5}, {-3.0, 2.0, 2.0}};
+  for (const la::Vector& x : probes) {
+    EXPECT_GE(lap.quadratic_form(x), -1e-12);
+  }
+}
+
+TEST(Graph, ParallelEdgesSumInLaplacian) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 2.5);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.laplacian().at(0, 1), -3.5);
+}
+
+TEST(Graph, IsolatedNodesKeepDiagonalSlot) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const la::CsrMatrix lap = g.laplacian();
+  EXPECT_EQ(lap.rows(), 3);
+  EXPECT_DOUBLE_EQ(lap.at(2, 2), 0.0);
+  // Structural slot exists even though the value is zero.
+  EXPECT_EQ(lap.row_ptr()[3] - lap.row_ptr()[2], 1);
+}
+
+TEST(Graph, AdjacencyMatrix) {
+  const Graph g = triangle();
+  const la::CsrMatrix w = g.adjacency();
+  EXPECT_DOUBLE_EQ(w.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(0, 0), 0.0);
+  EXPECT_TRUE(w.is_symmetric());
+}
+
+TEST(Graph, AdjacencyListRoundTrip) {
+  const Graph g = triangle();
+  const AdjacencyList adj = g.adjacency_list();
+  EXPECT_EQ(adj.num_nodes(), 3);
+  EXPECT_EQ(adj.degree(0), 2);
+  EXPECT_EQ(adj.degree(1), 2);
+  EXPECT_EQ(adj.degree(2), 2);
+  // Edge ids attached to the right endpoints.
+  for (Index u = 0; u < 3; ++u) {
+    for (Index k = adj.row_ptr[static_cast<std::size_t>(u)];
+         k < adj.row_ptr[static_cast<std::size_t>(u) + 1]; ++k) {
+      const Edge& e = g.edge(adj.edge_id[static_cast<std::size_t>(k)]);
+      const Index v = adj.neighbor[static_cast<std::size_t>(k)];
+      EXPECT_TRUE((e.s == u && e.t == v) || (e.s == v && e.t == u));
+      EXPECT_DOUBLE_EQ(adj.weight[static_cast<std::size_t>(k)], e.weight);
+    }
+  }
+}
+
+TEST(Graph, ScaleWeights) {
+  Graph g = triangle();
+  g.scale_weights(2.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 12.0);
+  EXPECT_THROW(g.scale_weights(0.0), ContractViolation);
+}
+
+TEST(Graph, SetWeight) {
+  Graph g = triangle();
+  g.set_weight(1, 10.0);
+  EXPECT_DOUBLE_EQ(g.edge(1).weight, 10.0);
+  EXPECT_THROW(g.set_weight(5, 1.0), ContractViolation);
+  EXPECT_THROW(g.set_weight(0, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::graph

@@ -1,0 +1,142 @@
+// Unit tests for spanning-forest extraction, including brute-force
+// optimality checks on small random graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/components.hpp"
+#include "graph/mst.hpp"
+#include "graph/union_find.hpp"
+
+namespace sgl::graph {
+namespace {
+
+Real weight_of(const Graph& g, const std::vector<Index>& ids) {
+  Real acc = 0.0;
+  for (const Index id : ids) acc += g.edge(id).weight;
+  return acc;
+}
+
+/// Exhaustive maximum spanning tree weight by trying all edge subsets of
+/// size n−1 (only for tiny graphs).
+Real brute_force_max_tree_weight(const Graph& g) {
+  const Index n = g.num_nodes();
+  const Index m = g.num_edges();
+  Real best = -1.0;
+  std::vector<Index> pick(static_cast<std::size_t>(n) - 1);
+  // Enumerate all C(m, n-1) subsets via combinations.
+  std::vector<Index> comb(static_cast<std::size_t>(n) - 1);
+  std::iota(comb.begin(), comb.end(), Index{0});
+  const auto next_combination = [&]() {
+    Index i = to_index(comb.size()) - 1;
+    while (i >= 0 && comb[static_cast<std::size_t>(i)] ==
+                         m - (to_index(comb.size()) - i)) {
+      --i;
+    }
+    if (i < 0) return false;
+    ++comb[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < to_index(comb.size()); ++j)
+      comb[static_cast<std::size_t>(j)] = comb[static_cast<std::size_t>(j - 1)] + 1;
+    return true;
+  };
+  do {
+    UnionFind uf(n);
+    Real w = 0.0;
+    for (const Index id : comb) {
+      const Edge& e = g.edge(id);
+      uf.unite(e.s, e.t);
+      w += e.weight;
+    }
+    if (uf.num_sets() == 1) best = std::max(best, w);
+  } while (next_combination());
+  return best;
+}
+
+TEST(Mst, PathGraphTreeIsItself) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const auto ids = maximum_spanning_forest(g);
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(Mst, MaximumPicksHeaviestEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  const auto ids = maximum_spanning_forest(g);
+  EXPECT_DOUBLE_EQ(weight_of(g, ids), 5.0);
+}
+
+TEST(Mst, MinimumPicksLightestEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  const auto ids = minimum_spanning_forest(g);
+  EXPECT_DOUBLE_EQ(weight_of(g, ids), 3.0);
+}
+
+TEST(Mst, ForestOnDisconnectedGraph) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(3, 4, 1.0);
+  const auto ids = maximum_spanning_forest(g);
+  EXPECT_EQ(ids.size(), 3u);  // n − components = 5 − 2
+}
+
+TEST(Mst, SubgraphFromEdgesPreservesWeights) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  const Graph sub = subgraph_from_edges(g, {1});
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(sub.edge(0).weight, 2.5);
+}
+
+TEST(Mst, TreeSpansConnectedGraph) {
+  Rng rng(1);
+  const Index n = 30;
+  Graph g(n);
+  for (Index i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, rng.uniform(0.1, 2.0));
+  for (int extra = 0; extra < 40; ++extra) {
+    const Index s = rng.uniform_int(n);
+    const Index t = rng.uniform_int(n);
+    if (s != t) g.add_edge(std::min(s, t), std::max(s, t), rng.uniform(0.1, 2.0));
+  }
+  const auto ids = maximum_spanning_forest(g);
+  EXPECT_EQ(to_index(ids.size()), n - 1);
+  EXPECT_TRUE(is_connected(subgraph_from_edges(g, ids)));
+}
+
+class MstBruteForceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MstBruteForceSweep, KruskalMatchesExhaustiveOptimum) {
+  Rng rng(GetParam());
+  const Index n = 6;
+  Graph g(n);
+  // Random connected graph: a random tree plus a few extra edges.
+  for (Index i = 1; i < n; ++i)
+    g.add_edge(rng.uniform_int(i), i, rng.uniform(0.1, 5.0));
+  for (int extra = 0; extra < 4; ++extra) {
+    const Index s = rng.uniform_int(n);
+    const Index t = rng.uniform_int(n);
+    if (s != t) g.add_edge(std::min(s, t), std::max(s, t), rng.uniform(0.1, 5.0));
+  }
+  const auto ids = maximum_spanning_forest(g);
+  EXPECT_EQ(to_index(ids.size()), n - 1);
+  EXPECT_NEAR(weight_of(g, ids), brute_force_max_tree_weight(g), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstBruteForceSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 6ull,
+                                           7ull, 8ull));
+
+}  // namespace
+}  // namespace sgl::graph

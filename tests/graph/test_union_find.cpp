@@ -1,0 +1,49 @@
+// Unit tests for the disjoint-set forest.
+#include <gtest/gtest.h>
+
+#include "graph/union_find.hpp"
+
+namespace sgl::graph {
+namespace {
+
+TEST(UnionFind, StartsAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  for (Index i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_sets(), 2);
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_TRUE(uf.connected(0, 2));
+}
+
+TEST(UnionFind, UniteSameSetReturnsFalse) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.num_sets(), 2);
+}
+
+TEST(UnionFind, FindOutOfRangeThrows) {
+  UnionFind uf(2);
+  EXPECT_THROW((void)uf.find(2), ContractViolation);
+  EXPECT_THROW((void)uf.find(-1), ContractViolation);
+}
+
+TEST(UnionFind, LargeChainCollapses) {
+  const Index n = 10000;
+  UnionFind uf(n);
+  for (Index i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_EQ(uf.find(0), uf.find(n - 1));
+}
+
+}  // namespace
+}  // namespace sgl::graph

@@ -1,0 +1,83 @@
+// Unit tests for exact kNN search.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "knn/brute_force.hpp"
+
+namespace sgl::knn {
+namespace {
+
+la::DenseMatrix line_points(Index n) {
+  // Points 0, 1, 2, … on a 1-D line (one column).
+  la::DenseMatrix x(n, 1);
+  for (Index i = 0; i < n; ++i) x(i, 0) = static_cast<Real>(i);
+  return x;
+}
+
+TEST(BruteForce, LinePointsNearestAreAdjacent) {
+  const KnnResult r = brute_force_knn(line_points(5), 2);
+  EXPECT_EQ(r.num_points(), 5);
+  // Point 2's two nearest are 1 and 3 (distance 1 each).
+  EXPECT_DOUBLE_EQ(r.distance_squared[2 * 2 + 0], 1.0);
+  EXPECT_DOUBLE_EQ(r.distance_squared[2 * 2 + 1], 1.0);
+  const Index n0 = r.neighbor[2 * 2 + 0];
+  const Index n1 = r.neighbor[2 * 2 + 1];
+  EXPECT_TRUE((n0 == 1 && n1 == 3) || (n0 == 3 && n1 == 1));
+}
+
+TEST(BruteForce, EndpointNeighborsAreOrdered) {
+  const KnnResult r = brute_force_knn(line_points(6), 3);
+  // Point 0: neighbors 1, 2, 3 at distances 1, 4, 9.
+  EXPECT_EQ(r.neighbor[0], 1);
+  EXPECT_EQ(r.neighbor[1], 2);
+  EXPECT_EQ(r.neighbor[2], 3);
+  EXPECT_DOUBLE_EQ(r.distance_squared[2], 9.0);
+}
+
+TEST(BruteForce, ExcludesSelf) {
+  const KnnResult r = brute_force_knn(line_points(4), 3);
+  for (Index i = 0; i < 4; ++i)
+    for (Index j = 0; j < 3; ++j)
+      EXPECT_NE(r.neighbor[static_cast<std::size_t>(i) * 3 + j], i);
+}
+
+TEST(BruteForce, DistancesNonDecreasingPerPoint) {
+  Rng rng(4);
+  la::DenseMatrix x(50, 8);
+  for (Index j = 0; j < 8; ++j)
+    for (Index i = 0; i < 50; ++i) x(i, j) = rng.normal();
+  const KnnResult r = brute_force_knn(x, 10);
+  for (Index i = 0; i < 50; ++i)
+    for (Index j = 1; j < 10; ++j)
+      EXPECT_LE(r.distance_squared[static_cast<std::size_t>(i) * 10 + j - 1],
+                r.distance_squared[static_cast<std::size_t>(i) * 10 + j]);
+}
+
+TEST(BruteForce, DuplicatePointsHaveZeroDistance) {
+  la::DenseMatrix x(3, 2);
+  x(0, 0) = 1.0; x(0, 1) = 2.0;
+  x(1, 0) = 1.0; x(1, 1) = 2.0;  // duplicate of row 0
+  x(2, 0) = 9.0; x(2, 1) = 9.0;
+  const KnnResult r = brute_force_knn(x, 1);
+  EXPECT_EQ(r.neighbor[0], 1);
+  EXPECT_DOUBLE_EQ(r.distance_squared[0], 0.0);
+}
+
+TEST(BruteForce, ContractsOnBadK) {
+  const la::DenseMatrix x = line_points(4);
+  EXPECT_THROW(brute_force_knn(x, 0), ContractViolation);
+  EXPECT_THROW(brute_force_knn(x, 4), ContractViolation);
+}
+
+TEST(BruteForce, RowMajorConversionMatchesRows) {
+  la::DenseMatrix x(3, 2);
+  x(1, 0) = 5.0;
+  x(1, 1) = -2.0;
+  const std::vector<Real> rm = to_row_major(x);
+  EXPECT_DOUBLE_EQ(rm[2], 5.0);
+  EXPECT_DOUBLE_EQ(rm[3], -2.0);
+  EXPECT_DOUBLE_EQ(point_distance_squared(rm, 2, 0, 1), 25.0 + 4.0);
+}
+
+}  // namespace
+}  // namespace sgl::knn

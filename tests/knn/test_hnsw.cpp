@@ -1,0 +1,125 @@
+// Unit tests for the HNSW approximate nearest-neighbor index.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/hnsw.hpp"
+
+namespace sgl::knn {
+namespace {
+
+la::DenseMatrix random_points(Index n, Index dim, std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix x(n, dim);
+  for (Index j = 0; j < dim; ++j)
+    for (Index i = 0; i < n; ++i) x(i, j) = rng.normal();
+  return x;
+}
+
+/// Fraction of true k-nearest neighbors recovered by the index.
+Real recall(const KnnResult& exact, const KnnResult& approx) {
+  SGL_EXPECTS(exact.k == approx.k, "recall: k mismatch");
+  const Index n = exact.num_points();
+  Index hits = 0;
+  for (Index i = 0; i < n; ++i) {
+    for (Index a = 0; a < approx.k; ++a) {
+      const Index cand = approx.neighbor[static_cast<std::size_t>(i) * approx.k + a];
+      for (Index e = 0; e < exact.k; ++e) {
+        if (exact.neighbor[static_cast<std::size_t>(i) * exact.k + e] == cand) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return static_cast<Real>(hits) / static_cast<Real>(n * exact.k);
+}
+
+TEST(Hnsw, PerfectRecallOnTinySet) {
+  const la::DenseMatrix x = random_points(30, 4, 1);
+  const KnnResult exact = brute_force_knn(x, 3);
+  const KnnResult approx = hnsw_knn(x, 3);
+  EXPECT_GE(recall(exact, approx), 0.99);
+}
+
+class HnswRecallSweep
+    : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(HnswRecallSweep, HighRecallOnRandomData) {
+  const auto [n, dim] = GetParam();
+  const la::DenseMatrix x = random_points(n, dim, 7);
+  const KnnResult exact = brute_force_knn(x, 5);
+  HnswOptions options;
+  options.ef_search = 96;
+  const KnnResult approx = hnsw_knn(x, 5, options);
+  EXPECT_GE(recall(exact, approx), 0.9) << "n=" << n << " dim=" << dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HnswRecallSweep,
+    ::testing::Values(std::tuple<Index, Index>{200, 3},
+                      std::tuple<Index, Index>{500, 10},
+                      std::tuple<Index, Index>{1000, 25},
+                      std::tuple<Index, Index>{1500, 50}));
+
+TEST(Hnsw, DeterministicGivenSeed) {
+  const la::DenseMatrix x = random_points(300, 6, 3);
+  const KnnResult a = hnsw_knn(x, 4);
+  const KnnResult b = hnsw_knn(x, 4);
+  EXPECT_EQ(a.neighbor, b.neighbor);
+  EXPECT_EQ(a.distance_squared, b.distance_squared);
+}
+
+TEST(Hnsw, SearchExcludesSelf) {
+  const la::DenseMatrix x = random_points(100, 5, 9);
+  const HnswIndex index(x);
+  for (Index q = 0; q < 100; q += 7) {
+    for (const auto& [d, node] : index.search_point(q, 5)) {
+      EXPECT_NE(node, q);
+      EXPECT_GE(d, 0.0);
+    }
+  }
+}
+
+TEST(Hnsw, ResultsSortedByDistance) {
+  const la::DenseMatrix x = random_points(200, 8, 11);
+  const HnswIndex index(x);
+  const auto found = index.search_point(0, 10);
+  for (std::size_t i = 1; i < found.size(); ++i)
+    EXPECT_LE(found[i - 1].first, found[i].first);
+}
+
+TEST(Hnsw, ContractsOnBadOptions) {
+  const la::DenseMatrix x = random_points(10, 2, 1);
+  HnswOptions options;
+  options.max_connections = 1;
+  EXPECT_THROW(HnswIndex(x, options), ContractViolation);
+  options.max_connections = 16;
+  options.ef_construction = 4;
+  EXPECT_THROW(HnswIndex(x, options), ContractViolation);
+}
+
+TEST(Hnsw, ClusterStructurePreserved) {
+  // Two well-separated Gaussian blobs: every neighbor must stay within the
+  // query's own blob.
+  Rng rng(13);
+  const Index per_blob = 100;
+  la::DenseMatrix x(2 * per_blob, 3);
+  for (Index i = 0; i < per_blob; ++i)
+    for (Index j = 0; j < 3; ++j) x(i, j) = rng.normal() * 0.1;
+  for (Index i = per_blob; i < 2 * per_blob; ++i)
+    for (Index j = 0; j < 3; ++j) x(i, j) = 50.0 + rng.normal() * 0.1;
+  const KnnResult r = hnsw_knn(x, 5);
+  for (Index i = 0; i < 2 * per_blob; ++i) {
+    const bool first_blob = i < per_blob;
+    for (Index j = 0; j < 5; ++j) {
+      const Index nb = r.neighbor[static_cast<std::size_t>(i) * 5 + j];
+      EXPECT_EQ(nb < per_blob, first_blob) << "cross-blob neighbor";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgl::knn

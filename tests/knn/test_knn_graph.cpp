@@ -1,0 +1,126 @@
+// Unit tests for kNN graph construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/components.hpp"
+#include "knn/knn_graph.hpp"
+
+namespace sgl::knn {
+namespace {
+
+la::DenseMatrix random_points(Index n, Index dim, std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix x(n, dim);
+  for (Index j = 0; j < dim; ++j)
+    for (Index i = 0; i < n; ++i) x(i, j) = rng.normal();
+  return x;
+}
+
+TEST(KnnGraph, WeightsArePaperFormula) {
+  // Colinear points 0, 1, 3 (distances² 1, 4, 9); with k = 1 the graph has
+  // edges (0,1) and (1,3)… after symmetrization.
+  la::DenseMatrix x(3, 2);
+  x(0, 0) = 0.0; x(1, 0) = 1.0; x(2, 0) = 3.0;
+  KnnGraphOptions options;
+  options.k = 1;
+  const graph::Graph g = build_knn_graph(x, options);
+  const Real m = 2.0;  // number of measurement columns
+  for (const graph::Edge& e : g.edges()) {
+    const Real dist2 = x.row_distance_squared(e.s, e.t);
+    EXPECT_NEAR(e.weight, m / dist2, 1e-12);
+  }
+}
+
+TEST(KnnGraph, SymmetrizedUnionHasNoDuplicates) {
+  const la::DenseMatrix x = random_points(60, 5, 2);
+  KnnGraphOptions options;
+  options.k = 4;
+  const graph::Graph g = build_knn_graph(x, options);
+  std::set<std::pair<Index, Index>> seen;
+  for (const graph::Edge& e : g.edges()) {
+    EXPECT_TRUE(seen.emplace(e.s, e.t).second) << "duplicate edge";
+  }
+}
+
+TEST(KnnGraph, EdgeCountBounds) {
+  // Union symmetrization: between N·k/2 (fully mutual) and N·k edges.
+  const la::DenseMatrix x = random_points(100, 6, 3);
+  KnnGraphOptions options;
+  options.k = 5;
+  options.ensure_connected = false;
+  const graph::Graph g = build_knn_graph(x, options);
+  EXPECT_GE(g.num_edges(), 100 * 5 / 2);
+  EXPECT_LE(g.num_edges(), 100 * 5);
+}
+
+TEST(KnnGraph, EnsuresConnectivityAcrossBlobs) {
+  // Two far-apart blobs with k small enough that the raw kNN graph is
+  // disconnected; the builder must bridge them.
+  Rng rng(5);
+  la::DenseMatrix x(40, 2);
+  for (Index i = 0; i < 20; ++i) {
+    x(i, 0) = rng.normal() * 0.01;
+    x(i, 1) = rng.normal() * 0.01;
+  }
+  for (Index i = 20; i < 40; ++i) {
+    x(i, 0) = 100.0 + rng.normal() * 0.01;
+    x(i, 1) = 100.0 + rng.normal() * 0.01;
+  }
+  KnnGraphOptions options;
+  options.k = 3;
+  options.ensure_connected = true;
+  const graph::Graph g = build_knn_graph(x, options);
+  EXPECT_TRUE(graph::is_connected(g));
+
+  options.ensure_connected = false;
+  const graph::Graph g2 = build_knn_graph(x, options);
+  EXPECT_FALSE(graph::is_connected(g2));
+}
+
+TEST(KnnGraph, DuplicatePointsGetFiniteWeights) {
+  la::DenseMatrix x(4, 2);
+  // Rows 0 and 1 identical; rows 2, 3 distinct.
+  x(2, 0) = 1.0;
+  x(3, 0) = 2.0;
+  KnnGraphOptions options;
+  options.k = 2;
+  const graph::Graph g = build_knn_graph(x, options);
+  for (const graph::Edge& e : g.edges()) {
+    EXPECT_TRUE(std::isfinite(e.weight));
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(KnnGraph, BackendsAgreeOnExactRegime) {
+  // With generous ef_search, HNSW matches brute force on small data; the
+  // resulting graphs should be nearly identical.
+  const la::DenseMatrix x = random_points(150, 4, 7);
+  KnnGraphOptions brute;
+  brute.k = 4;
+  brute.backend = KnnBackend::kBruteForce;
+  KnnGraphOptions hnsw;
+  hnsw.k = 4;
+  hnsw.backend = KnnBackend::kHnsw;
+  hnsw.hnsw.ef_search = 150;
+  const graph::Graph g1 = build_knn_graph(x, brute);
+  const graph::Graph g2 = build_knn_graph(x, hnsw);
+  const Real overlap =
+      std::min(g1.num_edges(), g2.num_edges()) /
+      static_cast<Real>(std::max(g1.num_edges(), g2.num_edges()));
+  EXPECT_GE(overlap, 0.95);
+}
+
+TEST(KnnGraph, Contracts) {
+  const la::DenseMatrix x = random_points(10, 2, 1);
+  KnnGraphOptions options;
+  options.k = 10;
+  EXPECT_THROW(build_knn_graph(x, options), ContractViolation);
+  options.k = 0;
+  EXPECT_THROW(build_knn_graph(x, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::knn

@@ -1,0 +1,128 @@
+// Unit tests for the column-major dense matrix.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace sgl::la {
+namespace {
+
+TEST(DenseMatrix, ZeroInitialized) {
+  const DenseMatrix a(3, 2);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 2);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(a(i, j), 0.0);
+}
+
+TEST(DenseMatrix, IndexingIsColumnMajor) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(0, 1) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.data()[1], 2.0);
+  EXPECT_DOUBLE_EQ(a.data()[2], 3.0);
+  EXPECT_DOUBLE_EQ(a.data()[3], 4.0);
+}
+
+TEST(DenseMatrix, ColumnViewsAndSetters) {
+  DenseMatrix a(3, 2);
+  a.set_col(1, Vector{1.0, 2.0, 3.0});
+  const auto c = a.col(1);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  EXPECT_EQ(a.col_vector(1), (Vector{1.0, 2.0, 3.0}));
+  EXPECT_THROW(a.set_col(0, Vector{1.0}), ContractViolation);
+}
+
+TEST(DenseMatrix, RowVector) {
+  DenseMatrix a(2, 3);
+  for (Index j = 0; j < 3; ++j) a(1, j) = static_cast<Real>(j + 1);
+  EXPECT_EQ(a.row_vector(1), (Vector{1.0, 2.0, 3.0}));
+}
+
+TEST(DenseMatrix, RowDistanceSquaredMatchesManual) {
+  DenseMatrix a(3, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(2, 0) = 4.0;
+  a(2, 1) = 6.0;
+  // rows: (1,2) and (4,6): d² = 9 + 16.
+  EXPECT_DOUBLE_EQ(a.row_distance_squared(0, 2), 25.0);
+  EXPECT_DOUBLE_EQ(a.row_distance_squared(2, 0), 25.0);
+  EXPECT_DOUBLE_EQ(a.row_distance_squared(1, 1), 0.0);
+}
+
+TEST(DenseMatrix, MultiplyAndTransposeMultiply) {
+  DenseMatrix a(2, 3);
+  // a = [1 2 3; 4 5 6]
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Vector x{1.0, 1.0, 1.0};
+  EXPECT_EQ(a.multiply(x), (Vector{6.0, 15.0}));
+  const Vector y{1.0, 1.0};
+  EXPECT_EQ(a.multiply_transposed(y), (Vector{5.0, 7.0, 9.0}));
+}
+
+TEST(DenseMatrix, TransposedSwapsShape) {
+  DenseMatrix a(2, 3);
+  a(0, 2) = 7.0;
+  const DenseMatrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(DenseMatrix, FrobeniusNorms) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm_squared(), 5.0);
+  EXPECT_DOUBLE_EQ(a.frobenius_dot(a), 5.0);
+}
+
+TEST(DenseMatrix, GramMatchesManual) {
+  DenseMatrix a(3, 2);
+  a(0, 0) = 1; a(1, 0) = 2; a(2, 0) = 2;
+  a(0, 1) = 1; a(1, 1) = 0; a(2, 1) = -1;
+  const DenseMatrix g = gram(a);
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_DOUBLE_EQ(g(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), -1.0);
+}
+
+TEST(DenseMatrix, MatmulMatchesManual) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const DenseMatrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, MatmulShapeMismatchThrows) {
+  const DenseMatrix a(2, 3), b(2, 2);
+  EXPECT_THROW(matmul(a, b), ContractViolation);
+}
+
+TEST(DenseMatrix, MultiplyTransposedAgreesWithExplicitTranspose) {
+  Rng rng(3);
+  DenseMatrix a(7, 5);
+  for (Index j = 0; j < 5; ++j)
+    for (Index i = 0; i < 7; ++i) a(i, j) = rng.normal();
+  Vector x(7);
+  for (auto& v : x) v = rng.normal();
+  const Vector via_method = a.multiply_transposed(x);
+  const Vector via_transpose = a.transposed().multiply(x);
+  for (std::size_t i = 0; i < via_method.size(); ++i)
+    EXPECT_NEAR(via_method[i], via_transpose[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace sgl::la

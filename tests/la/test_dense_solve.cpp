@@ -1,0 +1,86 @@
+// Unit tests for the small dense LDLᵀ solver.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "la/dense_solve.hpp"
+
+namespace sgl::la {
+namespace {
+
+DenseMatrix random_spd_dense(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix b(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) b(i, j) = rng.normal();
+  // A = BᵀB + n·I is SPD.
+  DenseMatrix a = matmul(b.transposed(), b);
+  for (Index i = 0; i < n; ++i) a(i, i) += static_cast<Real>(n);
+  return a;
+}
+
+TEST(DenseSolve, SolvesDiagonalSystem) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 2.0;
+  a(1, 1) = 4.0;
+  a(2, 2) = 8.0;
+  dense_ldlt_factor(a);
+  const Vector x = dense_ldlt_solve(a, {2.0, 4.0, 8.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 1.0, 1e-14);
+  EXPECT_NEAR(x[2], 1.0, 1e-14);
+}
+
+TEST(DenseSolve, Known2x2) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 3.0;
+  dense_ldlt_factor(a);
+  const Vector x = dense_ldlt_solve(a, {8.0, 7.0});  // solution (1.25, 1.5)
+  EXPECT_NEAR(x[0], 1.25, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+class DenseSolveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DenseSolveSweep, RandomSpdResidualSmall) {
+  const Index n = 20;
+  DenseMatrix a = random_spd_dense(n, GetParam());
+  const DenseMatrix a_copy = a;
+  Rng rng(GetParam() + 77);
+  Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.normal();
+
+  dense_ldlt_factor(a);
+  const Vector x = dense_ldlt_solve(a, b);
+  const Vector ax = a_copy.multiply(x);
+  for (Index i = 0; i < n; ++i) EXPECT_NEAR(ax[static_cast<std::size_t>(i)],
+                                            b[static_cast<std::size_t>(i)], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseSolveSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 6ull));
+
+TEST(DenseSolve, SemidefiniteInputIsRegularized) {
+  // Grounded-free Laplacian of a triangle is PSD with nullspace 1.
+  DenseMatrix a(3, 3);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 3; ++j) a(i, j) = (i == j) ? 2.0 : -1.0;
+  EXPECT_NO_THROW(dense_ldlt_factor(a));
+  // Pivots stay positive.
+  for (Index i = 0; i < 3; ++i) EXPECT_GT(a(i, i), 0.0);
+}
+
+TEST(DenseSolve, NonSquareThrows) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(dense_ldlt_factor(a), ContractViolation);
+}
+
+TEST(DenseSolve, WrongRhsSizeThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = a(1, 1) = 1.0;
+  dense_ldlt_factor(a);
+  EXPECT_THROW(dense_ldlt_solve(a, {1.0, 2.0, 3.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::la

@@ -1,0 +1,180 @@
+// Unit tests for triplet assembly and CSR kernels.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/sparse.hpp"
+
+namespace sgl::la {
+namespace {
+
+CsrMatrix small_example() {
+  // [1 0 2]
+  // [0 3 0]
+  // [4 0 5]
+  return CsrMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}, {2, 0, 4.0}, {2, 2, 5.0}});
+}
+
+/// Random sparse symmetric matrix (diagonally dominant) for property tests.
+CsrMatrix random_spd(Index n, Real density, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  Vector diag(static_cast<std::size_t>(n), 1.0);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i + 1; j < n; ++j)
+      if (rng.uniform() < density) {
+        const Real v = rng.uniform(0.1, 2.0);
+        t.push_back({i, j, -v});
+        t.push_back({j, i, -v});
+        diag[static_cast<std::size_t>(i)] += v;
+        diag[static_cast<std::size_t>(j)] += v;
+      }
+  for (Index i = 0; i < n; ++i) t.push_back({i, i, diag[static_cast<std::size_t>(i)]});
+  return CsrMatrix::from_triplets(n, n, t);
+}
+
+DenseMatrix to_dense(const CsrMatrix& a) {
+  DenseMatrix d(a.rows(), a.cols());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index k = a.row_ptr()[static_cast<std::size_t>(i)];
+         k < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++k)
+      d(i, a.col_idx()[static_cast<std::size_t>(k)]) +=
+          a.values()[static_cast<std::size_t>(k)];
+  return d;
+}
+
+TEST(CsrMatrix, FromTripletsBasicLayout) {
+  const CsrMatrix a = small_example();
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 5.0);
+}
+
+TEST(CsrMatrix, ColumnsSortedPerRow) {
+  const CsrMatrix a = CsrMatrix::from_triplets(
+      2, 4, {{0, 3, 1.0}, {0, 0, 2.0}, {0, 2, 3.0}, {1, 1, 4.0}});
+  EXPECT_EQ(a.col_idx()[0], 0);
+  EXPECT_EQ(a.col_idx()[1], 2);
+  EXPECT_EQ(a.col_idx()[2], 3);
+}
+
+TEST(CsrMatrix, DuplicateTripletsAccumulate) {
+  const CsrMatrix a =
+      CsrMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 0, -1.0}});
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  EXPECT_EQ(a.nnz(), 2);
+}
+
+TEST(CsrMatrix, OutOfRangeTripletThrows) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               ContractViolation);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{0, -1, 1.0}}),
+               ContractViolation);
+}
+
+TEST(CsrMatrix, IdentityActsAsIdentity) {
+  const CsrMatrix eye = CsrMatrix::identity(4);
+  const Vector x{1.0, -2.0, 3.0, 0.5};
+  EXPECT_EQ(eye.multiply(x), x);
+}
+
+TEST(CsrMatrix, MultiplyMatchesManual) {
+  const CsrMatrix a = small_example();
+  const Vector x{1.0, 2.0, 3.0};
+  EXPECT_EQ(a.multiply(x), (Vector{7.0, 6.0, 19.0}));
+}
+
+TEST(CsrMatrix, MultiplyTransposedMatchesTranspose) {
+  const CsrMatrix a = small_example();
+  const Vector x{1.0, 2.0, 3.0};
+  EXPECT_EQ(a.multiply_transposed(x), a.transposed().multiply(x));
+}
+
+TEST(CsrMatrix, QuadraticFormMatchesDense) {
+  const CsrMatrix a = random_spd(12, 0.4, 5);
+  Rng rng(6);
+  Vector x(12);
+  for (auto& v : x) v = rng.normal();
+  const Vector ax = a.multiply(x);
+  EXPECT_NEAR(a.quadratic_form(x), dot(x, ax), 1e-10);
+}
+
+TEST(CsrMatrix, DiagonalExtraction) {
+  const CsrMatrix a = small_example();
+  EXPECT_EQ(a.diagonal(), (Vector{1.0, 3.0, 5.0}));
+}
+
+TEST(CsrMatrix, TransposeInvolution) {
+  const CsrMatrix a = small_example();
+  const CsrMatrix att = a.transposed().transposed();
+  EXPECT_EQ(att.nnz(), a.nnz());
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(att.at(i, j), a.at(i, j));
+}
+
+TEST(CsrMatrix, IsSymmetricDetects) {
+  EXPECT_TRUE(random_spd(10, 0.3, 7).is_symmetric());
+  EXPECT_FALSE(small_example().is_symmetric());
+  const CsrMatrix rect = CsrMatrix::from_triplets(2, 3, {{0, 0, 1.0}});
+  EXPECT_FALSE(rect.is_symmetric());
+}
+
+TEST(CsrMatrix, AddMatchesDense) {
+  const CsrMatrix a = random_spd(9, 0.3, 8);
+  const CsrMatrix b = random_spd(9, 0.3, 9);
+  const CsrMatrix c = add(a, b, 2.0, -0.5);
+  const DenseMatrix da = to_dense(a);
+  const DenseMatrix db = to_dense(b);
+  const DenseMatrix dc = to_dense(c);
+  for (Index i = 0; i < 9; ++i)
+    for (Index j = 0; j < 9; ++j)
+      EXPECT_NEAR(dc(i, j), 2.0 * da(i, j) - 0.5 * db(i, j), 1e-12);
+}
+
+TEST(CsrMatrix, ScaleMultipliesValues) {
+  CsrMatrix a = small_example();
+  a.scale(2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 10.0);
+}
+
+class SpgemmSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpgemmSweep, MatchesDenseProduct) {
+  const std::uint64_t seed = GetParam();
+  const CsrMatrix a = random_spd(11, 0.35, seed);
+  const CsrMatrix b = random_spd(11, 0.35, seed + 1000);
+  const CsrMatrix c = spgemm(a, b);
+  const DenseMatrix dc = matmul(to_dense(a), to_dense(b));
+  for (Index i = 0; i < 11; ++i)
+    for (Index j = 0; j < 11; ++j) EXPECT_NEAR(c.at(i, j), dc(i, j), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpgemmSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+TEST(Spgemm, RectangularShapes) {
+  // (2×3) · (3×2)
+  const CsrMatrix a =
+      CsrMatrix::from_triplets(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  const CsrMatrix b =
+      CsrMatrix::from_triplets(3, 2, {{0, 1, 4.0}, {1, 0, 5.0}, {2, 1, 6.0}});
+  const CsrMatrix c = spgemm(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 4.0 + 12.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 15.0);
+}
+
+TEST(Spgemm, InnerDimensionMismatchThrows) {
+  const CsrMatrix a = CsrMatrix::identity(3);
+  const CsrMatrix b = CsrMatrix::identity(4);
+  EXPECT_THROW(spgemm(a, b), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::la

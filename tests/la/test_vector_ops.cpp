@@ -1,0 +1,73 @@
+// Unit tests for BLAS-1 style vector helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+
+namespace sgl::la {
+namespace {
+
+TEST(VectorOps, DotProduct) {
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOps, DotSizeMismatchThrows) {
+  const Vector x{1.0};
+  const Vector y{1.0, 2.0};
+  EXPECT_THROW((void)dot(x, y), ContractViolation);
+}
+
+TEST(VectorOps, Norms) {
+  const Vector x{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2_squared(x), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+}
+
+TEST(VectorOps, Axpy) {
+  Vector y{1.0, 1.0, 1.0};
+  const Vector x{1.0, 2.0, 3.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+TEST(VectorOps, ScaleAndMean) {
+  Vector x{2.0, 4.0, 6.0};
+  scale(x, 0.5);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(mean(x), 2.0);
+  EXPECT_DOUBLE_EQ(mean(Vector{}), 0.0);
+}
+
+TEST(VectorOps, CenterMakesMeanZero) {
+  Vector x{1.0, 2.0, 3.0, 10.0};
+  center(x);
+  EXPECT_NEAR(mean(x), 0.0, 1e-15);
+}
+
+TEST(VectorOps, NormalizeReturnsOriginalNorm) {
+  Vector x{3.0, 4.0};
+  const Real n = normalize(x);
+  EXPECT_DOUBLE_EQ(n, 5.0);
+  EXPECT_NEAR(norm2(x), 1.0, 1e-15);
+}
+
+TEST(VectorOps, NormalizeZeroVectorIsNoop) {
+  Vector x{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(x), 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(VectorOps, DistanceSquared) {
+  const Vector x{1.0, 2.0};
+  const Vector y{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(distance_squared(x, y), 9.0 + 16.0);
+}
+
+}  // namespace
+}  // namespace sgl::la

@@ -1,0 +1,109 @@
+// Unit tests for the JL effective-resistance sketch (paper §II-D).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "measure/resistance_sketch.hpp"
+
+namespace sgl::measure {
+namespace {
+
+TEST(ResistanceSketch, AutoProjectionCountFollowsFormula) {
+  const graph::Graph g = graph::make_grid2d(10, 10).graph;
+  SketchOptions options;
+  options.epsilon = 0.5;
+  const ResistanceSketch sketch(g, options);
+  const Index expected = static_cast<Index>(
+      std::ceil(24.0 * std::log(100.0) / 0.25));
+  EXPECT_EQ(sketch.num_projections(), expected);
+}
+
+TEST(ResistanceSketch, ExplicitProjectionCountWins) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  SketchOptions options;
+  options.num_projections = 17;
+  const ResistanceSketch sketch(g, options);
+  EXPECT_EQ(sketch.num_projections(), 17);
+}
+
+class SketchAccuracySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SketchAccuracySweep, EstimatesWithinJlBand) {
+  // With M = 24 ln N / ε² projections the JL guarantee is (1±ε) w.h.p.;
+  // we allow 1.5ε slack to keep the test robust across seeds.
+  const graph::Graph g = graph::make_grid2d(9, 9).graph;
+  const solver::LaplacianPinvSolver exact(g);
+  SketchOptions options;
+  options.epsilon = 0.3;
+  options.seed = GetParam();
+  const ResistanceSketch sketch(g, options);
+  for (const auto& [s, t] : std::vector<std::pair<Index, Index>>{
+           {0, 1}, {0, 80}, {12, 61}, {40, 41}, {5, 75}}) {
+    const Real truth = exact.effective_resistance(s, t);
+    const Real est = sketch.estimate(s, t);
+    EXPECT_GE(est, (1.0 - 0.45) * truth) << s << "," << t;
+    EXPECT_LE(est, (1.0 + 0.45) * truth) << s << "," << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SketchAccuracySweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(ResistanceSketch, MoreProjectionsTightenTheEstimate) {
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  const solver::LaplacianPinvSolver exact(g);
+  const Real truth = exact.effective_resistance(0, 63);
+
+  Real err_small = 0.0;
+  Real err_large = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SketchOptions small;
+    small.num_projections = 10;
+    small.seed = seed;
+    SketchOptions large;
+    large.num_projections = 400;
+    large.seed = seed;
+    err_small += std::abs(ResistanceSketch(g, small).estimate(0, 63) - truth);
+    err_large += std::abs(ResistanceSketch(g, large).estimate(0, 63) - truth);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(ResistanceSketch, SketchMeasurementsSatisfyLaplacian) {
+  const graph::Graph g = graph::make_grid2d(6, 5).graph;
+  SketchOptions options;
+  options.num_projections = 9;
+  const Measurements m = sketch_measurements(g, options);
+  EXPECT_EQ(m.voltages.cols(), 9);
+  const la::CsrMatrix lap = g.laplacian();
+  for (Index i = 0; i < 9; ++i) {
+    const la::Vector lx = lap.multiply(m.voltages.col_vector(i));
+    const la::Vector y = m.currents.col_vector(i);
+    for (std::size_t j = 0; j < y.size(); ++j) EXPECT_NEAR(lx[j], y[j], 1e-9);
+  }
+}
+
+TEST(ResistanceSketch, CurrentsAreCentered) {
+  const graph::Graph g = graph::make_cycle(10);
+  SketchOptions options;
+  options.num_projections = 6;
+  const Measurements m = sketch_measurements(g, options);
+  for (Index i = 0; i < 6; ++i)
+    EXPECT_NEAR(la::mean(m.currents.col_vector(i)), 0.0, 1e-12);
+}
+
+TEST(ResistanceSketch, Contracts) {
+  const graph::Graph g = graph::make_path(5);
+  SketchOptions bad;
+  bad.epsilon = 1.5;
+  EXPECT_THROW(ResistanceSketch(g, bad), ContractViolation);
+  SketchOptions four;
+  four.num_projections = 4;
+  const ResistanceSketch sketch(g, four);
+  EXPECT_THROW((void)sketch.estimate(0, 0), ContractViolation);
+  EXPECT_THROW((void)sketch.estimate(0, 10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::measure

@@ -1,0 +1,121 @@
+// Robustness tests for the AMG hierarchy on harder-than-uniform inputs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+#include "solver/amg.hpp"
+#include "solver/pcg.hpp"
+
+namespace sgl::solver {
+namespace {
+
+la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
+  std::vector<la::Triplet> t;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
+    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
+    if (e.s != 0 && e.t != 0) {
+      t.push_back({e.s - 1, e.t - 1, -e.weight});
+      t.push_back({e.t - 1, e.s - 1, -e.weight});
+    }
+  }
+  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
+}
+
+/// Anisotropic grid: strong couplings along x, weak along y — the classic
+/// stress test for strength-of-connection heuristics.
+graph::Graph anisotropic_grid(Index nx, Index ny, Real weak) {
+  graph::Graph g(nx * ny);
+  const auto id = [nx](Index x, Index y) { return y * nx + x; };
+  for (Index y = 0; y < ny; ++y)
+    for (Index x = 0; x < nx; ++x) {
+      if (x + 1 < nx) g.add_edge(id(x, y), id(x + 1, y), 1.0);
+      if (y + 1 < ny) g.add_edge(id(x, y), id(x, y + 1), weak);
+    }
+  return g;
+}
+
+class AmgAnisotropySweep : public ::testing::TestWithParam<Real> {};
+
+TEST_P(AmgAnisotropySweep, PcgStillConverges) {
+  const Real weak = GetParam();
+  const la::CsrMatrix a = grounded_laplacian(anisotropic_grid(24, 24, weak));
+  Rng rng(3);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  const AmgPreconditioner amg(a);
+  la::Vector x;
+  PcgOptions options;
+  options.max_iterations = 400;
+  const PcgResult r = pcg_solve(a, b, x, amg, options);
+  EXPECT_TRUE(r.converged) << "weak coupling " << weak;
+  const la::Vector ax = a.multiply(x);
+  la::Vector res = b;
+  la::axpy(-1.0, ax, res);
+  EXPECT_LE(la::norm2(res) / la::norm2(b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(WeakCouplings, AmgAnisotropySweep,
+                         ::testing::Values(Real{1.0}, Real{0.1}, Real{0.01},
+                                           Real{0.001}));
+
+TEST(AmgRobustness, WideWeightSpreadCircuit) {
+  // Three decades of conductance spread.
+  const graph::MeshGraph mesh =
+      graph::make_circuit_grid(20, 20, 0, 0.01, 10.0, 5);
+  const la::CsrMatrix a = grounded_laplacian(mesh.graph);
+  Rng rng(4);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  const AmgPreconditioner amg(a);
+  la::Vector x;
+  const PcgResult r = pcg_solve(a, b, x, amg);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(AmgRobustness, UltraSparseLearnedShapeGraph) {
+  // Tree + a few extras (the SGL iterate shape) — aggregation must not
+  // stall even though most nodes have degree ≤ 2.
+  const graph::Graph mesh = graph::make_grid2d(30, 30).graph;
+  const auto tree_ids = graph::maximum_spanning_forest(mesh);
+  graph::Graph g = graph::subgraph_from_edges(mesh, tree_ids);
+  g.add_edge(0, 899, 1.0);
+  g.add_edge(15, 600, 1.0);
+  const la::CsrMatrix a = grounded_laplacian(g);
+  const AmgHierarchy h(a);
+  EXPECT_GE(h.num_levels(), 2);
+  Rng rng(5);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  const AmgPreconditioner amg(a);
+  la::Vector x;
+  PcgOptions options;
+  options.max_iterations = 500;
+  const PcgResult r = pcg_solve(a, b, x, amg, options);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(AmgRobustness, CoarseSizeOptionRespected) {
+  const la::CsrMatrix a =
+      grounded_laplacian(graph::make_grid2d(20, 20).graph);
+  AmgOptions options;
+  options.coarse_size = 10;
+  const AmgHierarchy deep(a, options);
+  options.coarse_size = 200;
+  const AmgHierarchy shallow(a, options);
+  EXPECT_GT(deep.num_levels(), shallow.num_levels());
+}
+
+TEST(AmgRobustness, MaxLevelsCapsHierarchy) {
+  const la::CsrMatrix a =
+      grounded_laplacian(graph::make_grid2d(24, 24).graph);
+  AmgOptions options;
+  options.max_levels = 2;
+  options.coarse_size = 4;
+  const AmgHierarchy h(a, options);
+  EXPECT_LE(h.num_levels(), 2);
+}
+
+}  // namespace
+}  // namespace sgl::solver

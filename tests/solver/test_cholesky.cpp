@@ -1,0 +1,148 @@
+// Unit tests for the sparse LDLᵀ factorization.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "solver/cholesky.hpp"
+
+namespace sgl::solver {
+namespace {
+
+/// Grounded Laplacian (node 0 removed) of a graph — SPD when connected.
+la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
+  std::vector<la::Triplet> t;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
+    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
+    if (e.s != 0 && e.t != 0) {
+      t.push_back({e.s - 1, e.t - 1, -e.weight});
+      t.push_back({e.t - 1, e.s - 1, -e.weight});
+    }
+  }
+  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
+}
+
+la::CsrMatrix random_spd(Index n, Real density, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Triplet> t;
+  la::Vector diag(static_cast<std::size_t>(n), 0.5);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i + 1; j < n; ++j)
+      if (rng.uniform() < density) {
+        const Real v = rng.uniform(0.1, 1.0);
+        t.push_back({i, j, -v});
+        t.push_back({j, i, -v});
+        diag[static_cast<std::size_t>(i)] += v;
+        diag[static_cast<std::size_t>(j)] += v;
+      }
+  for (Index i = 0; i < n; ++i) t.push_back({i, i, diag[static_cast<std::size_t>(i)]});
+  return la::CsrMatrix::from_triplets(n, n, t);
+}
+
+TEST(Cholesky, SolvesDiagonalSystem) {
+  const la::CsrMatrix a = la::CsrMatrix::from_triplets(
+      3, 3, {{0, 0, 2.0}, {1, 1, 4.0}, {2, 2, 5.0}});
+  const CholeskySolver solver(a);
+  const la::Vector x = solver.solve({2.0, 8.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+  EXPECT_NEAR(x[2], 2.0, 1e-14);
+}
+
+class CholeskyOrderingSweep : public ::testing::TestWithParam<OrderingMethod> {};
+
+TEST_P(CholeskyOrderingSweep, GroundedGridResidualTiny) {
+  const graph::Graph g = graph::make_grid2d(9, 11).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  const CholeskySolver solver(a, GetParam());
+  Rng rng(11);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  const la::Vector x = solver.solve(b);
+  const la::Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, CholeskyOrderingSweep,
+                         ::testing::Values(OrderingMethod::kNatural,
+                                           OrderingMethod::kRcm,
+                                           OrderingMethod::kMinimumDegree,
+                                           OrderingMethod::kNestedDissection,
+                                           OrderingMethod::kAuto));
+
+class CholeskyRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CholeskyRandomSweep, RandomSpdResidualTiny) {
+  const la::CsrMatrix a = random_spd(40, 0.15, GetParam());
+  const CholeskySolver solver(a);
+  Rng rng(GetParam() + 500);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  const la::Vector x = solver.solve(b);
+  const la::Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyRandomSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 6ull,
+                                           7ull, 8ull));
+
+TEST(Cholesky, IndefiniteMatrixThrows) {
+  // [1 2; 2 1] has eigenvalues 3 and −1.
+  const la::CsrMatrix a = la::CsrMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 1.0}});
+  EXPECT_THROW(CholeskySolver{a}, NumericalError);
+}
+
+TEST(Cholesky, SingularLaplacianThrows) {
+  // Full (ungrounded) Laplacian is singular.
+  const la::CsrMatrix lap = graph::make_path(5).laplacian();
+  EXPECT_THROW(CholeskySolver{lap}, NumericalError);
+}
+
+TEST(Cholesky, StatsAreFilled) {
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  const CholeskySolver solver(a, OrderingMethod::kMinimumDegree);
+  EXPECT_EQ(solver.stats().n, a.rows());
+  EXPECT_EQ(solver.stats().input_nnz, a.nnz());
+  EXPECT_GT(solver.stats().factor_nnz, 0);
+}
+
+TEST(Cholesky, MinimumDegreeFillNoWorseThanNaturalOnGrid) {
+  const graph::Graph g = graph::make_grid2d(15, 15).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  const CholeskySolver md(a, OrderingMethod::kMinimumDegree);
+  const CholeskySolver nat(a, OrderingMethod::kNatural);
+  EXPECT_LE(md.stats().factor_nnz, nat.stats().factor_nnz);
+}
+
+TEST(Cholesky, TreeFactorsWithLinearFill) {
+  // A tree admits a no-fill factorization under minimum degree: the factor
+  // of the grounded path (a tridiagonal chain) has exactly n−1
+  // off-diagonal entries.
+  const graph::Graph tree = graph::make_path(200);
+  const la::CsrMatrix a = grounded_laplacian(tree);
+  const CholeskySolver solver(a, OrderingMethod::kMinimumDegree);
+  EXPECT_EQ(solver.stats().factor_nnz, a.rows() - 1);
+}
+
+TEST(Cholesky, SolveInPlaceMatchesSolve) {
+  const la::CsrMatrix a = random_spd(20, 0.3, 77);
+  const CholeskySolver solver(a);
+  Rng rng(78);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  la::Vector x = b;
+  solver.solve_in_place(x);
+  EXPECT_EQ(x, solver.solve(b));
+}
+
+TEST(Cholesky, WrongRhsSizeThrows) {
+  const la::CsrMatrix a = la::CsrMatrix::identity(3);
+  const CholeskySolver solver(a);
+  EXPECT_THROW(solver.solve({1.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::solver

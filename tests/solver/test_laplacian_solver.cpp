@@ -1,0 +1,150 @@
+// Unit tests for the Laplacian pseudo-inverse facade.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace sgl::solver {
+namespace {
+
+TEST(LaplacianSolver, ApplyInvertsOnCenteredVectors) {
+  const graph::Graph g = graph::make_grid2d(6, 7).graph;
+  const LaplacianPinvSolver pinv(g);
+  Rng rng(1);
+  la::Vector y(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& v : y) v = rng.normal();
+  la::center(y);
+
+  const la::Vector x = pinv.apply(y);
+  const la::Vector lx = g.laplacian().multiply(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(lx[i], y[i], 1e-9);
+}
+
+TEST(LaplacianSolver, ResultIsOrthogonalToOnes) {
+  const graph::Graph g = graph::make_cycle(12);
+  const LaplacianPinvSolver pinv(g);
+  la::Vector y(12, 0.0);
+  y[0] = 1.0;
+  y[7] = -1.0;
+  const la::Vector x = pinv.apply(y);
+  EXPECT_NEAR(la::mean(x), 0.0, 1e-12);
+}
+
+TEST(LaplacianSolver, NullspaceComponentIsIgnored) {
+  // L⁺(y + c·1) = L⁺y — adding a constant to the rhs must not change x.
+  const graph::Graph g = graph::make_grid2d(5, 5).graph;
+  const LaplacianPinvSolver pinv(g);
+  la::Vector y(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  y[3] = 2.0;
+  y[20] = -2.0;
+  la::Vector y_shifted = y;
+  for (auto& v : y_shifted) v += 5.0;
+  const la::Vector x1 = pinv.apply(y);
+  const la::Vector x2 = pinv.apply(y_shifted);
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+TEST(LaplacianSolver, PathEffectiveResistanceIsHopCount) {
+  const graph::Graph g = graph::make_path(10);
+  const LaplacianPinvSolver pinv(g);
+  EXPECT_NEAR(pinv.effective_resistance(0, 9), 9.0, 1e-9);
+  EXPECT_NEAR(pinv.effective_resistance(2, 5), 3.0, 1e-9);
+}
+
+TEST(LaplacianSolver, CycleEffectiveResistanceIsParallelFormula) {
+  // On a cycle of n unit resistors, Reff(s,t) = k(n−k)/n for hop distance k.
+  const Index n = 12;
+  const graph::Graph g = graph::make_cycle(n);
+  const LaplacianPinvSolver pinv(g);
+  EXPECT_NEAR(pinv.effective_resistance(0, 3), 3.0 * 9.0 / 12.0, 1e-9);
+  EXPECT_NEAR(pinv.effective_resistance(0, 6), 6.0 * 6.0 / 12.0, 1e-9);
+}
+
+TEST(LaplacianSolver, WeightsScaleResistanceInversely) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 4.0);
+  const LaplacianPinvSolver pinv(g);
+  EXPECT_NEAR(pinv.effective_resistance(0, 1), 0.25, 1e-12);
+}
+
+TEST(LaplacianSolver, RayleighMonotonicity) {
+  // Adding an edge can only decrease effective resistances.
+  graph::Graph g = graph::make_path(8);
+  const LaplacianPinvSolver before(g);
+  const Real r_before = before.effective_resistance(0, 7);
+  g.add_edge(0, 7, 1.0);
+  const LaplacianPinvSolver after(g);
+  const Real r_after = after.effective_resistance(0, 7);
+  EXPECT_LT(r_after, r_before);
+  // Parallel of 7Ω path and 1Ω edge: 7/8 Ω.
+  EXPECT_NEAR(r_after, 7.0 / 8.0, 1e-9);
+}
+
+class LaplacianMethodSweep : public ::testing::TestWithParam<LaplacianMethod> {};
+
+TEST_P(LaplacianMethodSweep, AllMethodsAgree) {
+  const graph::Graph g = graph::make_grid2d(9, 9).graph;
+  LaplacianSolverOptions options;
+  options.method = GetParam();
+  const LaplacianPinvSolver pinv(g, options);
+
+  LaplacianSolverOptions reference_options;
+  reference_options.method = LaplacianMethod::kCholesky;
+  const LaplacianPinvSolver reference(g, reference_options);
+
+  Rng rng(2);
+  la::Vector y(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& v : y) v = rng.normal();
+  la::center(y);
+  const la::Vector a = pinv.apply(y);
+  const la::Vector b = reference.apply(y);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, LaplacianMethodSweep,
+                         ::testing::Values(LaplacianMethod::kCholesky,
+                                           LaplacianMethod::kPcgJacobi,
+                                           LaplacianMethod::kPcgIc0,
+                                           LaplacianMethod::kPcgTree,
+                                           LaplacianMethod::kPcgAmg,
+                                           LaplacianMethod::kAuto));
+
+TEST(LaplacianSolver, DisconnectedGraphThrows) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_THROW(LaplacianPinvSolver{g}, ContractViolation);
+}
+
+TEST(LaplacianSolver, TooSmallGraphThrows) {
+  EXPECT_THROW(LaplacianPinvSolver{graph::Graph(1)}, ContractViolation);
+}
+
+TEST(LaplacianSolver, EffectiveResistanceContracts) {
+  const graph::Graph g = graph::make_path(4);
+  const LaplacianPinvSolver pinv(g);
+  EXPECT_THROW((void)pinv.effective_resistance(0, 0), ContractViolation);
+  EXPECT_THROW((void)pinv.effective_resistance(0, 9), ContractViolation);
+}
+
+TEST(LaplacianSolver, ReportsResolvedAutoMethod) {
+  const graph::Graph small = graph::make_grid2d(5, 5).graph;
+  const LaplacianPinvSolver pinv(small);
+  EXPECT_EQ(pinv.method(), LaplacianMethod::kCholesky);
+}
+
+TEST(LaplacianSolver, PcgIterationCountExposed) {
+  const graph::Graph g = graph::make_grid2d(10, 10).graph;
+  LaplacianSolverOptions options;
+  options.method = LaplacianMethod::kPcgAmg;
+  const LaplacianPinvSolver pinv(g, options);
+  la::Vector y(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  y[0] = 1.0;
+  y[99] = -1.0;
+  (void)pinv.apply(y);
+  EXPECT_GT(pinv.last_pcg_iterations(), 0);
+}
+
+}  // namespace
+}  // namespace sgl::solver

@@ -1,0 +1,146 @@
+// Unit tests for preconditioned conjugate gradient and the point
+// preconditioners.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "solver/pcg.hpp"
+
+namespace sgl::solver {
+namespace {
+
+la::CsrMatrix grounded_grid_laplacian(Index nx, Index ny) {
+  const graph::Graph g = graph::make_grid2d(nx, ny).graph;
+  std::vector<la::Triplet> t;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
+    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
+    if (e.s != 0 && e.t != 0) {
+      t.push_back({e.s - 1, e.t - 1, -e.weight});
+      t.push_back({e.t - 1, e.s - 1, -e.weight});
+    }
+  }
+  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
+}
+
+TEST(Pcg, SolvesIdentityInOneIteration) {
+  const la::CsrMatrix a = la::CsrMatrix::identity(10);
+  la::Vector b(10, 1.0);
+  la::Vector x;
+  const IdentityPreconditioner m(10);
+  const PcgResult r = pcg_solve(a, b, x, m);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+  for (const Real v : x) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(Pcg, ZeroRhsGivesZeroSolution) {
+  const la::CsrMatrix a = la::CsrMatrix::identity(5);
+  la::Vector x{1.0, 2.0, 3.0, 4.0, 5.0};  // stale initial guess
+  const IdentityPreconditioner m(5);
+  const PcgResult r = pcg_solve(a, la::Vector(5, 0.0), x, m);
+  EXPECT_TRUE(r.converged);
+  for (const Real v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+class PcgPreconditionerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PcgPreconditionerSweep, GridLaplacianResidualBelowTolerance) {
+  const la::CsrMatrix a = grounded_grid_laplacian(13, 14);
+  Rng rng(5);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+
+  std::unique_ptr<Preconditioner> m;
+  switch (GetParam()) {
+    case 0: m = std::make_unique<IdentityPreconditioner>(a.rows()); break;
+    case 1: m = std::make_unique<JacobiPreconditioner>(a); break;
+    default: m = std::make_unique<SgsPreconditioner>(a); break;
+  }
+  la::Vector x;
+  PcgOptions options;
+  options.rel_tolerance = 1e-10;
+  const PcgResult r = pcg_solve(a, b, x, *m, options);
+  EXPECT_TRUE(r.converged);
+  const la::Vector ax = a.multiply(x);
+  la::Vector res = b;
+  la::axpy(-1.0, ax, res);
+  EXPECT_LE(la::norm2(res) / la::norm2(b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Preconditioners, PcgPreconditionerSweep,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Pcg, SgsConvergesFasterThanIdentityOnGrid) {
+  const la::CsrMatrix a = grounded_grid_laplacian(20, 20);
+  Rng rng(6);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+
+  la::Vector x1, x2;
+  const IdentityPreconditioner ident(a.rows());
+  const SgsPreconditioner sgs(a);
+  const PcgResult r_ident = pcg_solve(a, b, x1, ident);
+  const PcgResult r_sgs = pcg_solve(a, b, x2, sgs);
+  EXPECT_TRUE(r_ident.converged);
+  EXPECT_TRUE(r_sgs.converged);
+  EXPECT_LT(r_sgs.iterations, r_ident.iterations);
+}
+
+TEST(Pcg, RespectsIterationCap) {
+  const la::CsrMatrix a = grounded_grid_laplacian(25, 25);
+  Rng rng(7);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  la::Vector x;
+  const IdentityPreconditioner m(a.rows());
+  PcgOptions options;
+  options.max_iterations = 3;
+  const PcgResult r = pcg_solve(a, b, x, m, options);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+TEST(Pcg, WarmStartFromExactSolutionConvergesImmediately) {
+  const la::CsrMatrix a = grounded_grid_laplacian(8, 8);
+  Rng rng(8);
+  la::Vector x_true(static_cast<std::size_t>(a.rows()));
+  for (auto& v : x_true) v = rng.normal();
+  const la::Vector b = a.multiply(x_true);
+  la::Vector x = x_true;
+  const JacobiPreconditioner m(a);
+  const PcgResult r = pcg_solve(a, b, x, m);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 1);
+}
+
+TEST(Pcg, SizeMismatchThrows) {
+  const la::CsrMatrix a = la::CsrMatrix::identity(4);
+  const IdentityPreconditioner m(4);
+  la::Vector x;
+  EXPECT_THROW(pcg_solve(a, la::Vector(3, 1.0), x, m), ContractViolation);
+}
+
+TEST(Preconditioner, JacobiRejectsNonpositiveDiagonal) {
+  const la::CsrMatrix a =
+      la::CsrMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, -2.0}});
+  EXPECT_THROW(JacobiPreconditioner{a}, ContractViolation);
+}
+
+TEST(Preconditioner, SgsApplyIsSymmetric) {
+  // zᵀ M⁻¹ r should equal rᵀ M⁻¹ z for the SGS preconditioner.
+  const la::CsrMatrix a = grounded_grid_laplacian(6, 6);
+  const SgsPreconditioner m(a);
+  Rng rng(9);
+  la::Vector r(static_cast<std::size_t>(a.rows()));
+  la::Vector s(static_cast<std::size_t>(a.rows()));
+  for (auto& v : r) v = rng.normal();
+  for (auto& v : s) v = rng.normal();
+  la::Vector mr, ms;
+  m.apply(r, mr);
+  m.apply(s, ms);
+  EXPECT_NEAR(la::dot(s, mr), la::dot(r, ms), 1e-9);
+}
+
+}  // namespace
+}  // namespace sgl::solver

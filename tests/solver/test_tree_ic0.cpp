@@ -1,0 +1,197 @@
+// Unit tests for the spanning-tree and IC(0) preconditioners.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "solver/amg.hpp"
+#include "solver/ic0.hpp"
+#include "solver/pcg.hpp"
+#include "solver/tree_preconditioner.hpp"
+
+namespace sgl::solver {
+namespace {
+
+la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
+  std::vector<la::Triplet> t;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
+    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
+    if (e.s != 0 && e.t != 0) {
+      t.push_back({e.s - 1, e.t - 1, -e.weight});
+      t.push_back({e.t - 1, e.s - 1, -e.weight});
+    }
+  }
+  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
+}
+
+// --- TreePreconditioner -------------------------------------------------
+
+TEST(TreePreconditioner, ExactOnTrees) {
+  // For a tree the preconditioner IS the grounded Laplacian: applying it
+  // must solve the system exactly.
+  const graph::Graph g = graph::make_path(20);
+  const la::CsrMatrix a = grounded_laplacian(g);
+  const TreePreconditioner tree(g);
+  Rng rng(1);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  la::Vector z;
+  tree.apply(b, z);
+  const la::Vector az = a.multiply(z);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(az[i], b[i], 1e-10);
+}
+
+TEST(TreePreconditioner, ExactOnStarAndRandomTrees) {
+  Rng rng(2);
+  for (const std::uint64_t seed : {3ull, 4ull, 5ull}) {
+    Rng tree_rng(seed);
+    const Index n = 40;
+    graph::Graph g(n);
+    for (Index i = 1; i < n; ++i)
+      g.add_edge(tree_rng.uniform_int(i), i, tree_rng.uniform(0.5, 3.0));
+    const la::CsrMatrix a = grounded_laplacian(g);
+    const TreePreconditioner tree(g);
+    la::Vector b(static_cast<std::size_t>(a.rows()));
+    for (auto& v : b) v = rng.normal();
+    la::Vector z;
+    tree.apply(b, z);
+    const la::Vector az = a.multiply(z);
+    for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(az[i], b[i], 1e-9);
+  }
+}
+
+TEST(TreePreconditioner, AcceleratesPcgOnMesh) {
+  const graph::Graph g = graph::make_grid2d(18, 18).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  Rng rng(3);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+
+  const TreePreconditioner tree(g);
+  const IdentityPreconditioner ident(a.rows());
+  la::Vector x1, x2;
+  const PcgResult r_tree = pcg_solve(a, b, x1, tree);
+  const PcgResult r_ident = pcg_solve(a, b, x2, ident);
+  EXPECT_TRUE(r_tree.converged);
+  EXPECT_TRUE(r_ident.converged);
+  // Both converge to the same solution.
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_NEAR(x1[i], x2[i], 1e-6);
+}
+
+TEST(TreePreconditioner, IsSymmetricOperator) {
+  const graph::Graph g = graph::make_grid2d(9, 9).graph;
+  const TreePreconditioner tree(g);
+  Rng rng(4);
+  la::Vector r(static_cast<std::size_t>(g.num_nodes() - 1));
+  la::Vector s(static_cast<std::size_t>(g.num_nodes() - 1));
+  for (auto& v : r) v = rng.normal();
+  for (auto& v : s) v = rng.normal();
+  la::Vector mr, ms;
+  tree.apply(r, mr);
+  tree.apply(s, ms);
+  EXPECT_NEAR(la::dot(s, mr), la::dot(r, ms), 1e-9);
+}
+
+TEST(TreePreconditioner, RequiresConnectedGraph) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_THROW(TreePreconditioner{g}, ContractViolation);
+}
+
+TEST(TreePreconditioner, TreeEdgeCount) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  const TreePreconditioner tree(g);
+  EXPECT_EQ(tree.tree_edges(), 35);
+}
+
+// --- Ic0Preconditioner ---------------------------------------------------
+
+TEST(Ic0, ExactWhenPatternHasNoFill) {
+  // A tridiagonal matrix factors exactly under IC(0).
+  const graph::Graph g = graph::make_path(30);
+  const la::CsrMatrix a = grounded_laplacian(g);
+  const Ic0Preconditioner ic0(a);
+  EXPECT_DOUBLE_EQ(ic0.shift(), 0.0);
+  Rng rng(5);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  la::Vector z;
+  ic0.apply(b, z);
+  const la::Vector az = a.multiply(z);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(az[i], b[i], 1e-10);
+}
+
+TEST(Ic0, AcceleratesPcgOnMesh) {
+  const graph::Graph g = graph::make_grid2d(20, 20).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  Rng rng(6);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+
+  const Ic0Preconditioner ic0(a);
+  const IdentityPreconditioner ident(a.rows());
+  la::Vector x1, x2;
+  const PcgResult r_ic0 = pcg_solve(a, b, x1, ic0);
+  const PcgResult r_ident = pcg_solve(a, b, x2, ident);
+  EXPECT_TRUE(r_ic0.converged);
+  EXPECT_LT(r_ic0.iterations, r_ident.iterations);
+}
+
+TEST(Ic0, SymmetricOperator) {
+  const graph::Graph g = graph::make_grid2d(10, 10).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  const Ic0Preconditioner ic0(a);
+  Rng rng(7);
+  la::Vector r(static_cast<std::size_t>(a.rows()));
+  la::Vector s(static_cast<std::size_t>(a.rows()));
+  for (auto& v : r) v = rng.normal();
+  for (auto& v : s) v = rng.normal();
+  la::Vector mr, ms;
+  ic0.apply(r, mr);
+  ic0.apply(s, ms);
+  EXPECT_NEAR(la::dot(s, mr), la::dot(r, ms), 1e-9);
+}
+
+TEST(Ic0, WorksOnWeightedCircuitGrid) {
+  const graph::MeshGraph mesh = graph::make_circuit_grid(15, 15, 0, 0.5, 5.0, 9);
+  const la::CsrMatrix a = grounded_laplacian(mesh.graph);
+  const Ic0Preconditioner ic0(a);
+  Rng rng(8);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  la::Vector x;
+  const PcgResult r = pcg_solve(a, b, x, ic0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Ic0, NonSquareThrows) {
+  const la::CsrMatrix rect = la::CsrMatrix::from_triplets(2, 3, {{0, 0, 1.0}});
+  EXPECT_THROW(Ic0Preconditioner{rect}, ContractViolation);
+}
+
+class PreconditionerQualityOrder : public ::testing::Test {};
+
+TEST(PreconditionerQualityOrder, IterationCountsOrderAsExpected) {
+  // On a uniform mesh: AMG ≾ IC0/tree/SGS < Jacobi < Identity.
+  const graph::Graph g = graph::make_grid2d(24, 24).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  Rng rng(9);
+  la::Vector b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+
+  const auto iterations_with = [&](const Preconditioner& m) {
+    la::Vector x;
+    return pcg_solve(a, b, x, m).iterations;
+  };
+  const Index it_ident = iterations_with(IdentityPreconditioner(a.rows()));
+  const Index it_jacobi = iterations_with(JacobiPreconditioner(a));
+  const Index it_ic0 = iterations_with(Ic0Preconditioner(a));
+  const Index it_amg = iterations_with(AmgPreconditioner(a));
+
+  EXPECT_LE(it_ic0, it_jacobi);
+  EXPECT_LE(it_amg, it_ic0);
+  EXPECT_LE(it_jacobi, it_ident + 1);
+}
+
+}  // namespace
+}  // namespace sgl::solver

@@ -1,0 +1,99 @@
+// Unit tests for k-means, spectral clustering, and spectral drawing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "spectral/clustering.hpp"
+
+namespace sgl::spectral {
+namespace {
+
+TEST(KMeans, SeparatedBlobsRecovered) {
+  Rng rng(1);
+  la::DenseMatrix points(60, 2);
+  for (Index i = 0; i < 30; ++i) {
+    points(i, 0) = rng.normal() * 0.05;
+    points(i, 1) = rng.normal() * 0.05;
+  }
+  for (Index i = 30; i < 60; ++i) {
+    points(i, 0) = 10.0 + rng.normal() * 0.05;
+    points(i, 1) = 10.0 + rng.normal() * 0.05;
+  }
+  const auto labels = kmeans(points, 2);
+  ASSERT_EQ(labels.size(), 60u);
+  // All of blob 1 shares one label, all of blob 2 the other.
+  for (Index i = 1; i < 30; ++i) EXPECT_EQ(labels[static_cast<std::size_t>(i)], labels[0]);
+  for (Index i = 31; i < 60; ++i) EXPECT_EQ(labels[static_cast<std::size_t>(i)], labels[30]);
+  EXPECT_NE(labels[0], labels[30]);
+}
+
+TEST(KMeans, KEqualsNAssignsDistinctLabels) {
+  la::DenseMatrix points(4, 1);
+  for (Index i = 0; i < 4; ++i) points(i, 0) = static_cast<Real>(i * 10);
+  const auto labels = kmeans(points, 4);
+  const std::set<Index> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(KMeans, DeterministicPerSeed) {
+  Rng rng(2);
+  la::DenseMatrix points(50, 3);
+  for (Index j = 0; j < 3; ++j)
+    for (Index i = 0; i < 50; ++i) points(i, j) = rng.normal();
+  KMeansOptions options;
+  options.seed = 11;
+  EXPECT_EQ(kmeans(points, 5, options), kmeans(points, 5, options));
+}
+
+TEST(KMeans, Contracts) {
+  const la::DenseMatrix points(5, 2);
+  EXPECT_THROW(kmeans(points, 0), ContractViolation);
+  EXPECT_THROW(kmeans(points, 6), ContractViolation);
+}
+
+TEST(SpectralClustering, TwoCliquesWithBridge) {
+  // Two K6 cliques joined by one edge: the Fiedler vector separates them.
+  graph::Graph g(12);
+  for (Index i = 0; i < 6; ++i)
+    for (Index j = i + 1; j < 6; ++j) g.add_edge(i, j, 1.0);
+  for (Index i = 6; i < 12; ++i)
+    for (Index j = i + 1; j < 12; ++j) g.add_edge(i, j, 1.0);
+  g.add_edge(0, 6, 0.1);
+
+  EmbeddingOptions embedding;
+  embedding.r = 3;
+  const auto labels = spectral_clusters(g, 2, embedding);
+  for (Index i = 1; i < 6; ++i) EXPECT_EQ(labels[static_cast<std::size_t>(i)], labels[0]);
+  for (Index i = 7; i < 12; ++i) EXPECT_EQ(labels[static_cast<std::size_t>(i)], labels[6]);
+  EXPECT_NE(labels[0], labels[6]);
+}
+
+TEST(SpectralLayout, GridLayoutSeparatesEnds) {
+  // On a path, the Fiedler coordinate orders nodes monotonically, so the
+  // two endpoints land at extreme x positions.
+  const graph::Graph g = graph::make_path(20);
+  const auto coords = spectral_layout(g);
+  ASSERT_EQ(coords.size(), 20u);
+  Real min_x = coords[0][0];
+  Real max_x = coords[0][0];
+  for (const auto& c : coords) {
+    min_x = std::min(min_x, c[0]);
+    max_x = std::max(max_x, c[0]);
+  }
+  EXPECT_TRUE(coords[0][0] == min_x || coords[0][0] == max_x);
+  EXPECT_TRUE(coords[19][0] == min_x || coords[19][0] == max_x);
+}
+
+TEST(SpectralLayout, ProducesFiniteCoordinates) {
+  const graph::Graph g = graph::make_grid2d(9, 9).graph;
+  const auto coords = spectral_layout(g);
+  for (const auto& c : coords) {
+    EXPECT_TRUE(std::isfinite(c[0]));
+    EXPECT_TRUE(std::isfinite(c[1]));
+  }
+}
+
+}  // namespace
+}  // namespace sgl::spectral

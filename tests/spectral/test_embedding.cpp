@@ -1,0 +1,114 @@
+// Unit tests for spectral embedding (paper eq. 12 and inequality 20).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spectral/embedding.hpp"
+
+namespace sgl::spectral {
+namespace {
+
+TEST(Embedding, DimensionsFollowR) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  EmbeddingOptions options;
+  options.r = 5;
+  const Embedding e = compute_embedding(g, options);
+  EXPECT_EQ(e.u.rows(), 36);
+  EXPECT_EQ(e.u.cols(), 4);  // u2..u5
+  EXPECT_EQ(e.eigenvalues.size(), 4u);
+}
+
+TEST(Embedding, RIsCappedByGraphSize) {
+  const graph::Graph g = graph::make_path(4);
+  EmbeddingOptions options;
+  options.r = 50;
+  const Embedding e = compute_embedding(g, options);
+  EXPECT_EQ(e.u.cols(), 3);  // at most n−1 nontrivial pairs
+}
+
+TEST(Embedding, FullEmbeddingDistanceEqualsEffectiveResistance) {
+  // With r = N and σ² → ∞, ‖Urᵀe_st‖² = Reff(s,t) (paper eq. 19).
+  const Index n = 12;
+  const graph::Graph g = graph::make_cycle(n);
+  EmbeddingOptions options;
+  options.r = n;           // full spectrum
+  options.sigma2 = 1e14;   // effectively infinite
+  options.lanczos.max_subspace = n - 1;
+  const Embedding e = compute_embedding(g, options);
+
+  const solver::LaplacianPinvSolver pinv(g);
+  for (const auto& [s, t] : std::vector<std::pair<Index, Index>>{
+           {0, 1}, {0, 6}, {2, 9}}) {
+    EXPECT_NEAR(embedding_distance_squared(e.u, s, t),
+                pinv.effective_resistance(s, t), 1e-6);
+  }
+}
+
+TEST(Embedding, TruncationUnderestimatesResistance) {
+  // Paper inequality (20): with r ≪ N, z_emb < Reff for every pair.
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  EmbeddingOptions options;
+  options.r = 5;
+  options.sigma2 = 1e14;
+  const Embedding e = compute_embedding(g, options);
+  const solver::LaplacianPinvSolver pinv(g);
+  for (Index t = 1; t < 64; t += 9) {
+    EXPECT_LE(embedding_distance_squared(e.u, 0, t),
+              pinv.effective_resistance(0, t) + 1e-9);
+  }
+}
+
+TEST(Embedding, MoreEigenvectorsTightenTheApproximation) {
+  const graph::Graph g = graph::make_grid2d(7, 7).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const Real truth = pinv.effective_resistance(0, 48);
+
+  EmbeddingOptions small;
+  small.r = 3;
+  small.sigma2 = 1e14;
+  EmbeddingOptions large;
+  large.r = 20;
+  large.sigma2 = 1e14;
+  const Real z_small =
+      embedding_distance_squared(compute_embedding(g, small).u, 0, 48);
+  const Real z_large =
+      embedding_distance_squared(compute_embedding(g, large).u, 0, 48);
+  EXPECT_LE(z_small, z_large + 1e-12);
+  EXPECT_LE(z_large, truth + 1e-9);
+}
+
+TEST(Embedding, SigmaRegularizesScale) {
+  // Finite σ² shrinks every embedding coordinate relative to σ² → ∞.
+  const graph::Graph g = graph::make_grid2d(5, 5).graph;
+  EmbeddingOptions finite;
+  finite.r = 4;
+  finite.sigma2 = 1.0;
+  EmbeddingOptions infinite;
+  infinite.r = 4;
+  infinite.sigma2 = 1e14;
+  const Embedding ef = compute_embedding(g, finite);
+  const Embedding ei = compute_embedding(g, infinite);
+  EXPECT_LT(embedding_distance_squared(ef.u, 0, 24),
+            embedding_distance_squared(ei.u, 0, 24));
+}
+
+TEST(Embedding, EigenvaluesAscending) {
+  const graph::Graph g = graph::make_grid2d(6, 4).graph;
+  EmbeddingOptions options;
+  options.r = 6;
+  const Embedding e = compute_embedding(g, options);
+  for (std::size_t i = 1; i < e.eigenvalues.size(); ++i)
+    EXPECT_LE(e.eigenvalues[i - 1], e.eigenvalues[i] + 1e-12);
+}
+
+TEST(Embedding, Contracts) {
+  const graph::Graph g = graph::make_path(5);
+  EmbeddingOptions options;
+  options.r = 1;
+  EXPECT_THROW(compute_embedding(g, options), ContractViolation);
+  options.r = 3;
+  options.sigma2 = 0.0;
+  EXPECT_THROW(compute_embedding(g, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::spectral

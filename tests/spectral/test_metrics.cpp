@@ -1,0 +1,131 @@
+// Unit tests for spectral comparison metrics.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spectral/metrics.hpp"
+
+namespace sgl::spectral {
+namespace {
+
+TEST(Metrics, PearsonPerfectPositive) {
+  const la::Vector a{1.0, 2.0, 3.0, 4.0};
+  const la::Vector b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Metrics, PearsonPerfectNegative) {
+  const la::Vector a{1.0, 2.0, 3.0};
+  const la::Vector b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Metrics, PearsonUncorrelatedNearZero) {
+  const la::Vector a{1.0, -1.0, 1.0, -1.0};
+  const la::Vector b{1.0, 1.0, -1.0, -1.0};
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 1e-12);
+}
+
+TEST(Metrics, PearsonShiftAndScaleInvariant) {
+  const la::Vector a{0.3, 1.7, 2.9, 5.1, 7.7};
+  la::Vector b = a;
+  for (auto& v : b) v = 3.0 * v - 11.0;
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Metrics, PearsonConstantInputIsDefined) {
+  const la::Vector a{1.0, 1.0, 1.0};
+  const la::Vector b{1.0, 2.0, 3.0};
+  EXPECT_NO_THROW((void)pearson_correlation(a, b));
+}
+
+TEST(Metrics, PearsonContracts) {
+  EXPECT_THROW((void)pearson_correlation({1.0}, {1.0}), ContractViolation);
+  EXPECT_THROW((void)pearson_correlation({1.0, 2.0}, {1.0}),
+               ContractViolation);
+}
+
+TEST(Metrics, MeanRelativeError) {
+  const la::Vector ref{1.0, 2.0, 4.0};
+  const la::Vector approx{1.1, 1.8, 4.0};
+  EXPECT_NEAR(mean_relative_error(ref, approx), (0.1 + 0.1 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(Metrics, CompareSpectraIdenticalGraphs) {
+  const graph::Graph g = graph::make_grid2d(7, 7).graph;
+  const SpectrumComparison cmp = compare_spectra(g, g, 10);
+  EXPECT_EQ(cmp.reference.size(), 10u);
+  EXPECT_NEAR(cmp.correlation, 1.0, 1e-9);
+  EXPECT_LT(cmp.mean_rel_error, 1e-7);
+}
+
+TEST(Metrics, CompareSpectraDetectsScaleError) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  graph::Graph scaled = g;
+  scaled.scale_weights(2.0);
+  const SpectrumComparison cmp = compare_spectra(g, scaled, 8);
+  // Perfectly correlated (eigenvalues scale linearly) but biased.
+  EXPECT_NEAR(cmp.correlation, 1.0, 1e-9);
+  EXPECT_NEAR(cmp.mean_rel_error, 1.0, 1e-6);  // 2λ vs λ → 100% error
+}
+
+TEST(Metrics, SampleNodePairsValidAndDeterministic) {
+  const auto p1 = sample_node_pairs(50, 100, 9);
+  const auto p2 = sample_node_pairs(50, 100, 9);
+  EXPECT_EQ(p1.size(), 100u);
+  EXPECT_EQ(p1, p2);
+  for (const auto& [s, t] : p1) {
+    EXPECT_NE(s, t);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 50);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 50);
+  }
+}
+
+TEST(Metrics, CompareEffectiveResistancesIdenticalGraphs) {
+  const graph::Graph g = graph::make_grid2d(6, 5).graph;
+  const auto pairs = sample_node_pairs(g.num_nodes(), 40, 3);
+  const ResistanceComparison cmp =
+      compare_effective_resistances(g, g, pairs);
+  EXPECT_NEAR(cmp.correlation, 1.0, 1e-9);
+  for (std::size_t i = 0; i < cmp.reference.size(); ++i)
+    EXPECT_NEAR(cmp.reference[i], cmp.approx[i], 1e-9);
+}
+
+TEST(Metrics, HopStratifiedPairsValid) {
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  const auto pairs = sample_node_pairs_by_hops(g, 60, 5);
+  EXPECT_EQ(pairs.size(), 60u);
+  for (const auto& [s, t] : pairs) {
+    EXPECT_NE(s, t);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 64);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 64);
+  }
+  // Deterministic per seed.
+  EXPECT_EQ(pairs, sample_node_pairs_by_hops(g, 60, 5));
+}
+
+TEST(Metrics, HopStratifiedPairsSpanScales) {
+  // On a long path the sampler must produce both short and long pairs.
+  const graph::Graph g = graph::make_path(200);
+  const auto pairs = sample_node_pairs_by_hops(g, 100, 7, 64);
+  Index min_gap = 1000, max_gap = 0;
+  for (const auto& [s, t] : pairs) {
+    min_gap = std::min(min_gap, std::abs(s - t));
+    max_gap = std::max(max_gap, std::abs(s - t));
+  }
+  EXPECT_LE(min_gap, 2);
+  EXPECT_GE(max_gap, 8);
+}
+
+TEST(Metrics, CompareEffectiveResistancesNodeCountMismatchThrows) {
+  const graph::Graph a = graph::make_path(5);
+  const graph::Graph b = graph::make_path(6);
+  EXPECT_THROW(compare_effective_resistances(a, b, {{0, 1}}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::spectral

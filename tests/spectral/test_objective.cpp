@@ -1,0 +1,149 @@
+// Unit tests for the graphical-Lasso objective (paper eq. 2, β = 0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "eig/dense_eig.hpp"
+#include "graph/generators.hpp"
+#include "spectral/objective.hpp"
+
+namespace sgl::spectral {
+namespace {
+
+la::DenseMatrix random_measurements(Index n, Index m, std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix x(n, m);
+  for (Index j = 0; j < m; ++j)
+    for (Index i = 0; i < n; ++i) x(i, j) = rng.normal();
+  return x;
+}
+
+TEST(Objective, QuadraticTraceMatchesMatrixForm) {
+  const graph::Graph g = graph::make_grid2d(5, 4).graph;
+  const la::DenseMatrix x = random_measurements(20, 7, 1);
+  // Tr(XᵀLX) computed column by column through the CSR Laplacian.
+  const la::CsrMatrix lap = g.laplacian();
+  Real expected = 0.0;
+  for (Index j = 0; j < 7; ++j)
+    expected += lap.quadratic_form(x.col_vector(j));
+  EXPECT_NEAR(laplacian_quadratic_trace(g, x), expected, 1e-9);
+}
+
+TEST(Objective, MatchesDenseComputationOnSmallGraph) {
+  // Full-eigenvalue objective against a dense log det, K = n − 1.
+  const Index n = 14;
+  const graph::Graph g = graph::make_grid2d(7, 2).graph;
+  const la::DenseMatrix x = random_measurements(n, 5, 2);
+  const Real sigma2 = 100.0;
+
+  ObjectiveOptions options;
+  options.num_eigenvalues = n - 1;
+  options.sigma2 = sigma2;
+  const ObjectiveBreakdown got = graphical_lasso_objective(g, x, options);
+
+  // Dense reference: log det(L + I/σ²) via eigenvalues.
+  const la::CsrMatrix lap = g.laplacian();
+  la::DenseMatrix dense(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) dense(i, j) = lap.at(i, j);
+  const eig::DenseEigResult eigs = eig::dense_symmetric_eig(dense);
+  Real log_det = 0.0;
+  for (const Real lambda : eigs.eigenvalues)
+    log_det += std::log(lambda + 1.0 / sigma2);
+
+  Real trace = laplacian_quadratic_trace(g, x);
+  trace += x.frobenius_norm_squared() / sigma2;
+  trace /= 5.0;
+
+  EXPECT_NEAR(got.log_det, log_det, 1e-6);
+  EXPECT_NEAR(got.trace_term, trace, 1e-9);
+  EXPECT_NEAR(got.value(), log_det - trace, 1e-6);
+}
+
+TEST(Objective, UniformScaleMaximizerMatchesClosedForm) {
+  // Restricted to uniform rescalings Θ(c) = cL + I/σ² with σ² → ∞ and K
+  // counted eigenvalues, F(c) ≈ K·log c − c·T + const with
+  // T = (1/M)·Tr(XᵀLX), so the maximizer is c* = K/T. Check that F(c*)
+  // beats gross misscalings on both sides.
+  const graph::Graph truth = graph::make_grid2d(8, 8).graph;
+  Rng rng(3);
+  const solver::LaplacianPinvSolver pinv(truth);
+  la::DenseMatrix x(truth.num_nodes(), 20);
+  for (Index i = 0; i < 20; ++i) {
+    la::Vector y(static_cast<std::size_t>(truth.num_nodes()));
+    for (auto& v : y) v = rng.normal();
+    la::center(y);
+    la::normalize(y);
+    x.set_col(i, pinv.apply(y));
+  }
+
+  ObjectiveOptions options;
+  options.num_eigenvalues = 40;
+  const Real k = 40.0;
+  const Real t = laplacian_quadratic_trace(truth, x) / 20.0;
+  const Real c_star = k / t;
+
+  const auto f_at = [&](Real c) {
+    graph::Graph scaled = truth;
+    scaled.scale_weights(c);
+    return graphical_lasso_objective(scaled, x, options).value();
+  };
+  const Real f_opt = f_at(c_star);
+  EXPECT_GT(f_opt, f_at(0.2 * c_star));
+  EXPECT_GT(f_opt, f_at(5.0 * c_star));
+  // And the local shape is concave around c*.
+  EXPECT_GT(f_opt, f_at(0.7 * c_star));
+  EXPECT_GT(f_opt, f_at(1.5 * c_star));
+}
+
+TEST(Objective, OptimalScaleBeatsNeighborScales) {
+  const graph::Graph g = graph::make_grid2d(7, 7).graph;
+  Rng rng(9);
+  la::DenseMatrix x(49, 10);
+  for (Index j = 0; j < 10; ++j)
+    for (Index i = 0; i < 49; ++i) x(i, j) = rng.normal();
+  ObjectiveOptions options;
+  options.num_eigenvalues = 20;
+  const ScaledObjective best = optimal_scale_objective(g, x, options);
+  EXPECT_GT(best.scale, 0.0);
+  for (const Real factor : {0.5, 2.0}) {
+    graph::Graph scaled = g;
+    scaled.scale_weights(factor * best.scale);
+    const Real f = graphical_lasso_objective(scaled, x, options).value();
+    EXPECT_GE(best.objective.value(), f - 1e-6);
+  }
+}
+
+TEST(Objective, OptimalScaleIsKOverTrace) {
+  const graph::Graph g = graph::make_path(12);
+  Rng rng(10);
+  la::DenseMatrix x(12, 4);
+  for (Index j = 0; j < 4; ++j)
+    for (Index i = 0; i < 12; ++i) x(i, j) = rng.normal();
+  ObjectiveOptions options;
+  options.num_eigenvalues = 8;
+  const ScaledObjective best = optimal_scale_objective(g, x, options);
+  const Real t = laplacian_quadratic_trace(g, x) / 4.0;
+  EXPECT_NEAR(best.scale, 8.0 / t, 1e-9 * best.scale);
+}
+
+TEST(Objective, KCapsAtGraphSize) {
+  const graph::Graph g = graph::make_path(6);
+  const la::DenseMatrix x = random_measurements(6, 3, 4);
+  ObjectiveOptions options;
+  options.num_eigenvalues = 50;  // > n − 1, must be capped internally
+  EXPECT_NO_THROW((void)graphical_lasso_objective(g, x, options));
+}
+
+TEST(Objective, Contracts) {
+  const graph::Graph g = graph::make_path(6);
+  const la::DenseMatrix empty(6, 0);
+  EXPECT_THROW((void)graphical_lasso_objective(g, empty), ContractViolation);
+  const la::DenseMatrix wrong_rows(5, 2);
+  EXPECT_THROW((void)laplacian_quadratic_trace(g, wrong_rows),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::spectral

@@ -1,0 +1,86 @@
+// Unit tests for spectral sparsification by effective resistances.
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "spectral/metrics.hpp"
+#include "spectral/sparsify.hpp"
+
+namespace sgl::spectral {
+namespace {
+
+TEST(Sparsify, ReducesEdgeCountOnDenseGraph) {
+  const graph::Graph g = graph::make_complete(40);  // 780 edges
+  SparsifyOptions options;
+  options.epsilon = 0.5;
+  const SparsifyResult r = spectral_sparsify(g, options);
+  EXPECT_LT(r.sparsifier.num_edges(), g.num_edges());
+  EXPECT_GT(r.sparsifier.num_edges(), 0);
+  EXPECT_EQ(r.distinct_edges, r.sparsifier.num_edges());
+}
+
+TEST(Sparsify, PreservesTotalWeightInExpectation) {
+  // The estimator is unbiased: Σ w'_e ≈ Σ w_e across seeds.
+  const graph::Graph g = graph::make_complete(25);
+  Real total = 0.0;
+  const int runs = 8;
+  for (int seed = 0; seed < runs; ++seed) {
+    SparsifyOptions options;
+    options.seed = static_cast<std::uint64_t>(seed);
+    options.num_samples = 2000;
+    total += spectral_sparsify(g, options).sparsifier.total_weight();
+  }
+  EXPECT_NEAR(total / runs, g.total_weight(), 0.15 * g.total_weight());
+}
+
+TEST(Sparsify, SparsifierSpectrumTracksOriginal) {
+  const graph::Graph g = graph::make_complete(60);
+  SparsifyOptions options;
+  options.epsilon = 0.3;
+  const SparsifyResult r = spectral_sparsify(g, options);
+  ASSERT_TRUE(graph::is_connected(r.sparsifier));
+  const SpectrumComparison cmp = compare_spectra(g, r.sparsifier, 10);
+  EXPECT_LT(cmp.mean_rel_error, 0.35);
+}
+
+TEST(Sparsify, KeepsEndpointsWithinGraph) {
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  const SparsifyResult r = spectral_sparsify(g);
+  EXPECT_EQ(r.sparsifier.num_nodes(), g.num_nodes());
+  for (const graph::Edge& e : r.sparsifier.edges()) {
+    EXPECT_GE(e.s, 0);
+    EXPECT_LT(e.t, g.num_nodes());
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(Sparsify, DeterministicPerSeed) {
+  const graph::Graph g = graph::make_complete(20);
+  SparsifyOptions options;
+  options.seed = 9;
+  const SparsifyResult a = spectral_sparsify(g, options);
+  const SparsifyResult b = spectral_sparsify(g, options);
+  ASSERT_EQ(a.sparsifier.num_edges(), b.sparsifier.num_edges());
+  for (Index e = 0; e < a.sparsifier.num_edges(); ++e)
+    EXPECT_DOUBLE_EQ(a.sparsifier.edge(e).weight, b.sparsifier.edge(e).weight);
+}
+
+TEST(Sparsify, ExplicitSampleCountHonored) {
+  const graph::Graph g = graph::make_complete(15);
+  SparsifyOptions options;
+  options.num_samples = 123;
+  const SparsifyResult r = spectral_sparsify(g, options);
+  EXPECT_EQ(r.samples_drawn, 123);
+  EXPECT_LE(r.distinct_edges, 123);
+}
+
+TEST(Sparsify, Contracts) {
+  SparsifyOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(spectral_sparsify(graph::make_complete(5), bad),
+               ContractViolation);
+  EXPECT_THROW(spectral_sparsify(graph::Graph(3)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::spectral

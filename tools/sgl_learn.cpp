@@ -1,0 +1,161 @@
+// sgl_learn — command-line front end for the SGL library.
+//
+// Modes:
+//   (a) learn from measurement files:
+//         sgl_learn --voltages X.mtx [--currents Y.mtx] --out learned.mtx
+//       X (and Y) are MatrixMarket dense array files, N×M; the learned
+//       graph's Laplacian is written in MatrixMarket coordinate format.
+//   (b) end-to-end simulation from a graph file (handy for trying the
+//       algorithm on the paper's SuiteSparse matrices):
+//         sgl_learn --graph g2_circuit.mtx --measurements 100 --out learned.mtx
+//
+// Common knobs: --k, --r, --beta, --tol, --noise, --refine, --seed.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "measure/matrix_io.hpp"
+#include "sgl.hpp"
+
+namespace {
+
+using namespace sgl;
+
+struct CliArgs {
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv.count(key) > 0;
+  }
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+void usage() {
+  std::puts(
+      "sgl_learn: learn an ultra-sparse resistor network from measurements\n"
+      "\n"
+      "  from measurements:  sgl_learn --voltages X.mtx [--currents Y.mtx]\n"
+      "                                --out learned.mtx\n"
+      "  from a graph file:  sgl_learn --graph G.mtx [--measurements 100]\n"
+      "                                --out learned.mtx\n"
+      "\n"
+      "options:\n"
+      "  --k <int>       kNN parameter              (default 5)\n"
+      "  --r <int>       embedding order            (default 5)\n"
+      "  --beta <real>   edge sampling ratio        (default 1e-3)\n"
+      "  --tol <real>    sensitivity tolerance      (default 1e-12)\n"
+      "  --noise <real>  relative voltage noise     (default 0)\n"
+      "  --refine        stagewise weight polish    (off by default)\n"
+      "  --seed <int>    measurement RNG seed       (default 2021)\n"
+      "  --quiet         suppress per-iteration log");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      usage();
+      return 2;
+    }
+    key = key.substr(2);
+    if (key == "refine" || key == "quiet" || key == "help") {
+      args.kv[key] = "1";
+    } else if (i + 1 < argc) {
+      args.kv[key] = argv[++i];
+    } else {
+      std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+      return 2;
+    }
+  }
+  if (args.has("help") || argc == 1) {
+    usage();
+    return 0;
+  }
+
+  try {
+    la::DenseMatrix x;
+    la::DenseMatrix y;
+    bool have_currents = false;
+
+    if (args.has("graph")) {
+      const graph::Graph g = graph::read_graph_matrix_market(args.str("graph"));
+      std::printf("loaded graph: %d nodes, %d edges\n", g.num_nodes(),
+                  g.num_edges());
+      measure::MeasurementOptions mopt;
+      mopt.num_measurements =
+          static_cast<Index>(args.num("measurements", 100));
+      mopt.seed = static_cast<std::uint64_t>(args.num("seed", 2021));
+      const measure::Measurements data = measure::generate_measurements(g, mopt);
+      x = data.voltages;
+      y = data.currents;
+      have_currents = true;
+    } else if (args.has("voltages")) {
+      x = measure::read_dense_matrix_market(args.str("voltages"));
+      if (args.has("currents")) {
+        y = measure::read_dense_matrix_market(args.str("currents"));
+        have_currents = true;
+      }
+    } else {
+      std::fputs("need --voltages or --graph\n", stderr);
+      usage();
+      return 2;
+    }
+    std::printf("measurements: %d nodes x %d vectors%s\n", x.rows(), x.cols(),
+                have_currents ? " (+currents)" : " (voltage-only)");
+
+    const double noise = args.num("noise", 0.0);
+    if (noise > 0.0) {
+      measure::add_noise(x, noise,
+                         static_cast<std::uint64_t>(args.num("seed", 2021)) + 1);
+      std::printf("applied %.0f%% relative measurement noise\n", noise * 100.0);
+    }
+
+    core::SglConfig config;
+    config.k = static_cast<Index>(args.num("k", 5));
+    config.r = static_cast<Index>(args.num("r", 5));
+    config.beta = args.num("beta", 1e-3);
+    config.tolerance = args.num("tol", 1e-12);
+    if (!args.has("quiet")) {
+      config.observer = [](Index it, Real smax, Index added) {
+        std::printf("  iter %3d  smax %.3e  +%d edges\n", it, smax, added);
+      };
+    }
+
+    core::SglLearner learner(x, config);
+    const core::SglResult result =
+        learner.run(have_currents ? &y : nullptr);
+    std::printf("learned: %d edges (density %.3f), %d iterations, "
+                "converged=%s, knn %.2fs + learn %.2fs\n",
+                result.learned.num_edges(), result.learned.density(),
+                result.iterations, result.converged ? "yes" : "no",
+                result.knn_seconds, result.learn_seconds);
+
+    graph::Graph learned = result.learned;
+    if (args.has("refine")) {
+      const core::RefineResult r = core::refine_edge_weights(learned, x);
+      std::printf("refined weights: %d iterations, max |log ratio| %.3f\n",
+                  r.iterations, r.max_log_ratio);
+    }
+
+    const std::string out = args.str("out", "learned.mtx");
+    graph::write_laplacian_matrix_market(learned, out);
+    std::printf("wrote Laplacian to %s\n", out.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
