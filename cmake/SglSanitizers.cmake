@@ -1,0 +1,23 @@
+# Sanitizer configuration shared by every sgl target.
+#
+# SGL_SANITIZE is a comma- or semicolon-separated list of sanitizer names
+# (e.g. "address;undefined"). sgl_apply_sanitizers(<target>) turns each into
+# the matching -fsanitize= compile and link flag. Flags are PUBLIC on the
+# library target so test/tool executables linking sgl inherit them and the
+# whole binary is instrumented consistently.
+
+function(sgl_apply_sanitizers target)
+  if(NOT SGL_SANITIZE)
+    return()
+  endif()
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(WARNING "SGL_SANITIZE is only supported with GCC/Clang; ignoring")
+    return()
+  endif()
+  string(REPLACE "," ";" _sanitizers "${SGL_SANITIZE}")
+  foreach(_san IN LISTS _sanitizers)
+    target_compile_options(${target} PUBLIC "-fsanitize=${_san}")
+    target_link_options(${target} PUBLIC "-fsanitize=${_san}")
+  endforeach()
+  target_compile_options(${target} PUBLIC -fno-omit-frame-pointer)
+endfunction()

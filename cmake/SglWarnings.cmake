@@ -1,0 +1,25 @@
+# Warning configuration shared by every sgl target.
+#
+# sgl_apply_warnings(<target>) attaches the project warning set as PRIVATE
+# compile options so they never leak to consumers of the library. SGL_WERROR
+# upgrades warnings to errors (used by the CI jobs).
+
+function(sgl_apply_warnings target)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(${target} PRIVATE -Wall -Wextra -Wpedantic)
+    if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU"
+       AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 13)
+      # GCC 12 emits bogus -Wrestrict warnings from inlined std::string
+      # assignment at -O2/-O3 (GCC PR 105329); fixed in GCC 13.
+      target_compile_options(${target} PRIVATE -Wno-restrict)
+    endif()
+    if(SGL_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  elseif(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(SGL_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  endif()
+endfunction()

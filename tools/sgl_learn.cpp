@@ -10,8 +10,10 @@
 //         sgl_learn --graph g2_circuit.mtx --measurements 100 --out learned.mtx
 //
 // Common knobs: --k, --r, --beta, --tol, --noise, --refine, --seed.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <string>
 
@@ -62,6 +64,9 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  static constexpr const char* kValueOptions[] = {
+      "voltages", "currents", "graph", "measurements", "out",
+      "k",        "r",        "beta",  "tol",          "noise", "seed"};
   CliArgs args;
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
@@ -70,15 +75,26 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    key = key.substr(2);
+    key.erase(0, 2);
     if (key == "refine" || key == "quiet" || key == "help") {
       args.kv[key] = "1";
-    } else if (i + 1 < argc) {
-      args.kv[key] = argv[++i];
-    } else {
+      continue;
+    }
+    const bool known =
+        std::find_if(std::begin(kValueOptions), std::end(kValueOptions),
+                     [&key](const char* opt) { return key == opt; }) !=
+        std::end(kValueOptions);
+    if (!known) {
+      std::fprintf(stderr, "unknown option '--%s'\n", key.c_str());
+      usage();
+      return 2;
+    }
+    // A following "--word" is the next option, not this one's value.
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
       std::fprintf(stderr, "missing value for --%s\n", key.c_str());
       return 2;
     }
+    args.kv[key] = argv[++i];
   }
   if (args.has("help") || argc == 1) {
     usage();
