@@ -31,15 +31,16 @@ int main(int argc, char** argv) {
   core::SglLearner learner(data.voltages, config);
 
   std::printf("iteration,smax,log10_smax,edges_added,total_edges\n");
-  while (!learner.converged() && learner.iteration() < config.max_iterations) {
+  while (!learner.converged() && !learner.exhausted() &&
+         learner.iteration() < config.max_iterations) {
     const core::SglIterationStats s = learner.step();
     std::printf("%d,%.6e,%.3f,%d,%d\n", s.iteration, s.smax,
                 bench::log10_clamped(s.smax), s.edges_added, s.total_edges);
   }
   const core::SglResult result = learner.finalize(&data.currents);
-  std::printf("# converged=%d iterations=%d final_density=%.3f "
+  std::printf("# converged=%d exhausted=%d iterations=%d final_density=%.3f "
               "learn_seconds=%.2f\n",
-              result.converged, result.iterations, result.learned.density(),
-              result.learn_seconds);
+              result.converged, result.exhausted, result.iterations,
+              result.learned.density(), result.learn_seconds);
   return 0;
 }

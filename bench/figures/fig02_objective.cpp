@@ -63,9 +63,11 @@ int main(int argc, char** argv) {
   // Iteration 0 = the initial spanning tree.
   std::printf("0,,%.6f,%.6f,%.4f\n", scaled_objective(learner.current_graph()),
               f_knn, learner.current_graph().density());
-  while (!learner.converged() && learner.iteration() < config.max_iterations) {
+  while (!learner.converged() && !learner.exhausted() &&
+         learner.iteration() < config.max_iterations) {
     const core::SglIterationStats s = learner.step();
-    if (s.iteration % every == 0 || learner.converged()) {
+    if (s.iteration % every == 0 || learner.converged() ||
+        learner.exhausted()) {
       std::printf("%d,%.6e,%.6f,%.6f,%.4f\n", s.iteration, s.smax,
                   scaled_objective(learner.current_graph()), f_knn,
                   learner.current_graph().density());

@@ -59,6 +59,45 @@ BENCHMARK(BM_KnnGraphBuild)
     ->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
+void BM_BruteForceKnnThreaded(benchmark::State& state) {
+  // Thread-scaling of the exact scan at the N ≥ 4096 regime (wall-clock:
+  // the work happens on pool threads, so real time is the honest metric).
+  // The result is bit-identical to the serial scan for every thread count.
+  const Index threads = static_cast<Index>(state.range(0));
+  const Index n = 4096;
+  const la::DenseMatrix x = random_points(n, 50, 3);
+  for (auto _ : state) {
+    const knn::KnnResult r = knn::brute_force_knn(x, 5, threads);
+    benchmark::DoNotOptimize(r.neighbor.data());
+  }
+}
+BENCHMARK(BM_BruteForceKnnThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HnswKnnAllThreaded(benchmark::State& state) {
+  // Batched HNSW queries with per-worker search scratch; construction
+  // (serial, seeded) is excluded via a shared one-time index.
+  const Index threads = static_cast<Index>(state.range(0));
+  static const la::DenseMatrix x = random_points(8192, 50, 7);
+  static const knn::HnswIndex index(x);
+  for (auto _ : state) {
+    const knn::KnnResult r = index.knn_all(5, threads);
+    benchmark::DoNotOptimize(r.neighbor.data());
+  }
+}
+BENCHMARK(BM_HnswKnnAllThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_HnswQueryOnly(benchmark::State& state) {
   const Index n = 8192;
   const la::DenseMatrix x = random_points(n, 50, 7);

@@ -103,6 +103,72 @@ void BM_SensitivityScan(benchmark::State& state) {
 }
 BENCHMARK(BM_SensitivityScan)->Unit(benchmark::kMicrosecond);
 
+void BM_SensitivityScanThreaded(benchmark::State& state) {
+  // The Step-3 kernel exactly as SglLearner::step() runs it: parallel
+  // fill + deterministic chunk-ordered max reduction. Larger mesh than
+  // BM_SensitivityScan so the per-candidate work dominates scheduling.
+  const Index threads = static_cast<Index>(state.range(0));
+  static const measure::Measurements data = [] {
+    const graph::Graph g = graph::make_grid2d(96, 96, true).graph;
+    measure::MeasurementOptions options;
+    options.num_measurements = 50;
+    return measure::generate_measurements(g, options);
+  }();
+  static const core::SglLearner learner(data.voltages, core::SglConfig{});
+  static const spectral::Embedding emb = [] {
+    spectral::EmbeddingOptions eopt;
+    eopt.r = 5;
+    return spectral::compute_embedding(learner.current_graph(), eopt);
+  }();
+  const graph::Graph& knn_graph = learner.knn_graph();
+  const Real m = static_cast<Real>(data.voltages.cols());
+  for (auto _ : state) {
+    const Real smax = parallel::parallel_reduce(
+        0, knn_graph.num_edges(), threads, -1e300,
+        [&](Index lo, Index hi) {
+          Real local = -1e300;
+          for (Index e = lo; e < hi; ++e) {
+            const graph::Edge& edge = knn_graph.edge(e);
+            const Real z_emb = emb.u.row_distance_squared(edge.s, edge.t);
+            const Real z_data =
+                data.voltages.row_distance_squared(edge.s, edge.t);
+            local = std::max(local, z_emb - z_data / m);
+          }
+          return local;
+        },
+        [](Real a, Real b) { return std::max(a, b); });
+    benchmark::DoNotOptimize(smax);
+  }
+  state.counters["candidates"] = static_cast<double>(knn_graph.num_edges());
+}
+BENCHMARK(BM_SensitivityScanThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EdgeScalingThreaded(benchmark::State& state) {
+  // Step-5 multi-RHS solves: one factorization, M independent columns.
+  const Index threads = static_cast<Index>(state.range(0));
+  const measure::Measurements& data = mesh_measurements();
+  core::SglConfig config;
+  core::SglLearner learner(data.voltages, config);
+  const core::SglResult result = learner.run(nullptr);
+  for (auto _ : state) {
+    const Real factor = core::spectral_edge_scale_factor(
+        result.learned, data.voltages, data.currents, {}, threads);
+    benchmark::DoNotOptimize(factor);
+  }
+}
+BENCHMARK(BM_EdgeScalingThreaded)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
 void BM_EdgeScaling(benchmark::State& state) {
   // Step-5 kernel: eq. 21-23 scaling solves.
   const measure::Measurements& data = mesh_measurements();

@@ -1,0 +1,150 @@
+#include "common/parallel.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace sgl::parallel {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+/// Lazily grown worker pool behind detail::run_on_pool. Workers idle on a
+/// condition variable between parallel regions; the pool lives for the
+/// process lifetime and joins everything on static destruction.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void run(Index slots, const std::function<void(Index)>& job) {
+    struct Sync {
+      std::mutex mutex;
+      std::condition_variable done;
+      Index remaining = 0;
+      std::exception_ptr error;
+    };
+
+    if (slots <= 1 || tls_in_worker) {
+      for (Index s = 0; s < slots; ++s) job(s);
+      return;
+    }
+
+    ensure_workers(slots - 1);
+    Sync sync;
+    sync.remaining = slots - 1;
+    const auto record_error = [&sync] {
+      const std::lock_guard<std::mutex> lock(sync.mutex);
+      if (!sync.error) sync.error = std::current_exception();
+    };
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (Index s = 1; s < slots; ++s) {
+        queue_.emplace_back([&sync, &job, &record_error, s] {
+          try {
+            job(s);
+          } catch (...) {
+            record_error();
+          }
+          // Notify under the lock: once the caller observes remaining == 0
+          // it may destroy `sync`, so the worker must not touch it after
+          // releasing the mutex.
+          const std::lock_guard<std::mutex> lock(sync.mutex);
+          --sync.remaining;
+          sync.done.notify_one();
+        });
+      }
+    }
+    wake_.notify_all();
+
+    try {
+      job(0);
+    } catch (...) {
+      record_error();
+    }
+
+    std::unique_lock<std::mutex> lock(sync.mutex);
+    sync.done.wait(lock, [&sync] { return sync.remaining == 0; });
+    if (sync.error) std::rethrow_exception(sync.error);
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void ensure_workers(Index count) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto target =
+        std::min<std::size_t>(static_cast<std::size_t>(count), kMaxThreads - 1);
+    while (workers_.size() < target)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void worker_loop() {
+    tls_in_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+Index default_num_threads() {
+  static const Index cached = [] {
+    if (const char* env = std::getenv("SGL_NUM_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1)
+        return static_cast<Index>(std::min<long>(v, kMaxThreads));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) return Index{1};
+    return std::min(static_cast<Index>(hw), kMaxThreads);
+  }();
+  return cached;
+}
+
+Index resolve_num_threads(Index requested) {
+  if (requested <= 0) return default_num_threads();
+  return std::min(requested, kMaxThreads);
+}
+
+namespace detail {
+
+void run_on_pool(Index slots, const std::function<void(Index)>& job) {
+  ThreadPool::instance().run(slots, job);
+}
+
+}  // namespace detail
+
+}  // namespace sgl::parallel

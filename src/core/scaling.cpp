@@ -2,33 +2,46 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace sgl::core {
 
 Real spectral_edge_scale_factor(const graph::Graph& g, const la::DenseMatrix& x,
                                 const la::DenseMatrix& y,
-                                const solver::LaplacianSolverOptions& solver) {
+                                const solver::LaplacianSolverOptions& solver,
+                                Index num_threads) {
   SGL_EXPECTS(x.rows() == g.num_nodes() && y.rows() == g.num_nodes(),
               "spectral_edge_scale_factor: measurement row count mismatch");
   SGL_EXPECTS(x.cols() == y.cols() && x.cols() >= 1,
               "spectral_edge_scale_factor: X and Y must pair up");
 
+  // The M solves share one factorization and are independent; the ratio
+  // sum is a deterministic chunk-ordered reduction, so the factor is
+  // bit-identical for every thread count.
   const solver::LaplacianPinvSolver pinv(g, solver);
   const Index m = x.cols();
-  Real ratio_sum = 0.0;
-  for (Index i = 0; i < m; ++i) {
-    const la::Vector xt = pinv.apply(y.col_vector(i));  // x̃_i (eq. 22)
-    const Real x_norm2 = la::norm2_squared(x.col_vector(i));
-    SGL_EXPECTS(x_norm2 > 0.0,
-                "spectral_edge_scale_factor: zero voltage measurement");
-    ratio_sum += la::norm2_squared(xt) / x_norm2;
-  }
+  const Real ratio_sum = parallel::parallel_reduce(
+      0, m, num_threads, Real{0.0},
+      [&](Index lo, Index hi) {
+        Real local = 0.0;
+        for (Index i = lo; i < hi; ++i) {
+          const la::Vector xt = pinv.apply(y.col_vector(i));  // x̃_i (eq. 22)
+          const Real x_norm2 = la::norm2_squared(x.col_vector(i));
+          SGL_EXPECTS(x_norm2 > 0.0,
+                      "spectral_edge_scale_factor: zero voltage measurement");
+          local += la::norm2_squared(xt) / x_norm2;
+        }
+        return local;
+      },
+      [](Real a, Real b) { return a + b; });
   return std::sqrt(ratio_sum / static_cast<Real>(m));
 }
 
 Real apply_spectral_edge_scaling(graph::Graph& g, const la::DenseMatrix& x,
                                  const la::DenseMatrix& y,
-                                 const solver::LaplacianSolverOptions& solver) {
-  const Real factor = spectral_edge_scale_factor(g, x, y, solver);
+                                 const solver::LaplacianSolverOptions& solver,
+                                 Index num_threads) {
+  const Real factor = spectral_edge_scale_factor(g, x, y, solver, num_threads);
   if (factor > 0.0) g.scale_weights(factor);
   return factor;
 }

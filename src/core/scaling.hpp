@@ -16,14 +16,17 @@
 namespace sgl::core {
 
 /// Returns the eq.-23 scale factor for `g` given measurement pairs (X, Y).
-/// Columns of Y are centered internally (pseudo-inverse semantics).
+/// Columns of Y are centered internally (pseudo-inverse semantics). The M
+/// independent solves run in parallel (`num_threads` 0 = library default,
+/// 1 = serial); the energy-ratio sum uses a deterministic chunk-ordered
+/// reduction, so the factor is bit-identical for every thread count.
 [[nodiscard]] Real spectral_edge_scale_factor(
     const graph::Graph& g, const la::DenseMatrix& x, const la::DenseMatrix& y,
-    const solver::LaplacianSolverOptions& solver = {});
+    const solver::LaplacianSolverOptions& solver = {}, Index num_threads = 0);
 
 /// Applies the factor in place; returns it.
-Real apply_spectral_edge_scaling(graph::Graph& g, const la::DenseMatrix& x,
-                                 const la::DenseMatrix& y,
-                                 const solver::LaplacianSolverOptions& solver = {});
+Real apply_spectral_edge_scaling(
+    graph::Graph& g, const la::DenseMatrix& x, const la::DenseMatrix& y,
+    const solver::LaplacianSolverOptions& solver = {}, Index num_threads = 0);
 
 }  // namespace sgl::core

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/scaling.hpp"
 #include "graph/mst.hpp"
@@ -29,6 +31,7 @@ SglLearner::SglLearner(const la::DenseMatrix& x, SglConfig config)
   knn::KnnGraphOptions knn_options = config_.knn;
   knn_options.k = config_.k;
   knn_options.ensure_connected = true;  // MST initialization needs it
+  if (knn_options.num_threads == 0) knn_options.num_threads = config_.num_threads;
   knn_ = knn::build_knn_graph(x_, knn_options);
   knn_seconds_ = knn_timer.seconds();
 
@@ -54,7 +57,9 @@ SglLearner::SglLearner(const la::DenseMatrix& x, SglConfig config)
 SglIterationStats SglLearner::step() {
   SglIterationStats stats;
   if (converged_ || candidates_.empty()) {
-    converged_ = true;
+    // An empty candidate pool is exhaustion, not convergence: the last
+    // observed smax may still exceed the tolerance, so the distortion
+    // certificate does not hold. Both states make step() a no-op.
     stats.iteration = iteration_;
     stats.total_edges = learned_.num_edges();
     return stats;
@@ -73,16 +78,26 @@ SglIterationStats SglLearner::step() {
       spectral::compute_embedding(learned_, embed_options);
 
   // Step 3: candidate sensitivities s_st = z_emb − z_data / M (eq. 13).
+  // Each candidate's sensitivity is independent, so the scan fills the
+  // array in parallel; the running maximum is a chunk-ordered reduction,
+  // bit-identical to the serial scan for every thread count.
   const Real m = static_cast<Real>(x_.cols());
   const std::size_t num_candidates = candidates_.size();
   std::vector<Real> sensitivity(num_candidates);
-  Real smax = -std::numeric_limits<Real>::infinity();
-  for (std::size_t c = 0; c < num_candidates; ++c) {
-    const Candidate& cand = candidates_[c];
-    const Real z_emb = embedding.u.row_distance_squared(cand.s, cand.t);
-    sensitivity[c] = z_emb - cand.z_data / m;
-    smax = std::max(smax, sensitivity[c]);
-  }
+  const Real smax = parallel::parallel_reduce(
+      0, to_index(num_candidates), config_.num_threads,
+      -std::numeric_limits<Real>::infinity(),
+      [&](Index lo, Index hi) {
+        Real local = -std::numeric_limits<Real>::infinity();
+        for (Index c = lo; c < hi; ++c) {
+          const Candidate& cand = candidates_[static_cast<std::size_t>(c)];
+          const Real z_emb = embedding.u.row_distance_squared(cand.s, cand.t);
+          sensitivity[static_cast<std::size_t>(c)] = z_emb - cand.z_data / m;
+          local = std::max(local, sensitivity[static_cast<std::size_t>(c)]);
+        }
+        return local;
+      },
+      [](Real a, Real b) { return std::max(a, b); });
   last_smax_ = smax;
   stats.iteration = iteration_;
   stats.smax = smax;
@@ -127,9 +142,10 @@ SglIterationStats SglLearner::step() {
       if (!remove[c]) kept.push_back(candidates_[c]);
     candidates_.swap(kept);
   } else {
-    // smax ≥ tol but nothing above it after ranking can only happen with
-    // pathological tolerance settings; declare convergence to guarantee
-    // termination.
+    // added == 0 with smax ≥ tol means smax == tol exactly (the boundary
+    // case: step 4 did not fire, yet no candidate is strictly above the
+    // tolerance). Treat the certificate as satisfied so the loop
+    // terminates; off-by-an-ulp is the strongest guarantee available here.
     converged_ = true;
   }
 
@@ -150,14 +166,15 @@ SglResult SglLearner::finalize(const la::DenseMatrix* y) const {
   result.history = history_;
   result.iterations = iteration_;
   result.converged = converged_;
+  result.exhausted = !converged_ && candidates_.empty();
   result.final_smax = last_smax_;
   result.knn_seconds = knn_seconds_;
   result.learn_seconds = learn_seconds_;
 
   if (y != nullptr && config_.edge_scaling) {
     const WallTimer timer;
-    result.scale_factor =
-        apply_spectral_edge_scaling(result.learned, x_, *y, config_.solver);
+    result.scale_factor = apply_spectral_edge_scaling(
+        result.learned, x_, *y, config_.solver, config_.num_threads);
     result.learn_seconds += timer.seconds();
   }
   return result;

@@ -43,6 +43,11 @@ struct SglConfig {
   Index max_iterations = 1000;
   /// Apply eq. 21–23 scaling in finalize() when currents are available.
   bool edge_scaling = true;
+  /// Worker threads for the hot paths (kNN build, sensitivity scan, edge
+  /// scaling solves): 0 = library default (SGL_NUM_THREADS/hardware),
+  /// 1 = serial. Results are bit-identical for every thread count. A
+  /// nonzero knn.num_threads takes precedence for the kNN stage.
+  Index num_threads = 0;
   /// kNN backend/connectivity knobs (k above overrides knn.k).
   knn::KnnGraphOptions knn;
   /// Eigensolver knobs for the per-iteration embedding.
@@ -67,7 +72,13 @@ struct SglResult {
   std::vector<Index> tree_edge_ids;   // MST edge ids into knn_graph
   std::vector<SglIterationStats> history;
   Index iterations = 0;
+  /// The smax < tolerance distortion certificate was reached (§II-C).
   bool converged = false;
+  /// The candidate pool drained before the certificate was reached: every
+  /// off-tree kNN edge was added, yet final_smax may still exceed the
+  /// tolerance. Distinct from `converged` — an exhausted run has no
+  /// distortion guarantee (consider a larger k).
+  bool exhausted = false;
   Real final_smax = 0.0;
   Real scale_factor = 1.0;            // eq. 23 factor (1 if not applied)
   double knn_seconds = 0.0;           // Step 1 (excluded from Fig. 11 runtime)
@@ -83,9 +94,10 @@ class SglLearner {
   /// exhausted(). Returns the iteration's statistics.
   SglIterationStats step();
 
-  /// smax fell below tolerance (or no candidates remain).
+  /// smax fell below tolerance — the paper's distortion certificate.
+  /// Candidate exhaustion does NOT imply convergence; check exhausted().
   [[nodiscard]] bool converged() const noexcept { return converged_; }
-  /// All candidate edges have been added.
+  /// All candidate edges have been added (possibly with smax ≥ tolerance).
   [[nodiscard]] bool exhausted() const noexcept { return candidates_.empty(); }
   [[nodiscard]] Index iteration() const noexcept { return iteration_; }
   [[nodiscard]] Real last_smax() const noexcept { return last_smax_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 
 namespace sgl::knn {
 
@@ -18,7 +19,8 @@ std::vector<Real> to_row_major(const la::DenseMatrix& points) {
   return data;
 }
 
-KnnResult brute_force_knn(const la::DenseMatrix& points, Index k) {
+KnnResult brute_force_knn(const la::DenseMatrix& points, Index k,
+                          Index num_threads) {
   const Index n = points.rows();
   const Index dim = points.cols();
   SGL_EXPECTS(n >= 2, "brute_force_knn: need at least two points");
@@ -30,23 +32,33 @@ KnnResult brute_force_knn(const la::DenseMatrix& points, Index k) {
   result.neighbor.resize(static_cast<std::size_t>(n) * k);
   result.distance_squared.resize(static_cast<std::size_t>(n) * k);
 
-  std::vector<std::pair<Real, Index>> candidates;
-  candidates.reserve(static_cast<std::size_t>(n) - 1);
-  for (Index i = 0; i < n; ++i) {
-    candidates.clear();
-    for (Index j = 0; j < n; ++j) {
-      if (j == i) continue;
-      candidates.emplace_back(point_distance_squared(data, dim, i, j), j);
-    }
-    std::partial_sort(candidates.begin(), candidates.begin() + k,
-                      candidates.end());
-    for (Index j = 0; j < k; ++j) {
-      result.neighbor[static_cast<std::size_t>(i) * k + j] =
-          candidates[static_cast<std::size_t>(j)].second;
-      result.distance_squared[static_cast<std::size_t>(i) * k + j] =
-          candidates[static_cast<std::size_t>(j)].first;
-    }
-  }
+  // Each row's scan is independent and writes its own k result slots, so
+  // the parallel result is identical to the serial one for any thread
+  // count. Candidate buffers are kept per worker slot to avoid reallocating
+  // n-1 pairs for every row.
+  const Index threads = parallel::resolve_num_threads(num_threads);
+  std::vector<std::vector<std::pair<Real, Index>>> buffers(
+      static_cast<std::size_t>(threads));
+  parallel::parallel_for_slots(
+      0, n, threads, [&](Index lo, Index hi, Index slot) {
+        auto& candidates = buffers[static_cast<std::size_t>(slot)];
+        candidates.reserve(static_cast<std::size_t>(n) - 1);
+        for (Index i = lo; i < hi; ++i) {
+          candidates.clear();
+          for (Index j = 0; j < n; ++j) {
+            if (j == i) continue;
+            candidates.emplace_back(point_distance_squared(data, dim, i, j), j);
+          }
+          std::partial_sort(candidates.begin(), candidates.begin() + k,
+                            candidates.end());
+          for (Index j = 0; j < k; ++j) {
+            result.neighbor[static_cast<std::size_t>(i) * k + j] =
+                candidates[static_cast<std::size_t>(j)].second;
+            result.distance_squared[static_cast<std::size_t>(i) * k + j] =
+                candidates[static_cast<std::size_t>(j)].first;
+          }
+        }
+      });
   return result;
 }
 

@@ -24,8 +24,11 @@ struct KnnResult {
   }
 };
 
-/// Exact kNN over the rows of `points`. Requires 1 ≤ k < N.
-[[nodiscard]] KnnResult brute_force_knn(const la::DenseMatrix& points, Index k);
+/// Exact kNN over the rows of `points`. Requires 1 ≤ k < N. Rows are
+/// scanned in parallel (`num_threads` 0 = library default, 1 = serial);
+/// the result is identical for every thread count.
+[[nodiscard]] KnnResult brute_force_knn(const la::DenseMatrix& points, Index k,
+                                        Index num_threads = 0);
 
 /// Row-major copy of a matrix's rows (points), the layout both kNN
 /// backends use for cache-friendly distance evaluation.

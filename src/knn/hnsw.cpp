@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 
 namespace sgl::knn {
 
@@ -22,7 +24,7 @@ HnswIndex::HnswIndex(const la::DenseMatrix& points, const HnswOptions& options)
   level_multiplier_ = 1.0 / std::log(static_cast<Real>(options.max_connections));
   node_level_.resize(static_cast<std::size_t>(num_points_));
   links_.resize(static_cast<std::size_t>(num_points_));
-  visit_mark_.assign(static_cast<std::size_t>(num_points_), -1);
+  insert_scratch_ = make_search_scratch();
   for (Index i = 0; i < num_points_; ++i) insert(i);
 }
 
@@ -45,8 +47,9 @@ Index HnswIndex::greedy_closest(Index query, Index start, Index level) const {
 }
 
 std::vector<HnswIndex::SearchCandidate> HnswIndex::search_layer(
-    Index query, Index start, Index ef, Index level) const {
-  ++visit_epoch_;
+    Index query, Index start, Index ef, Index level,
+    SearchScratch& scratch) const {
+  ++scratch.visit_epoch;
   // Min-heap of frontier candidates; max-heap of current best ef results.
   std::priority_queue<SearchCandidate, std::vector<SearchCandidate>,
                       std::greater<>>
@@ -56,7 +59,7 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::search_layer(
   const Real d0 = distance(query, start);
   frontier.push({d0, start});
   best.push({d0, start});
-  visit_mark_[static_cast<std::size_t>(start)] = visit_epoch_;
+  scratch.visit_mark[static_cast<std::size_t>(start)] = scratch.visit_epoch;
 
   while (!frontier.empty()) {
     const SearchCandidate candidate = frontier.top();
@@ -65,8 +68,10 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::search_layer(
       break;
     frontier.pop();
     for (const Index nb : neighbors(candidate.node, level)) {
-      if (visit_mark_[static_cast<std::size_t>(nb)] == visit_epoch_) continue;
-      visit_mark_[static_cast<std::size_t>(nb)] = visit_epoch_;
+      if (scratch.visit_mark[static_cast<std::size_t>(nb)] ==
+          scratch.visit_epoch)
+        continue;
+      scratch.visit_mark[static_cast<std::size_t>(nb)] = scratch.visit_epoch;
       const Real d = distance(query, nb);
       if (to_index(best.size()) < ef || d < best.top().distance) {
         frontier.push({d, nb});
@@ -137,7 +142,7 @@ void HnswIndex::insert(Index node) {
   // Phase 2: beam search + linking from min(level, max_level_) down to 0.
   for (Index l = std::min(level, max_level_); l >= 0; --l) {
     std::vector<SearchCandidate> candidates =
-        search_layer(node, current, options_.ef_construction, l);
+        search_layer(node, current, options_.ef_construction, l, insert_scratch_);
     const Index m_max =
         (l == 0) ? 2 * options_.max_connections : options_.max_connections;
     std::vector<Index> chosen =
@@ -167,8 +172,8 @@ void HnswIndex::insert(Index node) {
   }
 }
 
-std::vector<std::pair<Real, Index>> HnswIndex::search_point(Index query,
-                                                            Index k) const {
+std::vector<std::pair<Real, Index>> HnswIndex::search_point(
+    Index query, Index k, SearchScratch& scratch) const {
   SGL_EXPECTS(query >= 0 && query < num_points_,
               "HnswIndex::search_point: query out of range");
   SGL_EXPECTS(k >= 1, "HnswIndex::search_point: k must be positive");
@@ -178,7 +183,8 @@ std::vector<std::pair<Real, Index>> HnswIndex::search_point(Index query,
     current = greedy_closest(query, current, l);
 
   const Index ef = std::max(options_.ef_search, k + 1);
-  std::vector<SearchCandidate> found = search_layer(query, current, ef, 0);
+  std::vector<SearchCandidate> found =
+      search_layer(query, current, ef, 0, scratch);
   std::sort(found.begin(), found.end());
 
   std::vector<std::pair<Real, Index>> out;
@@ -191,7 +197,23 @@ std::vector<std::pair<Real, Index>> HnswIndex::search_point(Index query,
   return out;
 }
 
-KnnResult HnswIndex::knn_all(Index k) const {
+std::vector<std::pair<Real, Index>> HnswIndex::search_point(Index query,
+                                                            Index k) const {
+  // Reused thread-local scratch keeps repeated single queries O(1) in
+  // setup (the epoch trick) instead of re-initializing an N-sized buffer
+  // per call. Grow-only: marks are always ≤ the persistent epoch counter,
+  // so carrying the buffer across same-thread indices stays correct.
+  thread_local SearchScratch scratch;
+  if (to_index(scratch.visit_mark.size()) < num_points_)
+    scratch.visit_mark.resize(static_cast<std::size_t>(num_points_), -1);
+  if (scratch.visit_epoch == std::numeric_limits<Index>::max()) {
+    std::fill(scratch.visit_mark.begin(), scratch.visit_mark.end(), Index{-1});
+    scratch.visit_epoch = 0;
+  }
+  return search_point(query, k, scratch);
+}
+
+KnnResult HnswIndex::knn_all(Index k, Index num_threads) const {
   SGL_EXPECTS(k >= 1 && k < num_points_, "HnswIndex::knn_all: need 1 <= k < N");
   KnnResult result;
   result.k = k;
@@ -199,25 +221,42 @@ KnnResult HnswIndex::knn_all(Index k) const {
                          kInvalidIndex);
   result.distance_squared.assign(static_cast<std::size_t>(num_points_) * k,
                                  0.0);
-  for (Index i = 0; i < num_points_; ++i) {
-    const auto found = search_point(i, k);
-    // HNSW may return fewer than k on pathological graphs; duplicate the
-    // last hit rather than leaving holes (callers dedup via Graph edges).
-    for (Index j = 0; j < k; ++j) {
-      const std::size_t src = std::min<std::size_t>(j, found.size() - 1);
-      SGL_ENSURES(!found.empty(), "HnswIndex::knn_all: empty search result");
-      result.neighbor[static_cast<std::size_t>(i) * k + j] = found[src].second;
-      result.distance_squared[static_cast<std::size_t>(i) * k + j] =
-          found[src].first;
-    }
-  }
+  // Queries are read-only on the index and each one writes its own k
+  // result slots; each worker slot owns its visit scratch, so concurrent
+  // queries return exactly what serial ones would.
+  const Index threads = parallel::resolve_num_threads(num_threads);
+  std::vector<SearchScratch> scratch(static_cast<std::size_t>(threads));
+  parallel::parallel_for_slots(
+      0, num_points_, threads, [&](Index lo, Index hi, Index slot) {
+        SearchScratch& s = scratch[static_cast<std::size_t>(slot)];
+        if (s.visit_mark.empty()) s = make_search_scratch();
+        for (Index i = lo; i < hi; ++i) {
+          const auto found = search_point(i, k, s);
+          // A search can come back empty only on a pathological graph
+          // (e.g. an unreachable entry point); check before the fill loop —
+          // found.size() - 1 would wrap to SIZE_MAX on an empty result.
+          SGL_ENSURES(!found.empty(),
+                      "HnswIndex::knn_all: empty search result");
+          // HNSW may return fewer than k hits; duplicate the last hit
+          // rather than leaving holes (callers dedup via Graph edges).
+          for (Index j = 0; j < k; ++j) {
+            const std::size_t src =
+                std::min<std::size_t>(static_cast<std::size_t>(j),
+                                      found.size() - 1);
+            result.neighbor[static_cast<std::size_t>(i) * k + j] =
+                found[src].second;
+            result.distance_squared[static_cast<std::size_t>(i) * k + j] =
+                found[src].first;
+          }
+        }
+      });
   return result;
 }
 
 KnnResult hnsw_knn(const la::DenseMatrix& points, Index k,
-                   const HnswOptions& options) {
+                   const HnswOptions& options, Index num_threads) {
   const HnswIndex index(points, options);
-  return index.knn_all(k);
+  return index.knn_all(k, num_threads);
 }
 
 }  // namespace sgl::knn

@@ -37,7 +37,10 @@ class HnswIndex {
       Index query, Index k) const;
 
   /// kNN lists for every indexed point (the kNN-graph building block).
-  [[nodiscard]] KnnResult knn_all(Index k) const;
+  /// Queries run in parallel (`num_threads` 0 = library default, 1 =
+  /// serial) with per-worker visit scratch; every query is independent of
+  /// the others, so the result is identical for any thread count.
+  [[nodiscard]] KnnResult knn_all(Index k, Index num_threads = 0) const;
 
   [[nodiscard]] Index num_points() const noexcept { return num_points_; }
   [[nodiscard]] Index max_level() const noexcept { return max_level_; }
@@ -54,6 +57,19 @@ class HnswIndex {
     }
   };
 
+  /// Epoch-marked visited set for one beam search. Each concurrent query
+  /// owns its own scratch, which is what makes search_layer (and therefore
+  /// batched knn_all queries) safe to run in parallel.
+  struct SearchScratch {
+    std::vector<Index> visit_mark;  // last epoch each node was visited in
+    Index visit_epoch = 0;
+  };
+
+  /// Fresh scratch sized for this index (all marks unvisited).
+  [[nodiscard]] SearchScratch make_search_scratch() const {
+    return {std::vector<Index>(static_cast<std::size_t>(num_points_), -1), 0};
+  }
+
   [[nodiscard]] Real distance(Index a, Index b) const {
     return point_distance_squared(data_, dim_, a, b);
   }
@@ -69,11 +85,14 @@ class HnswIndex {
                                      Index level) const;
 
   /// Beam search at one level; returns up to `ef` closest candidates
-  /// (max-heap order not guaranteed).
-  [[nodiscard]] std::vector<SearchCandidate> search_layer(Index query,
-                                                          Index start,
-                                                          Index ef,
-                                                          Index level) const;
+  /// (max-heap order not guaranteed). Mutates only `scratch`.
+  [[nodiscard]] std::vector<SearchCandidate> search_layer(
+      Index query, Index start, Index ef, Index level,
+      SearchScratch& scratch) const;
+
+  /// search_point against caller-owned scratch (the concurrent variant).
+  [[nodiscard]] std::vector<std::pair<Real, Index>> search_point(
+      Index query, Index k, SearchScratch& scratch) const;
 
   /// Neighbor-selection heuristic (keep candidates closer to the query
   /// than to any already-kept neighbor).
@@ -93,12 +112,13 @@ class HnswIndex {
   // links_[node][level] = neighbor list.
   std::vector<std::vector<std::vector<Index>>> links_;
   Rng rng_;
-  mutable std::vector<Index> visit_mark_;
-  mutable Index visit_epoch_ = 0;
+  SearchScratch insert_scratch_;  // serial construction only
 };
 
-/// Convenience wrapper mirroring brute_force_knn.
+/// Convenience wrapper mirroring brute_force_knn. Construction is serial
+/// (deterministic given the seed); the batched queries use `num_threads`.
 [[nodiscard]] KnnResult hnsw_knn(const la::DenseMatrix& points, Index k,
-                                 const HnswOptions& options = {});
+                                 const HnswOptions& options = {},
+                                 Index num_threads = 0);
 
 }  // namespace sgl::knn

@@ -4,18 +4,30 @@
 #include <limits>
 #include <map>
 
+#include "common/parallel.hpp"
 #include "graph/components.hpp"
 
 namespace sgl::knn {
 
 namespace {
 
+/// Closest cross-component pair found by one scan chunk.
+struct CrossPair {
+  Real distance = std::numeric_limits<Real>::infinity();
+  Index s = kInvalidIndex;
+  Index t = kInvalidIndex;
+};
+
 /// Adds the minimum-distance edge between every smaller component and the
-/// rest until one component remains. O(components · N · M) — components
-/// are rare for mesh-like measurement manifolds, so the simple exact scan
-/// is fine and deterministic.
+/// rest until one component remains. Each pass scans all cross pairs from
+/// the smallest component, so the repair is O(components · N² · M) in the
+/// worst case — components are rare for mesh-like measurement manifolds,
+/// so the exact scan is fine; its rows are searched in parallel with a
+/// deterministic chunk-ordered reduction (strict < keeps the earliest
+/// minimum, exactly like the serial scan).
 void connect_components(graph::Graph& g, const std::vector<Real>& data,
-                        Index dim, Real weight_numerator, Real floor2) {
+                        Index dim, Real weight_numerator, Real floor2,
+                        Index num_threads) {
   for (;;) {
     const graph::Components comp = graph::connected_components(g);
     if (comp.count <= 1) return;
@@ -26,23 +38,26 @@ void connect_components(graph::Graph& g, const std::vector<Real>& data,
     const Index smallest = to_index(static_cast<std::size_t>(
         std::min_element(size.begin(), size.end()) - size.begin()));
 
-    Real best = std::numeric_limits<Real>::infinity();
-    Index best_s = kInvalidIndex;
-    Index best_t = kInvalidIndex;
-    for (Index s = 0; s < g.num_nodes(); ++s) {
-      if (comp.label[static_cast<std::size_t>(s)] != smallest) continue;
-      for (Index t = 0; t < g.num_nodes(); ++t) {
-        if (comp.label[static_cast<std::size_t>(t)] == smallest) continue;
-        const Real d = point_distance_squared(data, dim, s, t);
-        if (d < best) {
-          best = d;
-          best_s = s;
-          best_t = t;
-        }
-      }
-    }
-    SGL_ASSERT(best_s != kInvalidIndex, "connect_components: no cross pair");
-    g.add_edge(best_s, best_t, weight_numerator / std::max(best, floor2));
+    const CrossPair best = parallel::parallel_reduce(
+        0, g.num_nodes(), num_threads, CrossPair{},
+        [&](Index lo, Index hi) {
+          CrossPair local;
+          for (Index s = lo; s < hi; ++s) {
+            if (comp.label[static_cast<std::size_t>(s)] != smallest) continue;
+            for (Index t = 0; t < g.num_nodes(); ++t) {
+              if (comp.label[static_cast<std::size_t>(t)] == smallest) continue;
+              const Real d = point_distance_squared(data, dim, s, t);
+              if (d < local.distance) local = {d, s, t};
+            }
+          }
+          return local;
+        },
+        [](const CrossPair& a, const CrossPair& b) {
+          return b.distance < a.distance ? b : a;
+        });
+    SGL_ASSERT(best.s != kInvalidIndex, "connect_components: no cross pair");
+    g.add_edge(best.s, best.t,
+               weight_numerator / std::max(best.distance, floor2));
   }
 }
 
@@ -60,16 +75,21 @@ graph::Graph build_knn_graph(const la::DenseMatrix& x,
   if (backend == KnnBackend::kAuto) {
     backend = (n <= 4096) ? KnnBackend::kBruteForce : KnnBackend::kHnsw;
   }
-  const KnnResult knn = (backend == KnnBackend::kBruteForce)
-                            ? brute_force_knn(x, options.k)
-                            : hnsw_knn(x, options.k, options.hnsw);
+  const KnnResult knn =
+      (backend == KnnBackend::kBruteForce)
+          ? brute_force_knn(x, options.k, options.num_threads)
+          : hnsw_knn(x, options.k, options.hnsw, options.num_threads);
 
-  // Median neighbor distance defines the duplicate-point floor.
+  // Median neighbor distance defines the duplicate-point floor. The floor
+  // is purely relative to the median so that rescaling the data rescales
+  // every weight uniformly; the absolute epsilon only matters when the
+  // median itself is zero (all points coincident) and is small enough
+  // never to clamp a genuine distance.
   std::vector<Real> dists = knn.distance_squared;
   std::sort(dists.begin(), dists.end());
   const Real median = dists.empty() ? 0.0 : dists[dists.size() / 2];
-  const Real floor2 = std::max(options.distance_floor_rel * std::max(median, Real{1.0}),
-                               1e-300);
+  const Real floor2 =
+      std::max(options.distance_floor_rel * median, Real{1e-300});
 
   // Symmetrize by union; keep the smaller distance if both directions hit.
   const Real weight_numerator = static_cast<Real>(m);
@@ -93,7 +113,8 @@ graph::Graph build_knn_graph(const la::DenseMatrix& x,
 
   if (options.ensure_connected) {
     const std::vector<Real> data = to_row_major(x);
-    connect_components(g, data, m, weight_numerator, floor2);
+    connect_components(g, data, m, weight_numerator, floor2,
+                       options.num_threads);
   }
   return g;
 }

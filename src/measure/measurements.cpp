@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace sgl::measure {
@@ -20,14 +21,22 @@ Measurements generate_measurements(const graph::Graph& ground_truth,
   Measurements out;
   out.voltages = la::DenseMatrix(n, m);
   out.currents = la::DenseMatrix(n, m);
+
+  // Current vectors are drawn serially so the RNG stream (and therefore
+  // every measurement) is independent of the thread count.
   la::Vector y(static_cast<std::size_t>(n));
   for (Index i = 0; i < m; ++i) {
     for (Real& v : y) v = rng.normal();
     la::center(y);     // current conservation: Σ y = 0
     la::normalize(y);  // unit excitation
     out.currents.set_col(i, y);
-    out.voltages.set_col(i, pinv.apply(y));
   }
+
+  // The M voltage solves are independent multi-RHS applications of one
+  // factorization; each writes its own column.
+  parallel::parallel_for(0, m, options.num_threads, [&](Index i) {
+    out.voltages.set_col(i, pinv.apply(out.currents.col_vector(i)));
+  });
   return out;
 }
 

@@ -23,6 +23,11 @@ struct MeasurementOptions {
   Index num_measurements = 50;  // M
   std::uint64_t seed = 2021;
   solver::LaplacianSolverOptions solver;
+  /// Worker threads for the M independent voltage solves (0 = library
+  /// default, 1 = serial). Current vectors are always drawn serially from
+  /// the seeded RNG, so the measurements are identical for every thread
+  /// count.
+  Index num_threads = 0;
 };
 
 /// Generates M measurement pairs exactly as the paper's setup prescribes:

@@ -85,12 +85,12 @@ la::Vector LaplacianPinvSolver::apply(const la::Vector& y) const {
   la::Vector xg;
   if (method_ == LaplacianMethod::kCholesky) {
     xg = cholesky_->solve(b);
-    last_pcg_iterations_ = 0;
+    last_pcg_iterations_.store(0, std::memory_order_relaxed);
   } else {
     xg.assign(b.size(), 0.0);
     const PcgResult res = pcg_solve(grounded_, b, xg, *preconditioner_,
                                     pcg_options_);
-    last_pcg_iterations_ = res.iterations;
+    last_pcg_iterations_.store(res.iterations, std::memory_order_relaxed);
     if (!res.converged) {
       throw NumericalError(
           "LaplacianPinvSolver: PCG stalled at relative residual " +

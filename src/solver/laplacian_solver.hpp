@@ -10,6 +10,7 @@
 // of the admittance matrix.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 
@@ -48,7 +49,9 @@ class LaplacianPinvSolver {
 
   /// x = L⁺ y. `y` is centered internally, so any vector may be passed;
   /// the component along the all-ones nullspace is ignored, exactly as the
-  /// pseudo-inverse prescribes.
+  /// pseudo-inverse prescribes. Safe to call concurrently from multiple
+  /// threads (the factorization/preconditioner is read-only after
+  /// construction), which is what the multi-RHS hot paths rely on.
   [[nodiscard]] la::Vector apply(const la::Vector& y) const;
 
   /// Effective resistance between s and t: (e_s − e_t)ᵀ L⁺ (e_s − e_t).
@@ -60,8 +63,9 @@ class LaplacianPinvSolver {
   [[nodiscard]] LaplacianMethod method() const noexcept { return method_; }
 
   /// PCG iterations spent in the most recent apply() (0 for Cholesky).
+  /// Under concurrent apply() calls this reports one of the racing solves.
   [[nodiscard]] Index last_pcg_iterations() const noexcept {
-    return last_pcg_iterations_;
+    return last_pcg_iterations_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -72,7 +76,9 @@ class LaplacianPinvSolver {
   std::unique_ptr<CholeskySolver> cholesky_;
   std::unique_ptr<Preconditioner> preconditioner_;
   PcgOptions pcg_options_;
-  mutable Index last_pcg_iterations_ = 0;
+  // Atomic so concurrent apply() calls (multi-RHS solves) stay data-race
+  // free; relaxed ordering suffices for a diagnostic counter.
+  mutable std::atomic<Index> last_pcg_iterations_{0};
 };
 
 }  // namespace sgl::solver

@@ -1,0 +1,174 @@
+// Unit tests for the parallel execution primitives (thread pool,
+// parallel_for/parallel_for_slots, deterministic chunked reduction).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace sgl::parallel {
+namespace {
+
+TEST(Parallel, DefaultThreadCountIsWithinBounds) {
+  EXPECT_GE(default_num_threads(), 1);
+  EXPECT_LE(default_num_threads(), kMaxThreads);
+}
+
+TEST(Parallel, ResolveSemantics) {
+  EXPECT_EQ(resolve_num_threads(0), default_num_threads());
+  EXPECT_EQ(resolve_num_threads(-3), default_num_threads());
+  EXPECT_EQ(resolve_num_threads(1), 1);
+  EXPECT_EQ(resolve_num_threads(5), 5);
+  EXPECT_EQ(resolve_num_threads(kMaxThreads + 100), kMaxThreads);
+}
+
+TEST(Parallel, ForVisitsEveryIndexExactlyOnce) {
+  constexpr Index n = 20000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, 4, [&](Index i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (Index i = 0; i < n; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, ForHonorsNonZeroBegin) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(40, 100, 3, [&](Index i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (Index i = 0; i < 100; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), i >= 40 ? 1 : 0);
+}
+
+TEST(Parallel, EmptyAndReversedRangesAreNoops) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, 4, [&](Index) { calls.fetch_add(1); });
+  parallel_for(7, 3, 4, [&](Index) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, SlotsStayBelowThreadCount) {
+  constexpr Index threads = 4;
+  std::atomic<bool> out_of_range{false};
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for_slots(0, 5000, threads, [&](Index lo, Index hi, Index slot) {
+    if (slot < 0 || slot >= threads) out_of_range.store(true);
+    for (Index i = lo; i < hi; ++i)
+      hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_FALSE(out_of_range.load());
+  for (Index i = 0; i < 5000; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(Parallel, ReduceSumMatchesSerialBitForBit) {
+  // The chunk layout depends only on the range size, so every thread count
+  // must produce the exact same floating-point sum.
+  Rng rng(123);
+  std::vector<Real> values(10007);
+  for (Real& v : values) v = rng.normal();
+  const auto sum_with = [&](Index threads) {
+    return parallel_reduce(
+        0, to_index(values.size()), threads, Real{0.0},
+        [&](Index lo, Index hi) {
+          Real acc = 0.0;
+          for (Index i = lo; i < hi; ++i)
+            acc += values[static_cast<std::size_t>(i)];
+          return acc;
+        },
+        [](Real a, Real b) { return a + b; });
+  };
+  const Real serial = sum_with(1);
+  for (const Index threads : {2, 3, 4, 8, 16}) {
+    EXPECT_EQ(sum_with(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, ReduceMaxMatchesSerialScan) {
+  Rng rng(7);
+  std::vector<Real> values(513);
+  for (Real& v : values) v = rng.uniform(-10.0, 10.0);
+  Real expected = values[0];
+  for (const Real v : values) expected = std::max(expected, v);
+  const Real got = parallel_reduce(
+      0, to_index(values.size()), 4, -1e300,
+      [&](Index lo, Index hi) {
+        Real local = -1e300;
+        for (Index i = lo; i < hi; ++i)
+          local = std::max(local, values[static_cast<std::size_t>(i)]);
+        return local;
+      },
+      [](Real a, Real b) { return std::max(a, b); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Parallel, ReduceTinyRangeUsesOneElementChunks) {
+  // n < kReduceChunks: every element is its own chunk; combine order is
+  // the element order.
+  std::vector<int> order;
+  const int total = parallel_reduce(
+      0, 5, 1, 0,
+      [&](Index lo, Index hi) {
+        EXPECT_EQ(hi, lo + 1);
+        return static_cast<int>(lo);
+      },
+      [&order](int a, int b) {
+        order.push_back(b);
+        return a + b;
+      });
+  EXPECT_EQ(total, 0 + 1 + 2 + 3 + 4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(
+      parallel_for(0, 1000, 4,
+                   [](Index i) {
+                     if (i == 713) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ExceptionOnCallerSlotPropagates) {
+  // Slot 0 runs on the calling thread; its exception must also surface
+  // after the workers drain.
+  EXPECT_THROW(parallel_for_slots(0, 8, 4,
+                                  [](Index, Index, Index slot) {
+                                    if (slot == 0)
+                                      throw std::runtime_error("caller");
+                                  }),
+               std::runtime_error);
+}
+
+TEST(Parallel, NestedRegionsFallBackToSerial) {
+  // A parallel_for inside a pool worker must not deadlock; it degrades to
+  // a serial loop on that worker.
+  constexpr Index outer = 16;
+  constexpr Index inner = 64;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  parallel_for(0, outer, 4, [&](Index o) {
+    parallel_for(0, inner, 4, [&](Index i) {
+      hits[static_cast<std::size_t>(o * inner + i)].fetch_add(
+          1, std::memory_order_relaxed);
+    });
+  });
+  for (Index i = 0; i < outer * inner; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(Parallel, ManyConsecutiveRegionsReuseThePool) {
+  // Regression guard for pool lifecycle bugs (stuck workers, lost wakeups).
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<Index> sum{0};
+    parallel_for(0, 64, 4,
+                 [&](Index i) { sum.fetch_add(i, std::memory_order_relaxed); });
+    ASSERT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace sgl::parallel

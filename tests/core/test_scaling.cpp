@@ -16,6 +16,24 @@ TEST(Scaling, TruthGraphScaleIsNearOne) {
   EXPECT_NEAR(factor, 1.0, 1e-9);
 }
 
+TEST(Scaling, ThreadedFactorMatchesSerialBitForBit) {
+  // The M solves are independent and the energy-ratio sum is reduced in
+  // fixed chunk order, so the factor must be bit-identical for every
+  // thread count.
+  const graph::Graph g = graph::make_grid2d(9, 7).graph;
+  measure::MeasurementOptions options;
+  options.num_measurements = 40;
+  const measure::Measurements m = measure::generate_measurements(g, options);
+  const Real serial = spectral_edge_scale_factor(g, m.voltages, m.currents,
+                                                 {}, /*num_threads=*/1);
+  for (const Index threads : {2, 4, 8}) {
+    EXPECT_EQ(spectral_edge_scale_factor(g, m.voltages, m.currents, {},
+                                         threads),
+              serial)
+        << "threads=" << threads;
+  }
+}
+
 class ScalingRecoverySweep : public ::testing::TestWithParam<Real> {};
 
 TEST_P(ScalingRecoverySweep, RecoversUniformMisscaling) {

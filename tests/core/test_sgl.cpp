@@ -1,6 +1,7 @@
 // Unit tests for the SGL learner (paper Algorithm 1 mechanics).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "core/sgl.hpp"
@@ -235,6 +236,95 @@ TEST(SglLearner, InvariantToMeasurementColumnPermutation) {
     EXPECT_EQ(a.learned.edge(e).t, b.learned.edge(e).t);
     EXPECT_NEAR(a.learned.edge(e).weight, b.learned.edge(e).weight,
                 1e-6 * a.learned.edge(e).weight);
+  }
+}
+
+TEST(SglLearner, ConvergedRunIsNotExhausted) {
+  // A normal run on mesh measurements reaches the smax < tol certificate
+  // with candidates left in the pool.
+  const measure::Measurements m = grid_measurements(10, 10, 30);
+  const SglResult result = learn_graph(m.voltages, m.currents);
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_LT(result.final_smax, SglConfig{}.tolerance);
+}
+
+TEST(SglLearner, ExhaustionIsNotReportedAsConvergence) {
+  // Points on a circle make the kNN graph a ring: the spanning tree drops
+  // exactly one edge, and that candidate closes a long resistive path, so
+  // its sensitivity is strongly positive. With β = 1 it is added in the
+  // first step, draining the pool while smax ≥ tolerance — the run must
+  // report exhausted, NOT converged (no distortion certificate holds).
+  const Index n = 12;
+  la::DenseMatrix x(n, 2);
+  for (Index i = 0; i < n; ++i) {
+    const Real angle = 2.0 * 3.14159265358979 * static_cast<Real>(i) /
+                       static_cast<Real>(n);
+    x(i, 0) = std::cos(angle);
+    x(i, 1) = std::sin(angle);
+  }
+  SglConfig config;
+  config.k = 2;
+  config.r = 3;
+  config.tolerance = 0.0;
+  config.beta = 1.0;
+  SglLearner learner(x, config);
+  ASSERT_EQ(learner.knn_graph().num_edges(),
+            learner.current_graph().num_edges() + 1);
+  const SglResult result = learner.run(nullptr);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(result.final_smax, 0.0);
+  EXPECT_TRUE(learner.exhausted());
+  EXPECT_FALSE(learner.converged());
+  // The ring was completed: all candidate edges are in the learned graph.
+  EXPECT_EQ(result.learned.num_edges(), n);
+}
+
+TEST(SglLearner, StepAfterExhaustionIsNoopAndStaysUnconverged) {
+  // Drive a learner until its pool drains (or it converges at the
+  // boundary), then confirm step() is a no-op that does not flip states.
+  const measure::Measurements m = grid_measurements(5, 5, 15);
+  SglConfig config;
+  config.tolerance = 0.0;
+  config.beta = 1.0;
+  SglLearner learner(m.voltages, config);
+  for (Index i = 0; i < 200 && !learner.exhausted() && !learner.converged();
+       ++i)
+    learner.step();
+  ASSERT_TRUE(learner.exhausted() || learner.converged());
+  const bool was_converged = learner.converged();
+  const Index edges = learner.current_graph().num_edges();
+  const SglIterationStats stats = learner.step();
+  EXPECT_EQ(stats.edges_added, 0);
+  EXPECT_EQ(learner.current_graph().num_edges(), edges);
+  EXPECT_EQ(learner.converged(), was_converged);
+}
+
+TEST(SglLearner, ThreadedRunMatchesSerialBitForBit) {
+  // The sensitivity scan fills a preallocated array and reduces the max
+  // in fixed chunk order, so the whole learned graph must be bit-identical
+  // for every thread count.
+  const measure::Measurements m = grid_measurements(9, 9, 25);
+  SglConfig serial_config;
+  serial_config.num_threads = 1;
+  const SglResult serial = learn_graph(m.voltages, m.currents, serial_config);
+  for (const Index threads : {2, 4}) {
+    SglConfig config;
+    config.num_threads = threads;
+    const SglResult parallel = learn_graph(m.voltages, m.currents, config);
+    ASSERT_EQ(parallel.learned.num_edges(), serial.learned.num_edges());
+    for (Index e = 0; e < serial.learned.num_edges(); ++e) {
+      EXPECT_EQ(parallel.learned.edge(e).s, serial.learned.edge(e).s);
+      EXPECT_EQ(parallel.learned.edge(e).t, serial.learned.edge(e).t);
+      EXPECT_EQ(parallel.learned.edge(e).weight, serial.learned.edge(e).weight);
+    }
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    EXPECT_EQ(parallel.final_smax, serial.final_smax);
+    EXPECT_EQ(parallel.scale_factor, serial.scale_factor);
+    ASSERT_EQ(parallel.history.size(), serial.history.size());
+    for (std::size_t i = 0; i < serial.history.size(); ++i)
+      EXPECT_EQ(parallel.history[i].smax, serial.history[i].smax);
   }
 }
 

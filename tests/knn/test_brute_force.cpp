@@ -69,6 +69,20 @@ TEST(BruteForce, ContractsOnBadK) {
   EXPECT_THROW(brute_force_knn(x, 4), ContractViolation);
 }
 
+TEST(BruteForce, ThreadedResultMatchesSerialBitForBit) {
+  Rng rng(11);
+  la::DenseMatrix x(257, 6);
+  for (Index j = 0; j < 6; ++j)
+    for (Index i = 0; i < 257; ++i) x(i, j) = rng.normal();
+  const KnnResult serial = brute_force_knn(x, 7, 1);
+  for (const Index threads : {2, 4, 8}) {
+    const KnnResult parallel = brute_force_knn(x, 7, threads);
+    EXPECT_EQ(parallel.neighbor, serial.neighbor) << "threads=" << threads;
+    EXPECT_EQ(parallel.distance_squared, serial.distance_squared)
+        << "threads=" << threads;
+  }
+}
+
 TEST(BruteForce, RowMajorConversionMatchesRows) {
   la::DenseMatrix x(3, 2);
   x(1, 0) = 5.0;

@@ -101,6 +101,59 @@ TEST(Hnsw, ContractsOnBadOptions) {
   EXPECT_THROW(HnswIndex(x, options), ContractViolation);
 }
 
+TEST(Hnsw, KnnAllThreadedMatchesSerialBitForBit) {
+  // Index construction is serial; batched queries are read-only with
+  // per-worker scratch, so every thread count must return exactly the
+  // serial answer.
+  const la::DenseMatrix x = random_points(400, 8, 17);
+  const HnswIndex index(x);
+  const KnnResult serial = index.knn_all(4, 1);
+  for (const Index threads : {2, 4, 8}) {
+    const KnnResult parallel = index.knn_all(4, threads);
+    EXPECT_EQ(parallel.neighbor, serial.neighbor) << "threads=" << threads;
+    EXPECT_EQ(parallel.distance_squared, serial.distance_squared)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Hnsw, SearchPointMatchesScratchFreePath) {
+  // The public search_point (fresh scratch per call) and knn_all (reused
+  // per-worker scratch) must agree query by query.
+  const la::DenseMatrix x = random_points(150, 5, 23);
+  const HnswIndex index(x);
+  const KnnResult batch = index.knn_all(3, 4);
+  for (Index q = 0; q < 150; q += 11) {
+    const auto found = index.search_point(q, 3);
+    ASSERT_EQ(found.size(), 3u);
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_EQ(batch.neighbor[static_cast<std::size_t>(q) * 3 + j],
+                found[static_cast<std::size_t>(j)].second);
+      EXPECT_EQ(batch.distance_squared[static_cast<std::size_t>(q) * 3 + j],
+                found[static_cast<std::size_t>(j)].first);
+    }
+  }
+}
+
+TEST(Hnsw, KnnAllHandlesAllDuplicatePoints) {
+  // Pathological input: every point coincides, so all distances are zero
+  // and search results can run short. Regression for the unsigned
+  // found.size() - 1 underflow in knn_all's fill loop.
+  la::DenseMatrix x(20, 3);
+  for (Index i = 0; i < 20; ++i)
+    for (Index j = 0; j < 3; ++j) x(i, j) = 4.2;
+  const KnnResult r = hnsw_knn(x, 3);
+  ASSERT_EQ(r.num_points(), 20);
+  for (Index i = 0; i < 20; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      const Index nb = r.neighbor[static_cast<std::size_t>(i) * 3 + j];
+      EXPECT_NE(nb, kInvalidIndex);
+      EXPECT_NE(nb, i);
+      EXPECT_DOUBLE_EQ(r.distance_squared[static_cast<std::size_t>(i) * 3 + j],
+                       0.0);
+    }
+  }
+}
+
 TEST(Hnsw, ClusterStructurePreserved) {
   // Two well-separated Gaussian blobs: every neighbor must stay within the
   // query's own blob.

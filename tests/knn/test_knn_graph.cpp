@@ -2,9 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <set>
 
 #include "common/rng.hpp"
+#include "core/sgl.hpp"
 #include "graph/components.hpp"
 #include "knn/knn_graph.hpp"
 
@@ -91,6 +93,108 @@ TEST(KnnGraph, DuplicatePointsGetFiniteWeights) {
   for (const graph::Edge& e : g.edges()) {
     EXPECT_TRUE(std::isfinite(e.weight));
     EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(KnnGraph, WeightsScaleWithData) {
+  // Regression for the scale-dependent duplicate-point floor: rescaling
+  // the measurements by c must rescale every weight by exactly 1/c² (the
+  // floor used to go absolute for median ≪ 1, clamping every distance and
+  // flattening all weights).
+  const la::DenseMatrix x = random_points(80, 4, 11);
+  la::DenseMatrix x_small(80, 4);
+  const Real c = 1e-6;
+  for (Index j = 0; j < 4; ++j)
+    for (Index i = 0; i < 80; ++i) x_small(i, j) = c * x(i, j);
+
+  KnnGraphOptions options;
+  options.k = 4;
+  const graph::Graph g = build_knn_graph(x, options);
+  const graph::Graph g_small = build_knn_graph(x_small, options);
+
+  ASSERT_EQ(g.num_edges(), g_small.num_edges());
+  std::map<std::pair<Index, Index>, Real> weights;
+  for (const graph::Edge& e : g.edges()) weights[{e.s, e.t}] = e.weight;
+  bool weights_vary = false;
+  Real first_weight = -1.0;
+  for (const graph::Edge& e : g_small.edges()) {
+    const auto it = weights.find({e.s, e.t});
+    ASSERT_NE(it, weights.end()) << "edge set changed under rescaling";
+    // w_small = M / (c²·d²) = w / c².
+    EXPECT_NEAR(e.weight * c * c, it->second, 1e-9 * it->second);
+    if (first_weight < 0.0) first_weight = e.weight;
+    if (std::abs(e.weight - first_weight) > 1e-6 * first_weight)
+      weights_vary = true;
+  }
+  // The old bug flattened all small-scale weights to M/floor; distinct
+  // distances must keep distinct weights.
+  EXPECT_TRUE(weights_vary);
+}
+
+TEST(KnnGraph, ConnectsThreeComponentsWithFlooredBridges) {
+  // Three well-separated blobs, k small enough that kNN stays inside each
+  // blob: the repair loop must add bridges until one component remains,
+  // and each bridge weight must be M/max(d², floor) for the closest
+  // cross-component pair.
+  Rng rng(17);
+  const Index per_blob = 8;
+  la::DenseMatrix x(3 * per_blob, 2);
+  for (Index b = 0; b < 3; ++b)
+    for (Index i = 0; i < per_blob; ++i) {
+      x(b * per_blob + i, 0) = 1000.0 * b + rng.normal() * 0.01;
+      x(b * per_blob + i, 1) = rng.normal() * 0.01;
+    }
+
+  KnnGraphOptions options;
+  options.k = 2;
+  options.ensure_connected = false;
+  const graph::Graph raw = build_knn_graph(x, options);
+  ASSERT_GE(graph::connected_components(raw).count, 3);
+
+  options.ensure_connected = true;
+  const graph::Graph g = build_knn_graph(x, options);
+  EXPECT_TRUE(graph::is_connected(g));
+  // Exactly one bridge per extra component.
+  EXPECT_EQ(g.num_edges(),
+            raw.num_edges() + graph::connected_components(raw).count - 1);
+
+  // Bridges span blobs; their weight is the un-floored paper formula here
+  // (cross-blob distances are far above the duplicate floor).
+  const Real m = 2.0;
+  Index bridges = 0;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.s / per_blob == e.t / per_blob) continue;
+    ++bridges;
+    const Real d2 = x.row_distance_squared(e.s, e.t);
+    EXPECT_NEAR(e.weight, m / d2, 1e-9 * (m / d2));
+  }
+  EXPECT_EQ(bridges, graph::connected_components(raw).count - 1);
+
+  // The learner must initialize on such data: spanning tree over all
+  // 3·per_blob nodes.
+  core::SglConfig config;
+  config.k = 2;
+  core::SglLearner learner(x, config);
+  EXPECT_TRUE(graph::is_connected(learner.current_graph()));
+  EXPECT_EQ(learner.current_graph().num_edges(), 3 * per_blob - 1);
+}
+
+TEST(KnnGraph, ThreadedBuildMatchesSerialBitForBit) {
+  const la::DenseMatrix x = random_points(120, 5, 29);
+  KnnGraphOptions serial_opts;
+  serial_opts.k = 4;
+  serial_opts.num_threads = 1;
+  const graph::Graph serial = build_knn_graph(x, serial_opts);
+  for (const Index threads : {2, 4}) {
+    KnnGraphOptions opts = serial_opts;
+    opts.num_threads = threads;
+    const graph::Graph parallel = build_knn_graph(x, opts);
+    ASSERT_EQ(parallel.num_edges(), serial.num_edges());
+    for (Index e = 0; e < serial.num_edges(); ++e) {
+      EXPECT_EQ(parallel.edge(e).s, serial.edge(e).s);
+      EXPECT_EQ(parallel.edge(e).t, serial.edge(e).t);
+      EXPECT_EQ(parallel.edge(e).weight, serial.edge(e).weight);
+    }
   }
 }
 

@@ -35,6 +35,26 @@ TEST(Measurements, VoltagesSolveTheLaplacian) {
   }
 }
 
+TEST(Measurements, ThreadedGenerationMatchesSerialBitForBit) {
+  // Currents are drawn serially from the seeded RNG; the voltage solves
+  // are per-column and independent, so any thread count must reproduce
+  // the serial measurements exactly.
+  const graph::Graph g = graph::make_grid2d(7, 7).graph;
+  MeasurementOptions serial_options;
+  serial_options.num_measurements = 24;
+  serial_options.num_threads = 1;
+  const Measurements serial = generate_measurements(g, serial_options);
+  for (const Index threads : {2, 4, 8}) {
+    MeasurementOptions options = serial_options;
+    options.num_threads = threads;
+    const Measurements parallel = generate_measurements(g, options);
+    EXPECT_EQ(parallel.currents.data(), serial.currents.data())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.voltages.data(), serial.voltages.data())
+        << "threads=" << threads;
+  }
+}
+
 TEST(Measurements, DeterministicPerSeed) {
   const graph::Graph g = graph::make_grid2d(5, 5).graph;
   MeasurementOptions options;

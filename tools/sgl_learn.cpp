@@ -58,6 +58,8 @@ void usage() {
       "  --noise <real>  relative voltage noise     (default 0)\n"
       "  --refine        stagewise weight polish    (off by default)\n"
       "  --seed <int>    measurement RNG seed       (default 2021)\n"
+      "  --threads <int> worker threads; 0 = SGL_NUM_THREADS or hardware\n"
+      "                  (results are identical for any thread count)\n"
       "  --quiet         suppress per-iteration log");
 }
 
@@ -65,8 +67,8 @@ void usage() {
 
 int main(int argc, char** argv) {
   static constexpr const char* kValueOptions[] = {
-      "voltages", "currents", "graph", "measurements", "out",
-      "k",        "r",        "beta",  "tol",          "noise", "seed"};
+      "voltages", "currents", "graph",  "measurements", "out",  "k",
+      "r",        "beta",     "tol",    "noise",        "seed", "threads"};
   CliArgs args;
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
       mopt.num_measurements =
           static_cast<Index>(args.num("measurements", 100));
       mopt.seed = static_cast<std::uint64_t>(args.num("seed", 2021));
+      mopt.num_threads = static_cast<Index>(args.num("threads", 0));
       const measure::Measurements data = measure::generate_measurements(g, mopt);
       x = data.voltages;
       y = data.currents;
@@ -144,6 +147,7 @@ int main(int argc, char** argv) {
     config.r = static_cast<Index>(args.num("r", 5));
     config.beta = args.num("beta", 1e-3);
     config.tolerance = args.num("tol", 1e-12);
+    config.num_threads = static_cast<Index>(args.num("threads", 0));
     if (!args.has("quiet")) {
       config.observer = [](Index it, Real smax, Index added) {
         std::printf("  iter %3d  smax %.3e  +%d edges\n", it, smax, added);
