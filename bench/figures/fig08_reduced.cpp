@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   // True spectrum of the full graph, computed once.
   const solver::LaplacianPinvSolver pinv_truth(mesh.graph);
   eig::LanczosOptions lopt;
-  lopt.max_subspace = 2 * k_eigs + 40;
+  lopt.max_subspace = eig::spectrum_subspace_cap(mesh.graph.num_nodes(),
+                                                 k_eigs, lopt.block_size);
   const la::Vector lambda_truth =
       eig::smallest_laplacian_eigenpairs(pinv_truth, k_eigs, lopt).eigenvalues;
 

@@ -15,21 +15,31 @@ Real spectral_edge_scale_factor(const graph::Graph& g, const la::DenseMatrix& x,
   SGL_EXPECTS(x.cols() == y.cols() && x.cols() >= 1,
               "spectral_edge_scale_factor: X and Y must pair up");
 
-  // The M solves share one factorization and are independent; the ratio
-  // sum is a deterministic chunk-ordered reduction, so the factor is
-  // bit-identical for every thread count.
+  // The M solves are multi-RHS block applies of a shared factorization
+  // (eq. 22: x̃_i = L⁺ y_i), issued per fixed column chunk inside the
+  // deterministic reduction so only one n×chunk scratch block lives per
+  // worker (the solutions collapse to column norms immediately — a full
+  // n×M block would be dead weight). Chunk boundaries depend only on M,
+  // so the factor is bit-identical for every thread count.
   const solver::LaplacianPinvSolver pinv(g, solver);
+  const Index n = g.num_nodes();
   const Index m = x.cols();
   const Real ratio_sum = parallel::parallel_reduce(
       0, m, num_threads, Real{0.0},
       [&](Index lo, Index hi) {
+        la::DenseMatrix xt(n, hi - lo);
+        const la::ConstBlockView rhs{
+            y.data().data() + static_cast<std::size_t>(lo) * n, n, hi - lo};
+        pinv.apply_block(rhs, la::view_of(xt), 1);
         Real local = 0.0;
         for (Index i = lo; i < hi; ++i) {
-          const la::Vector xt = pinv.apply(y.col_vector(i));  // x̃_i (eq. 22)
-          const Real x_norm2 = la::norm2_squared(x.col_vector(i));
+          Real xt_norm2 = 0.0;
+          for (const Real v : xt.col(i - lo)) xt_norm2 += v * v;
+          Real x_norm2 = 0.0;
+          for (const Real v : x.col(i)) x_norm2 += v * v;
           SGL_EXPECTS(x_norm2 > 0.0,
                       "spectral_edge_scale_factor: zero voltage measurement");
-          local += la::norm2_squared(xt) / x_norm2;
+          local += xt_norm2 / x_norm2;
         }
         return local;
       },

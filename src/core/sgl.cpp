@@ -68,14 +68,19 @@ SglIterationStats SglLearner::step() {
   const WallTimer timer;
   ++iteration_;
 
-  // Step 2: spectral embedding of the current learned graph.
+  // Step 2: spectral embedding of the current learned graph. The block
+  // eigensolver inherits the learner's thread knob unless the Lanczos
+  // options pin their own.
   spectral::EmbeddingOptions embed_options;
   embed_options.r = config_.r;
   embed_options.sigma2 = config_.sigma2;
   embed_options.lanczos = config_.lanczos;
   embed_options.solver = config_.solver;
+  if (embed_options.lanczos.num_threads == 0)
+    embed_options.lanczos.num_threads = config_.num_threads;
   const spectral::Embedding embedding =
       spectral::compute_embedding(learned_, embed_options);
+  stats.eig_converged = embedding.eig_converged;
 
   // Step 3: candidate sensitivities s_st = z_emb − z_data / M (eq. 13).
   // Each candidate's sensitivity is independent, so the scan fills the
@@ -114,15 +119,29 @@ SglIterationStats SglLearner::step() {
   }
 
   // Include the top ⌈Nβ⌉ candidates whose sensitivity exceeds tolerance.
+  // Ranking uses sensitivities quantized to kTieResolution relative to
+  // smax, with candidate order as the canonical tie-break: symmetric
+  // graphs produce exactly tied candidates whose float images differ only
+  // by eigensolver rounding, and without quantization the selection (and
+  // thus the learned graph) would depend on sub-tolerance noise of
+  // whichever eigensolver backend computed the embedding.
   const Index budget = static_cast<Index>(std::ceil(
       static_cast<Real>(learned_.num_nodes()) * config_.beta));
   std::vector<Index> order(num_candidates);
   std::iota(order.begin(), order.end(), Index{0});
   const Index take = std::min<Index>(budget, to_index(num_candidates));
+  constexpr Real kTieResolution = 1e-6;
+  const Real quantum = std::abs(smax) * kTieResolution;
+  const auto rank = [&sensitivity, quantum](Index c) {
+    const Real s = sensitivity[static_cast<std::size_t>(c)];
+    return quantum > 0.0 ? std::floor(s / quantum) : s;
+  };
   std::partial_sort(order.begin(), order.begin() + take, order.end(),
-                    [&sensitivity](Index a, Index b) {
-                      return sensitivity[static_cast<std::size_t>(a)] >
-                             sensitivity[static_cast<std::size_t>(b)];
+                    [&rank](Index a, Index b) {
+                      const Real ra = rank(a);
+                      const Real rb = rank(b);
+                      if (ra != rb) return ra > rb;
+                      return a < b;
                     });
 
   std::vector<bool> remove(num_candidates, false);
@@ -142,10 +161,12 @@ SglIterationStats SglLearner::step() {
       if (!remove[c]) kept.push_back(candidates_[c]);
     candidates_.swap(kept);
   } else {
-    // added == 0 with smax ≥ tol means smax == tol exactly (the boundary
-    // case: step 4 did not fire, yet no candidate is strictly above the
-    // tolerance). Treat the certificate as satisfied so the loop
-    // terminates; off-by-an-ulp is the strongest guarantee available here.
+    // added == 0 with smax ≥ tol is the boundary case: step 4 did not
+    // fire, yet the top-ranked candidate is not strictly above the
+    // tolerance (smax == tol exactly, or within one quantization bucket
+    // of it — a ≤ kTieResolution·smax margin). Treat the certificate as
+    // satisfied so the loop terminates; off-by-a-rounding-unit is the
+    // strongest guarantee available here.
     converged_ = true;
   }
 

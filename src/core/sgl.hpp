@@ -64,6 +64,11 @@ struct SglIterationStats {
   Index edges_added = 0;
   Index total_edges = 0;    // learned-graph edges after this iteration
   double seconds = 0.0;     // wall time of this iteration
+  /// The block eigensolver behind this iteration's embedding met its
+  /// residual tolerance. False means the sensitivities were computed from
+  /// the best available (unconverged) Ritz pairs — raise
+  /// SglConfig::lanczos.max_subspace if this persists.
+  bool eig_converged = true;
 };
 
 struct SglResult {

@@ -6,258 +6,310 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "eig/dense_eig.hpp"
+#include "la/multi_vector.hpp"
+#include "solver/operators.hpp"
 
 namespace sgl::eig {
 
 namespace {
 
-/// Removes the components of w along all columns of v (classical
-/// Gram–Schmidt, two passes for stability) and along the deflated
-/// all-ones direction. Re-centering inside every pass matters: when w
-/// shrinks by many orders of magnitude during orthogonalization, a
-/// rounding-level ones-component would otherwise be amplified back to
-/// O(1) by the subsequent normalization and hand Lanczos a spurious
-/// near-zero Ritz value.
-void reorthogonalize(const std::vector<la::Vector>& v, la::Vector& w) {
-  for (int pass = 0; pass < 2; ++pass) {
-    la::center(w);
-    for (const la::Vector& q : v) {
-      const Real c = la::dot(w, q);
-      if (c != 0.0) la::axpy(-c, q, w);
+/// Relative threshold below which an orthogonalized direction is pure
+/// rounding noise; √ε-scale is the classical safe choice (normalizing a
+/// smaller residual would promote noise to a basis vector).
+constexpr Real kRankTol = 1e-8;
+
+/// Attempts at replacing a rank-deficient candidate with a fresh random
+/// direction before declaring the 1-perp subspace exhausted.
+constexpr int kFreshAttempts = 3;
+
+/// Block Lanczos driver. The basis V and the operator images AV grow in
+/// blocks; the projected matrix T = Vᵀ(AV) is extended incrementally and
+/// a Rayleigh–Ritz step with *exact* residual norms ‖A u − θ u‖ decides
+/// convergence — no settle-window heuristics, because with full
+/// reorthogonalization and blocked iterates a small residual certifies
+/// the pair. Every kernel used here is deterministic across thread
+/// counts, and all random draws happen serially on the calling thread,
+/// so the result is bit-identical for every `num_threads`.
+class BlockLanczos {
+ public:
+  BlockLanczos(const la::LinearOperator& op, Index r,
+               const LanczosOptions& options)
+      : op_(op),
+        n_(op.rows()),
+        r_(r),
+        nt_(options.num_threads),
+        tol_(options.tolerance),
+        m_cap_(options.max_subspace > 0
+                   ? std::min(options.max_subspace, n_ - 1)
+                   : default_subspace_cap(
+                         n_, r,
+                         options.block_size > 0 ? options.block_size : 0)),
+        b_(std::min(options.block_size > 0 ? options.block_size
+                                           : default_block_size(r),
+                    m_cap_)),
+        rng_(options.seed),
+        v_(n_, m_cap_),
+        av_(n_, m_cap_),
+        t_(m_cap_, m_cap_),
+        scratch_(n_, b_) {
+    SGL_EXPECTS(op.cols() == n_, "largest_operator_eigenpairs: operator not square");
+    SGL_EXPECTS(n_ >= 2, "largest_operator_eigenpairs: n must be at least 2");
+    SGL_EXPECTS(r >= 1 && r <= n_ - 1,
+                "largest_operator_eigenpairs: need 1 <= r <= n-1");
+    SGL_EXPECTS(m_cap_ >= r, "largest_operator_eigenpairs: subspace cap below r");
+  }
+
+  EigenPairs run() {
+    // Random start block, centered and orthonormalized.
+    for (Index j = 0; j < b_; ++j) {
+      const std::span<Real> col = scratch_.col(j);
+      for (Real& x : col) x = rng_.normal();
+    }
+    Index appended = append_block(scratch_.block(0, b_));
+    SGL_ENSURES(appended > 0, "largest_operator_eigenpairs: empty start block");
+    Index blk_lo = 0;
+    m_ = appended;
+
+    EigenPairs out;
+    while (true) {
+      const Index blk_hi = m_;
+      // Batched operator apply on the newest block, then nullspace
+      // deflation (centering) of the images.
+      op_.apply_block(v_.block(blk_lo, blk_hi), av_.block(blk_lo, blk_hi));
+      center_columns(av_.block(blk_lo, blk_hi), nt_);
+      extend_projection(blk_lo, blk_hi);
+
+      // Rayleigh–Ritz on the current basis.
+      const Index m = blk_hi;
+      const Index avail = std::min(r_, m);
+      la::DenseMatrix tm(m, m);
+      for (Index j = 0; j < m; ++j)
+        for (Index i = 0; i < m; ++i) tm(i, j) = t_(i, j);
+      const DenseEigResult te = dense_symmetric_eig(tm);  // ascending
+      la::Vector theta(static_cast<std::size_t>(avail));
+      la::DenseMatrix ytop(m, avail);
+      for (Index i = 0; i < avail; ++i) {
+        const Index col = m - 1 - i;
+        theta[static_cast<std::size_t>(i)] =
+            te.eigenvalues[static_cast<std::size_t>(col)];
+        for (Index k = 0; k < m; ++k) ytop(k, i) = te.eigenvectors(k, col);
+      }
+
+      // Ritz vectors U = V y and exact residuals ‖AV y − θ V y‖.
+      la::MultiVector ritz(n_, avail);
+      la::MultiVector residual(n_, avail);
+      block_product(v_.block(0, m), ytop, ritz.view(), nt_);
+      block_product(av_.block(0, m), ytop, residual.view(), nt_);
+      la::Vector neg_theta(theta);
+      for (Real& x : neg_theta) x = -x;
+      block_axpy(neg_theta, ritz.view(), residual.view(), nt_);
+      const la::Vector resid = column_norms(residual.view(), nt_);
+
+      Real theta_scale = 1e-300;
+      for (const Real x : theta) theta_scale = std::max(theta_scale, std::abs(x));
+      bool all_done = (avail >= r_);
+      for (Index i = 0; i < avail; ++i) {
+        if (resid[static_cast<std::size_t>(i)] > tol_ * theta_scale) {
+          all_done = false;
+          break;
+        }
+      }
+
+      if (all_done || m >= m_cap_) {
+        finalize(out, theta, ritz, m, all_done);
+        return out;
+      }
+
+      // Next candidate block: the newest operator images (their
+      // components outside span(V) are exactly the block-Lanczos
+      // residual directions), capacity-clamped.
+      const Index want = std::min(blk_hi - blk_lo, m_cap_ - m);
+      for (Index j = 0; j < want; ++j) {
+        const std::span<const Real> src = av_.col(blk_lo + j);
+        const std::span<Real> dst = scratch_.col(j);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      appended = append_block(scratch_.block(0, want));
+      if (appended == 0) {
+        // The whole 1-perp subspace is spanned: the Ritz pairs above are
+        // exact (their residuals live inside span(V), which is
+        // invariant), so report them as converged.
+        finalize(out, theta, ritz, m, true);
+        return out;
+      }
+      blk_lo = m_;
+      m_ += appended;
     }
   }
-  la::center(w);
-}
 
-/// Fresh centered random direction orthogonal to the current basis.
-/// Returns the norm after orthogonalization (≈0 once the 1-perp subspace
-/// is exhausted).
-Real fresh_direction(Rng& rng, const std::vector<la::Vector>& v, Index n,
-                     la::Vector& out) {
-  out.assign(static_cast<std::size_t>(n), 0.0);
-  for (Real& x : out) x = rng.normal();
-  la::center(out);
-  reorthogonalize(v, out);
-  const Real norm = la::norm2(out);
-  if (norm > 0.0) la::scale(out, 1.0 / norm);
-  return norm;
-}
+ private:
+  /// Extends T = Vᵀ(AV) with the columns of the newest block, mirroring
+  /// across the diagonal (the operator contract is symmetric-on-1-perp)
+  /// and averaging the doubly-computed diagonal-block entries.
+  void extend_projection(Index blk_lo, Index blk_hi) {
+    const la::DenseMatrix tc = la::block_inner(
+        v_.block(0, blk_hi), av_.block(blk_lo, blk_hi), nt_);
+    const Index nc = blk_hi - blk_lo;
+    for (Index j = 0; j < nc; ++j) {
+      const Index col = blk_lo + j;
+      for (Index i = 0; i < blk_lo; ++i) {
+        t_(i, col) = tc(i, j);
+        t_(col, i) = tc(i, j);
+      }
+      for (Index j2 = 0; j2 < nc; ++j2) {
+        const Index row = blk_lo + j2;
+        const Real s = 0.5 * (tc(row, j) + tc(blk_lo + j, j2));
+        t_(row, col) = s;
+        t_(col, row) = s;
+      }
+    }
+  }
+
+  /// Two-pass projection of one column (a basis slot) against the first
+  /// `k` columns of this block's appended set plus the old basis is
+  /// handled by append_block; this helper removes components along basis
+  /// columns [0, upto) from the single column `x` (two passes, serial
+  /// dots — upto is small only for the within-block part, but the block
+  /// part is done with the blocked kernels before we get here).
+  void project_column(std::span<Real> x, Index lo, Index upto) {
+    for (int pass = 0; pass < 2; ++pass) {
+      Real mean = 0.0;
+      for (const Real val : x) mean += val;
+      mean /= static_cast<Real>(n_);
+      for (Real& val : x) val -= mean;
+      for (Index k = lo; k < upto; ++k) {
+        const std::span<const Real> vk = v_.col(k);
+        Real c = 0.0;
+        for (Index i = 0; i < n_; ++i)
+          c += x[static_cast<std::size_t>(i)] * vk[static_cast<std::size_t>(i)];
+        if (c == 0.0) continue;
+        for (Index i = 0; i < n_; ++i)
+          x[static_cast<std::size_t>(i)] -= c * vk[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  /// Fills `dst` with a fresh centered random direction orthogonal to
+  /// basis columns [0, upto). Returns false once no meaningful direction
+  /// remains (1-perp subspace exhausted).
+  bool fresh_direction(std::span<Real> dst, Index upto) {
+    for (int attempt = 0; attempt < kFreshAttempts; ++attempt) {
+      for (Real& x : dst) x = rng_.normal();
+      Real draw_norm = 0.0;
+      for (const Real x : dst) draw_norm += x * x;
+      draw_norm = std::sqrt(draw_norm);
+      project_column(dst, 0, upto);
+      Real norm = 0.0;
+      for (const Real x : dst) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm > kRankTol * std::max(draw_norm, Real{1e-300})) {
+        for (Real& x : dst) x /= norm;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Orthonormalizes the candidate block against the basis (two-pass
+  /// blocked Gram–Schmidt with centering) and internally (modified
+  /// Gram–Schmidt with rank repair: deficient columns are replaced by
+  /// fresh random directions). Survivors are written to basis columns
+  /// [m_, m_ + appended); returns appended (0 ⇒ subspace exhausted).
+  Index append_block(la::BlockView w) {
+    const la::Vector pre = la::column_norms(w, nt_);
+    for (int pass = 0; pass < 2; ++pass) {
+      la::center_columns(w, nt_);
+      if (m_ > 0) {
+        const la::DenseMatrix c = la::block_inner(v_.block(0, m_), w, nt_);
+        la::block_subtract(w, v_.block(0, m_), c, nt_);
+      }
+    }
+    la::center_columns(w, nt_);
+
+    Index appended = 0;
+    for (Index j = 0; j < w.cols; ++j) {
+      const Index slot = m_ + appended;
+      const std::span<const Real> src = w.col(j);
+      const std::span<Real> dst = v_.col(slot);
+      std::copy(src.begin(), src.end(), dst.begin());
+      // Within-block MGS against the columns appended so far.
+      project_column(dst, m_, slot);
+      Real norm = 0.0;
+      for (const Real x : dst) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm > kRankTol * std::max(pre[static_cast<std::size_t>(j)],
+                                     Real{1e-300})) {
+        for (Real& x : dst) x /= norm;
+        ++appended;
+        continue;
+      }
+      // Rank-deficient candidate (invariant-subspace hit): open a new
+      // direction at random, as in classical Lanczos restarting.
+      if (fresh_direction(dst, slot)) {
+        ++appended;
+      } else {
+        break;  // 1-perp subspace exhausted
+      }
+    }
+    return appended;
+  }
+
+  void finalize(EigenPairs& out, const la::Vector& theta, la::MultiVector& ritz,
+                Index m, bool converged) {
+    out.eigenvalues = theta;  // descending operator eigenvalues
+    out.eigenvectors = ritz.release_dense();
+    out.lanczos_steps = m;
+    out.converged = converged;
+  }
+
+  const la::LinearOperator& op_;
+  Index n_;
+  Index r_;
+  Index nt_;
+  Real tol_;
+  Index m_cap_;
+  Index b_;
+  Rng rng_;
+  la::MultiVector v_;   // basis: centered, orthonormal columns [0, m_)
+  la::MultiVector av_;  // operator images of the basis columns
+  la::DenseMatrix t_;   // projected operator, leading m_ × m_ valid
+  la::MultiVector scratch_;
+  Index m_ = 0;
+};
 
 }  // namespace
 
-EigenPairs largest_operator_eigenpairs(
-    const std::function<la::Vector(const la::Vector&)>& apply, Index n,
-    Index r, const LanczosOptions& options) {
-  SGL_EXPECTS(n >= 2, "largest_operator_eigenpairs: n must be at least 2");
-  SGL_EXPECTS(r >= 1 && r <= n - 1,
-              "largest_operator_eigenpairs: need 1 <= r <= n-1");
-
-  const Index m_cap = options.max_subspace > 0
-                          ? std::min(options.max_subspace, n - 1)
-                          : std::min(n - 1, std::max<Index>(3 * r + 16, 40));
-  SGL_EXPECTS(m_cap >= r, "largest_operator_eigenpairs: subspace cap below r");
-
-  // Degenerate eigenvalues surface one copy per Lanczos block: after a
-  // breakdown the iteration restarts on a fresh random direction (a β = 0
-  // block boundary), and after the top-r Ritz values first converge the
-  // iteration keeps going for a short settling window so that duplicate
-  // copies can still displace spurious trailing values.
-  constexpr Index kSettleSteps = 6;
-  // Relative threshold below which a new Lanczos direction is pure
-  // rounding noise; √ε-scale is the classical safe choice (normalizing a
-  // smaller w would promote noise to a basis vector).
-  constexpr Real kBreakdownTol = 1e-8;
-
-  Rng rng(options.seed);
-  std::vector<la::Vector> v;  // Lanczos basis: centered, orthonormal
-  v.reserve(static_cast<std::size_t>(m_cap));
-  la::Vector alpha;  // diagonal of T
-  la::Vector beta;   // sub-diagonal of T (0 at block boundaries)
-
-  {
-    la::Vector start;
-    const Real norm = fresh_direction(rng, v, n, start);
-    SGL_ENSURES(norm > 0.0, "largest_operator_eigenpairs: empty start vector");
-    v.push_back(std::move(start));
-  }
-
-  EigenPairs out;
-  la::Vector top_values;       // best-r operator Ritz values, descending
-  la::DenseMatrix top_vectors; // matching T-eigenvector columns
-  la::Vector settle_reference;
-  Index settle_remaining = -1;
-
-  for (Index j = 0; j < m_cap; ++j) {
-    la::Vector w = apply(v[static_cast<std::size_t>(j)]);
-    SGL_EXPECTS(to_index(w.size()) == n,
-                "largest_operator_eigenpairs: operator changed dimension");
-    la::center(w);  // deflate the known nullspace direction
-    const Real a = la::dot(w, v[static_cast<std::size_t>(j)]);
-    alpha.push_back(a);
-    reorthogonalize(v, w);
-    const Real b = la::norm2(w);
-
-    const Index steps = j + 1;
-    Real alpha_scale = 1.0;
-    for (const Real x : alpha) alpha_scale = std::max(alpha_scale, std::abs(x));
-    const bool breakdown = (b <= kBreakdownTol * alpha_scale);
-    const bool exhausted = (steps == m_cap) || (steps == n - 1);
-
-    bool finalize = false;
-    bool all_done = false;
-    if (steps >= r) {
-      la::Vector sub(beta.begin(), beta.end());
-      const DenseEigResult t_eig =
-          tridiagonal_eig(alpha, sub, /*want_vectors=*/true);
-
-      // Residual bound ‖A u_i − θ_i u_i‖ = β_j |y_i(j)|; pairs from frozen
-      // blocks have y_i(j) = 0 and are exact.
-      const Real b_eff = breakdown ? 0.0 : b;
-      const Real theta_max =
-          std::abs(t_eig.eigenvalues[static_cast<std::size_t>(steps - 1)]);
-      Index converged_count = 0;
-      for (Index i = 0; i < r && i < steps; ++i) {
-        const Index col = steps - 1 - i;
-        const Real resid = b_eff * std::abs(t_eig.eigenvectors(steps - 1, col));
-        if (resid <= options.tolerance * std::max(theta_max, Real{1e-300}))
-          ++converged_count;
-        else
-          break;
-      }
-      all_done = (converged_count >= r);
-
-      // Snapshot the current best-r pairs.
-      top_values.assign(static_cast<std::size_t>(r), 0.0);
-      top_vectors = la::DenseMatrix(steps, r);
-      for (Index i = 0; i < r; ++i) {
-        const Index col = steps - 1 - i;
-        if (col < 0) break;
-        top_values[static_cast<std::size_t>(i)] =
-            t_eig.eigenvalues[static_cast<std::size_t>(col)];
-        for (Index k = 0; k < steps; ++k)
-          top_vectors(k, i) = t_eig.eigenvectors(k, col);
-      }
-
-      if (all_done) {
-        bool stable = (to_index(settle_reference.size()) == r);
-        if (stable) {
-          for (Index i = 0; i < r; ++i) {
-            const Real ref = settle_reference[static_cast<std::size_t>(i)];
-            const Real now = top_values[static_cast<std::size_t>(i)];
-            if (std::abs(now - ref) >
-                1e-9 * std::max(std::abs(ref), Real{1e-300})) {
-              stable = false;
-              break;
-            }
-          }
-        }
-        if (stable && settle_remaining >= 0) {
-          --settle_remaining;
-        } else {
-          settle_remaining = kSettleSteps;
-        }
-        settle_reference = top_values;
-        if (settle_remaining <= 0) finalize = true;
-      } else {
-        settle_remaining = -1;
-        settle_reference.clear();
-      }
-      if (exhausted) finalize = true;
-
-      if (finalize) {
-        out.lanczos_steps = steps;
-        out.converged = all_done;
-        break;
-      }
-    }
-
-    if (breakdown) {
-      // Invariant subspace hit: open a new block on a fresh direction.
-      la::Vector fresh;
-      const Real norm = fresh_direction(rng, v, n, fresh);
-      if (norm <= 1e-8) {
-        // The whole 1-perp subspace is spanned: everything is exact.
-        out.lanczos_steps = steps;
-        out.converged = true;
-        break;
-      }
-      beta.push_back(0.0);
-      v.push_back(std::move(fresh));
-    } else {
-      beta.push_back(b);
-      la::scale(w, 1.0 / b);
-      v.push_back(std::move(w));
-    }
-  }
-
-  if (out.lanczos_steps == 0) {
-    // Loop ended without an explicit finalize (possible only via the
-    // breakdown-exhaustion path before steps >= r, which contracts above
-    // exclude) — treat defensively.
-    out.lanczos_steps = to_index(alpha.size());
-    if (top_values.empty()) {
-      la::Vector sub(beta.begin(), beta.end());
-      const DenseEigResult t_eig = tridiagonal_eig(alpha, sub, true);
-      const Index steps = to_index(alpha.size());
-      const Index take = std::min(r, steps);
-      top_values.assign(static_cast<std::size_t>(take), 0.0);
-      top_vectors = la::DenseMatrix(steps, take);
-      for (Index i = 0; i < take; ++i) {
-        const Index col = steps - 1 - i;
-        top_values[static_cast<std::size_t>(i)] =
-            t_eig.eigenvalues[static_cast<std::size_t>(col)];
-        for (Index k = 0; k < steps; ++k)
-          top_vectors(k, i) = t_eig.eigenvectors(k, col);
-      }
-      out.converged = true;
-    }
-  }
-
-  // Assemble Ritz vectors u_i = V y_i.
-  const Index steps = out.lanczos_steps;
-  const Index got = to_index(top_values.size());
-  out.eigenvalues = top_values;  // descending operator eigenvalues
-  out.eigenvectors = la::DenseMatrix(n, got);
-  for (Index i = 0; i < got; ++i) {
-    auto dst = out.eigenvectors.col(i);
-    for (Index k = 0; k < steps && k < top_vectors.rows(); ++k) {
-      const Real c = top_vectors(k, i);
-      if (c == 0.0) continue;
-      const la::Vector& vk = v[static_cast<std::size_t>(k)];
-      for (Index row = 0; row < n; ++row)
-        dst[row] += c * vk[static_cast<std::size_t>(row)];
-    }
-  }
-  return out;
+EigenPairs largest_operator_eigenpairs(const la::LinearOperator& op, Index r,
+                                       const LanczosOptions& options) {
+  return BlockLanczos(op, r, options).run();
 }
 
 EigenPairs smallest_laplacian_eigenpairs(const solver::LaplacianPinvSolver& pinv,
                                          Index r, const LanczosOptions& options,
                                          bool require_converged) {
-  const Index n = pinv.num_nodes();
-  EigenPairs op = largest_operator_eigenpairs(
-      [&pinv](const la::Vector& x) { return pinv.apply(x); }, n, r, options);
-  if (require_converged && !op.converged) {
+  const solver::LaplacianPinvOperator op(pinv, options.num_threads);
+  EigenPairs op_pairs = largest_operator_eigenpairs(op, r, options);
+  if (require_converged && !op_pairs.converged) {
     throw NumericalError(
-        "smallest_laplacian_eigenpairs: Lanczos did not converge within the "
-        "subspace cap; raise max_subspace");
+        "smallest_laplacian_eigenpairs: block Lanczos did not converge within "
+        "the subspace cap; raise max_subspace");
   }
 
   // Map operator eigenvalues θ (descending) to Laplacian eigenvalues
   // λ = 1/θ (ascending) — same order, so columns already line up.
   EigenPairs out;
-  out.lanczos_steps = op.lanczos_steps;
-  out.converged = op.converged;
-  const Index got = to_index(op.eigenvalues.size());
+  out.lanczos_steps = op_pairs.lanczos_steps;
+  out.converged = op_pairs.converged;
+  const Index got = to_index(op_pairs.eigenvalues.size());
   out.eigenvalues.resize(static_cast<std::size_t>(got));
   for (Index i = 0; i < got; ++i) {
-    const Real theta = op.eigenvalues[static_cast<std::size_t>(i)];
+    const Real theta = op_pairs.eigenvalues[static_cast<std::size_t>(i)];
     SGL_ENSURES(theta > 0.0,
                 "smallest_laplacian_eigenpairs: nonpositive Ritz value — "
                 "operator is not positive definite on 1-perp");
     out.eigenvalues[static_cast<std::size_t>(i)] = 1.0 / theta;
   }
-  out.eigenvectors = std::move(op.eigenvectors);
+  out.eigenvectors = std::move(op_pairs.eigenvectors);
   return out;
 }
 

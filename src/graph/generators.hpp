@@ -5,8 +5,9 @@
 // redistributable here, so this module provides generators that match each
 // test case's size, average degree, and mesh topology — the properties that
 // drive Laplacian spectra, effective resistances, and SGL behaviour. See
-// DESIGN.md §2 for the substitution rationale. A MatrixMarket loader
-// (graph/matrix_market.hpp) lets the original files be dropped in.
+// DESIGN.md §2 ("Substitutions relative to the paper") for the rationale.
+// A MatrixMarket loader (graph/matrix_market.hpp) lets the original files
+// be dropped in.
 #pragma once
 
 #include <array>

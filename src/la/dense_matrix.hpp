@@ -27,6 +27,22 @@ class DenseMatrix {
     SGL_EXPECTS(rows >= 0 && cols >= 0, "DenseMatrix: negative dimension");
   }
 
+  /// Adopts existing column-major storage without initializing it (the
+  /// MultiVector conversions use this to move buffers instead of
+  /// zero-filling one that is immediately overwritten).
+  static DenseMatrix from_storage(Index rows, Index cols,
+                                  std::vector<Real> data) {
+    SGL_EXPECTS(rows >= 0 && cols >= 0, "from_storage: negative dimension");
+    SGL_EXPECTS(data.size() == static_cast<std::size_t>(rows) *
+                                   static_cast<std::size_t>(cols),
+                "from_storage: storage size mismatch");
+    DenseMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
   [[nodiscard]] Index rows() const noexcept { return rows_; }
   [[nodiscard]] Index cols() const noexcept { return cols_; }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }

@@ -1,0 +1,23 @@
+#include "la/linear_operator.hpp"
+
+#include <algorithm>
+
+namespace sgl::la {
+
+void LinearOperator::apply_block(ConstBlockView x, BlockView y) const {
+  SGL_EXPECTS(x.rows == cols() && y.rows == rows() && x.cols == y.cols,
+              "LinearOperator::apply_block: shape mismatch");
+  Vector xi(static_cast<std::size_t>(x.rows));
+  Vector yi;
+  for (Index j = 0; j < x.cols; ++j) {
+    const std::span<const Real> src = x.col(j);
+    std::copy(src.begin(), src.end(), xi.begin());
+    apply(xi, yi);
+    SGL_ENSURES(to_index(yi.size()) == y.rows,
+                "LinearOperator::apply: result dimension mismatch");
+    const std::span<Real> dst = y.col(j);
+    std::copy(yi.begin(), yi.end(), dst.begin());
+  }
+}
+
+}  // namespace sgl::la

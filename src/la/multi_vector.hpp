@@ -1,0 +1,209 @@
+// MultiVector: an n × b block of column vectors with parallel kernels.
+//
+// The block linear-algebra backbone (DESIGN.md §1) moves the numerical
+// core from one-vector-at-a-time calls to batched block operations:
+// multi-RHS solves, CSR SpMM, block inner products and blocked
+// orthogonalization. MultiVector owns column-major storage (identical
+// layout to DenseMatrix, so conversions just move the buffer) and the
+// kernels below operate on contiguous column-range *views*, which lets
+// callers address a growing basis (Lanczos) or a whole measurement matrix
+// without copies.
+//
+// Determinism: every kernel computes each output element as a fixed-order
+// serial sum (or combines fixed-size chunk partials in chunk order), so
+// results are bit-identical for every thread count — the same contract as
+// common/parallel.hpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/sparse.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sgl::la {
+
+/// Mutable view of a contiguous column range (column-major, leading
+/// dimension == rows). Cheap to copy; does not own storage.
+struct BlockView {
+  Real* data = nullptr;
+  Index rows = 0;
+  Index cols = 0;
+
+  [[nodiscard]] std::span<Real> col(Index j) const {
+    SGL_ASSERT(j >= 0 && j < cols, "BlockView::col out of range");
+    return {data + static_cast<std::size_t>(j) * rows,
+            static_cast<std::size_t>(rows)};
+  }
+  [[nodiscard]] Real& at(Index i, Index j) const {
+    SGL_ASSERT(i >= 0 && i < rows && j >= 0 && j < cols,
+               "BlockView::at out of range");
+    return data[static_cast<std::size_t>(j) * rows + i];
+  }
+};
+
+/// Read-only counterpart of BlockView.
+struct ConstBlockView {
+  const Real* data = nullptr;
+  Index rows = 0;
+  Index cols = 0;
+
+  ConstBlockView() = default;
+  ConstBlockView(const Real* d, Index r, Index c) : data(d), rows(r), cols(c) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): views convert like spans.
+  ConstBlockView(const BlockView& v) : data(v.data), rows(v.rows), cols(v.cols) {}
+
+  [[nodiscard]] std::span<const Real> col(Index j) const {
+    SGL_ASSERT(j >= 0 && j < cols, "ConstBlockView::col out of range");
+    return {data + static_cast<std::size_t>(j) * rows,
+            static_cast<std::size_t>(rows)};
+  }
+  [[nodiscard]] Real at(Index i, Index j) const {
+    SGL_ASSERT(i >= 0 && i < rows && j >= 0 && j < cols,
+               "ConstBlockView::at out of range");
+    return data[static_cast<std::size_t>(j) * rows + i];
+  }
+};
+
+/// Owning n × b block of column vectors.
+class MultiVector {
+ public:
+  MultiVector() = default;
+
+  /// rows × cols block, zero-initialized.
+  MultiVector(Index rows, Index cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0.0) {
+    SGL_EXPECTS(rows >= 0 && cols >= 0, "MultiVector: negative dimension");
+  }
+
+  /// Adopts a DenseMatrix's storage (same column-major layout, no copy).
+  explicit MultiVector(DenseMatrix m)
+      : rows_(m.rows()), cols_(m.cols()), data_(std::move(m.data())) {}
+
+  /// Copies out into a DenseMatrix.
+  [[nodiscard]] DenseMatrix to_dense() const {
+    return DenseMatrix::from_storage(rows_, cols_, data_);
+  }
+
+  /// Moves the storage out into a DenseMatrix; this block becomes empty.
+  [[nodiscard]] DenseMatrix release_dense() {
+    DenseMatrix d = DenseMatrix::from_storage(rows_, cols_, std::move(data_));
+    rows_ = 0;
+    cols_ = 0;
+    data_.clear();
+    return d;
+  }
+
+  [[nodiscard]] Index rows() const noexcept { return rows_; }
+  [[nodiscard]] Index cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] Real& operator()(Index i, Index j) {
+    SGL_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "MultiVector: index out of range");
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  [[nodiscard]] Real operator()(Index i, Index j) const {
+    SGL_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "MultiVector: index out of range");
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  [[nodiscard]] std::span<Real> col(Index j) {
+    SGL_ASSERT(j >= 0 && j < cols_, "MultiVector::col out of range");
+    return {data_.data() + static_cast<std::size_t>(j) * rows_,
+            static_cast<std::size_t>(rows_)};
+  }
+  [[nodiscard]] std::span<const Real> col(Index j) const {
+    SGL_ASSERT(j >= 0 && j < cols_, "MultiVector::col out of range");
+    return {data_.data() + static_cast<std::size_t>(j) * rows_,
+            static_cast<std::size_t>(rows_)};
+  }
+
+  /// View of columns [col_lo, col_hi).
+  [[nodiscard]] BlockView block(Index col_lo, Index col_hi) {
+    SGL_ASSERT(col_lo >= 0 && col_lo <= col_hi && col_hi <= cols_,
+               "MultiVector::block: bad column range");
+    return {data_.data() + static_cast<std::size_t>(col_lo) * rows_, rows_,
+            col_hi - col_lo};
+  }
+  [[nodiscard]] ConstBlockView block(Index col_lo, Index col_hi) const {
+    SGL_ASSERT(col_lo >= 0 && col_lo <= col_hi && col_hi <= cols_,
+               "MultiVector::block: bad column range");
+    return {data_.data() + static_cast<std::size_t>(col_lo) * rows_, rows_,
+            col_hi - col_lo};
+  }
+
+  [[nodiscard]] BlockView view() { return block(0, cols_); }
+  [[nodiscard]] ConstBlockView view() const { return block(0, cols_); }
+
+  [[nodiscard]] const std::vector<Real>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<Real>& data() noexcept { return data_; }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Real> data_;  // column-major
+};
+
+/// Views over DenseMatrix storage (same layout), so the block kernels and
+/// multi-RHS solver APIs work on measurement matrices without copies.
+[[nodiscard]] inline BlockView view_of(DenseMatrix& m) {
+  return {m.data().data(), m.rows(), m.cols()};
+}
+[[nodiscard]] inline ConstBlockView view_of(const DenseMatrix& m) {
+  return {m.data().data(), m.rows(), m.cols()};
+}
+
+// ---------------------------------------------------------------------------
+// Block kernels. `num_threads`: 0 = library default (SGL_NUM_THREADS /
+// hardware), 1 = serial; results are bit-identical for every value.
+// ---------------------------------------------------------------------------
+
+/// Y = A X — CSR sparse matrix times block (SpMM). Row-chunked in
+/// parallel; A's nonzeros are streamed once per row instead of once per
+/// column, which is what makes the blocked apply beat b sequential SpMVs.
+void spmm(const CsrMatrix& a, ConstBlockView x, BlockView y,
+          Index num_threads = 0);
+
+/// C = Vᵀ W (V.cols × W.cols). Entry-parallel; each entry is a
+/// fixed-order dot over the rows.
+[[nodiscard]] DenseMatrix block_inner(ConstBlockView v, ConstBlockView w,
+                                      Index num_threads = 0);
+
+/// Gram matrix XᵀX of a block.
+[[nodiscard]] inline DenseMatrix block_gram(ConstBlockView x,
+                                            Index num_threads = 0) {
+  return block_inner(x, x, num_threads);
+}
+
+/// Out = V C (dense tall-skinny times small dense). Row-chunked.
+void block_product(ConstBlockView v, const DenseMatrix& c, BlockView out,
+                   Index num_threads = 0);
+
+/// W -= V C — the blocked Gram–Schmidt update. Row-chunked.
+void block_subtract(BlockView w, ConstBlockView v, const DenseMatrix& c,
+                    Index num_threads = 0);
+
+/// y_j += alpha_j x_j for every column j (block AXPY with per-column
+/// coefficients). Column-parallel.
+void block_axpy(const Vector& alpha, ConstBlockView x, BlockView y,
+                Index num_threads = 0);
+
+/// Columnwise dot products <x_j, y_j>.
+[[nodiscard]] Vector column_dots(ConstBlockView x, ConstBlockView y,
+                                 Index num_threads = 0);
+
+/// Euclidean norms of the columns.
+[[nodiscard]] Vector column_norms(ConstBlockView x, Index num_threads = 0);
+
+/// Subtracts each column's mean (orthogonalizes every column against the
+/// all-ones vector). Column-parallel.
+void center_columns(BlockView x, Index num_threads = 0);
+
+}  // namespace sgl::la

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.hpp"
+
 namespace sgl::la {
 
 CsrMatrix CsrMatrix::from_triplets(Index rows, Index cols,
@@ -81,31 +83,74 @@ Real CsrMatrix::at(Index i, Index j) const {
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
 }
 
-void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+namespace {
+
+/// Rows below which SpMV / transposed SpMV stay serial: pool dispatch
+/// costs more than the loop. A scheduling threshold only — above it the
+/// gather kernel computes identical values, and the scatter kernel's
+/// chunking depends only on the matrix shape.
+constexpr Index kSpmvSerialRows = 4096;
+
+/// Fixed chunk count for the transposed-scatter reduction; depends on
+/// nothing but this constant so results never vary with the thread count.
+constexpr Index kSpmvTransposeChunks = 32;
+
+}  // namespace
+
+void CsrMatrix::multiply(const Vector& x, Vector& y, Index num_threads) const {
   SGL_EXPECTS(to_index(x.size()) == cols_, "multiply: size mismatch");
   y.assign(static_cast<std::size_t>(rows_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
-    Real acc = 0.0;
-    for (Index k = row_ptr_[static_cast<std::size_t>(i)];
-         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
-      acc += values_[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    y[static_cast<std::size_t>(i)] = acc;
-  }
+  const Index threads = rows_ < kSpmvSerialRows ? 1 : num_threads;
+  parallel::parallel_for_slots(
+      0, rows_, threads, [&](Index lo, Index hi, Index /*slot*/) {
+        for (Index i = lo; i < hi; ++i) {
+          Real acc = 0.0;
+          for (Index k = row_ptr_[static_cast<std::size_t>(i)];
+               k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+            acc += values_[static_cast<std::size_t>(k)] *
+                   x[static_cast<std::size_t>(
+                       col_idx_[static_cast<std::size_t>(k)])];
+          }
+          y[static_cast<std::size_t>(i)] = acc;
+        }
+      });
 }
 
-Vector CsrMatrix::multiply_transposed(const Vector& x) const {
+Vector CsrMatrix::multiply_transposed(const Vector& x, Index num_threads) const {
   SGL_EXPECTS(to_index(x.size()) == rows_, "multiply_transposed: size mismatch");
   Vector y(static_cast<std::size_t>(cols_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
-    const Real xi = x[static_cast<std::size_t>(i)];
-    if (xi == 0.0) continue;
-    for (Index k = row_ptr_[static_cast<std::size_t>(i)];
-         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
-      y[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
-          values_[static_cast<std::size_t>(k)] * xi;
+  const auto scatter_rows = [&](Index lo, Index hi, Vector& out) {
+    for (Index i = lo; i < hi; ++i) {
+      const Real xi = x[static_cast<std::size_t>(i)];
+      if (xi == 0.0) continue;
+      for (Index k = row_ptr_[static_cast<std::size_t>(i)];
+           k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+        out[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+            values_[static_cast<std::size_t>(k)] * xi;
+      }
     }
+  };
+
+  if (rows_ < kSpmvSerialRows) {
+    scatter_rows(0, rows_, y);
+    return y;
+  }
+  // Chunked scatter: each fixed row chunk scatters into its own partial,
+  // partials are summed in chunk order. Within each output entry the
+  // additions happen in global row order, matching the serial scatter's
+  // per-entry order chunk by chunk.
+  const Index chunk = (rows_ + kSpmvTransposeChunks - 1) / kSpmvTransposeChunks;
+  const Index num_chunks = (rows_ + chunk - 1) / chunk;
+  std::vector<Vector> partial(static_cast<std::size_t>(num_chunks));
+  parallel::parallel_for(0, num_chunks, num_threads, [&](Index c) {
+    Vector& local = partial[static_cast<std::size_t>(c)];
+    local.assign(static_cast<std::size_t>(cols_), 0.0);
+    const Index lo = c * chunk;
+    scatter_rows(lo, std::min(rows_, lo + chunk), local);
+  });
+  for (Index c = 0; c < num_chunks; ++c) {
+    const Vector& local = partial[static_cast<std::size_t>(c)];
+    for (std::size_t j = 0; j < y.size(); ++j) y[j] += local[j];
   }
   return y;
 }

@@ -52,16 +52,25 @@ class CsrMatrix {
   /// Value at (i, j); 0 if the entry is not stored. O(log nnz(i)).
   [[nodiscard]] Real at(Index i, Index j) const;
 
-  /// y = A x.
-  void multiply(const Vector& x, Vector& y) const;
-  [[nodiscard]] Vector multiply(const Vector& x) const {
+  /// y = A x. `num_threads` follows the library convention (0 = default,
+  /// 1 = serial); rows are chunked across workers and every y[i] is a
+  /// fixed-order sum over the row's nonzeros, so the result is
+  /// bit-identical for every thread count. Small matrices stay serial.
+  void multiply(const Vector& x, Vector& y, Index num_threads = 1) const;
+  [[nodiscard]] Vector multiply(const Vector& x, Index num_threads = 1) const {
     Vector y(static_cast<std::size_t>(rows_));
-    multiply(x, y);
+    multiply(x, y, num_threads);
     return y;
   }
 
-  /// y = Aᵀ x.
-  [[nodiscard]] Vector multiply_transposed(const Vector& x) const;
+  /// y = Aᵀ x. Row-chunked scatter with chunk partials combined in fixed
+  /// chunk order: the chunk boundaries depend only on the matrix size,
+  /// never on `num_threads`, so the result is bit-identical for every
+  /// thread count (though the large-matrix chunked sum may differ from the
+  /// small-matrix serial sum by rounding, the crossover depends only on
+  /// the matrix shape).
+  [[nodiscard]] Vector multiply_transposed(const Vector& x,
+                                           Index num_threads = 1) const;
 
   /// xᵀ A x (A symmetric or not — plain quadratic form).
   [[nodiscard]] Real quadratic_form(const Vector& x) const;

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
-#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "la/multi_vector.hpp"
 
 namespace sgl::measure {
 
@@ -32,11 +32,11 @@ Measurements generate_measurements(const graph::Graph& ground_truth,
     out.currents.set_col(i, y);
   }
 
-  // The M voltage solves are independent multi-RHS applications of one
-  // factorization; each writes its own column.
-  parallel::parallel_for(0, m, options.num_threads, [&](Index i) {
-    out.voltages.set_col(i, pinv.apply(out.currents.col_vector(i)));
-  });
+  // The M voltage solves are one multi-RHS block apply of the shared
+  // factorization (the same per-column arithmetic for every thread
+  // count, so measurements never depend on the knob).
+  pinv.apply_block(la::view_of(out.currents), la::view_of(out.voltages),
+                   options.num_threads);
   return out;
 }
 

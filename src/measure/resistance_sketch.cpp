@@ -42,12 +42,9 @@ ResistanceSketch::ResistanceSketch(const graph::Graph& g,
   const Index m = resolve_projections(g, options);
   const la::DenseMatrix y = sketch_currents(g, m, options.seed);
   const solver::LaplacianPinvSolver pinv(g, options.solver);
-  sketch_ = la::DenseMatrix(g.num_nodes(), m);
-  for (Index i = 0; i < m; ++i) {
-    // Rows of C W^{1/2} B are orthogonal to 1 by construction (each edge
-    // contributes +c and −c), so the pseudo-inverse solve is exact.
-    sketch_.set_col(i, pinv.apply(y.col_vector(i)));
-  }
+  // Rows of C W^{1/2} B are orthogonal to 1 by construction (each edge
+  // contributes +c and −c), so the multi-RHS pseudo-inverse solve is exact.
+  sketch_ = pinv.apply_block(y, options.num_threads);
 }
 
 Real ResistanceSketch::estimate(Index s, Index t) const {
@@ -63,9 +60,7 @@ Measurements sketch_measurements(const graph::Graph& g,
   Measurements out;
   out.currents = sketch_currents(g, m, options.seed);
   const solver::LaplacianPinvSolver pinv(g, options.solver);
-  out.voltages = la::DenseMatrix(g.num_nodes(), m);
-  for (Index i = 0; i < m; ++i)
-    out.voltages.set_col(i, pinv.apply(out.currents.col_vector(i)));
+  out.voltages = pinv.apply_block(out.currents, options.num_threads);
   return out;
 }
 

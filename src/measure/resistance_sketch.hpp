@@ -26,6 +26,9 @@ struct SketchOptions {
   Real epsilon = 0.5;
   std::uint64_t seed = 99;
   solver::LaplacianSolverOptions solver;
+  /// Worker threads for the M-column multi-RHS solve (0 = library
+  /// default, 1 = serial; the sketch values never depend on it).
+  Index num_threads = 0;
 };
 
 class ResistanceSketch {

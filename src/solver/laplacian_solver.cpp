@@ -1,7 +1,9 @@
 #include "solver/laplacian_solver.hpp"
 
 #include <cmath>
+#include <span>
 
+#include "common/parallel.hpp"
 #include "graph/components.hpp"
 
 namespace sgl::solver {
@@ -71,15 +73,16 @@ LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,
   }
 }
 
-la::Vector LaplacianPinvSolver::apply(const la::Vector& y) const {
-  SGL_EXPECTS(to_index(y.size()) == n_, "LaplacianPinvSolver: size mismatch");
+void LaplacianPinvSolver::apply_column(std::span<const Real> y,
+                                       std::span<Real> x) const {
   // Project out the nullspace component, then drop the grounded entry.
-  la::Vector rhs = y;
-  la::center(rhs);
+  Real mean_acc = 0.0;
+  for (const Real v : y) mean_acc += v;
+  const Real mean = mean_acc / static_cast<Real>(n_);
   la::Vector b(static_cast<std::size_t>(n_ - 1));
   for (Index i = 0, j = 0; i < n_; ++i) {
     if (i == ground_) continue;
-    b[static_cast<std::size_t>(j++)] = rhs[static_cast<std::size_t>(i)];
+    b[static_cast<std::size_t>(j++)] = y[static_cast<std::size_t>(i)] - mean;
   }
 
   la::Vector xg;
@@ -100,13 +103,34 @@ la::Vector LaplacianPinvSolver::apply(const la::Vector& y) const {
 
   // Re-insert the grounded node and center: for a connected graph the
   // grounded solution differs from L⁺y by a multiple of the ones vector.
-  la::Vector x(static_cast<std::size_t>(n_));
   for (Index i = 0, j = 0; i < n_; ++i) {
     x[static_cast<std::size_t>(i)] =
         (i == ground_) ? 0.0 : xg[static_cast<std::size_t>(j++)];
   }
-  la::center(x);
+  Real out_mean = 0.0;
+  for (const Real v : x) out_mean += v;
+  out_mean /= static_cast<Real>(n_);
+  for (Real& v : x) v -= out_mean;
+}
+
+la::Vector LaplacianPinvSolver::apply(const la::Vector& y) const {
+  SGL_EXPECTS(to_index(y.size()) == n_, "LaplacianPinvSolver: size mismatch");
+  la::Vector x(static_cast<std::size_t>(n_));
+  apply_column(std::span<const Real>(y), std::span<Real>(x));
   return x;
+}
+
+void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
+                                      Index num_threads) const {
+  SGL_EXPECTS(y.rows == n_ && x.rows == n_,
+              "LaplacianPinvSolver::apply_block: row count mismatch");
+  SGL_EXPECTS(y.cols == x.cols,
+              "LaplacianPinvSolver::apply_block: column count mismatch");
+  // The b solves are independent applications of one shared factorization
+  // (read-only after construction); each column runs the exact per-column
+  // kernel, so any thread count yields the same block.
+  parallel::parallel_for(0, y.cols, num_threads,
+                         [&](Index j) { apply_column(y.col(j), x.col(j)); });
 }
 
 Real LaplacianPinvSolver::effective_resistance(Index s, Index t) const {

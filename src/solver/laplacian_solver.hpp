@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "graph/graph.hpp"
+#include "la/multi_vector.hpp"
 #include "solver/amg.hpp"
 #include "solver/cholesky.hpp"
 #include "solver/ic0.hpp"
@@ -51,8 +52,27 @@ class LaplacianPinvSolver {
   /// the component along the all-ones nullspace is ignored, exactly as the
   /// pseudo-inverse prescribes. Safe to call concurrently from multiple
   /// threads (the factorization/preconditioner is read-only after
-  /// construction), which is what the multi-RHS hot paths rely on.
+  /// construction), which is what apply_block relies on.
   [[nodiscard]] la::Vector apply(const la::Vector& y) const;
+
+  /// X = L⁺ Y for an n × b block of right-hand sides — the multi-RHS hot
+  /// path. All b solves share this solver's factorization/preconditioner
+  /// (built once at construction) and run column-parallel; each column
+  /// goes through exactly the same arithmetic as apply(), so the block
+  /// result is bit-identical to b sequential apply() calls for every
+  /// thread count. PCG convergence is checked per RHS: the first stalled
+  /// column throws NumericalError. `num_threads`: 0 = library default,
+  /// 1 = serial.
+  void apply_block(la::ConstBlockView y, la::BlockView x,
+                   Index num_threads = 0) const;
+
+  /// Convenience overload for measurement-matrix callers.
+  [[nodiscard]] la::DenseMatrix apply_block(const la::DenseMatrix& y,
+                                            Index num_threads = 0) const {
+    la::DenseMatrix x(y.rows(), y.cols());
+    apply_block(la::view_of(y), la::view_of(x), num_threads);
+    return x;
+  }
 
   /// Effective resistance between s and t: (e_s − e_t)ᵀ L⁺ (e_s − e_t).
   [[nodiscard]] Real effective_resistance(Index s, Index t) const;
@@ -69,6 +89,10 @@ class LaplacianPinvSolver {
   }
 
  private:
+  /// One grounded solve: the shared per-column kernel behind apply() and
+  /// apply_block(). `y` and `x` may alias.
+  void apply_column(std::span<const Real> y, std::span<Real> x) const;
+
   Index n_ = 0;
   Index ground_ = 0;  // grounded node (index 0 by convention)
   LaplacianMethod method_ = LaplacianMethod::kCholesky;

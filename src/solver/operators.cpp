@@ -1,0 +1,34 @@
+#include "solver/operators.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
+namespace sgl::solver {
+
+void PreconditionedOperator::apply(const la::Vector& x, la::Vector& y) const {
+  la::Vector ax(x.size());
+  a_.multiply(x, ax, num_threads_);
+  m_.apply(ax, y);
+}
+
+void PreconditionedOperator::apply_block(la::ConstBlockView x,
+                                         la::BlockView y) const {
+  SGL_EXPECTS(x.rows == a_.cols() && y.rows == a_.rows() && x.cols == y.cols,
+              "PreconditionedOperator::apply_block: shape mismatch");
+  // A is applied to the whole block in one streaming SpMM pass; the
+  // preconditioner interface is vector-valued, so its solves go
+  // column-parallel (identical arithmetic per column at any thread count).
+  la::MultiVector ax(a_.rows(), x.cols);
+  spmm(a_, x, ax.view(), num_threads_);
+  parallel::parallel_for(0, x.cols, num_threads_, [&](Index j) {
+    const std::span<const Real> src = ax.col(j);
+    la::Vector r(src.begin(), src.end());
+    la::Vector z;
+    m_.apply(r, z);
+    const std::span<Real> dst = y.col(j);
+    std::copy(z.begin(), z.end(), dst.begin());
+  });
+}
+
+}  // namespace sgl::solver

@@ -1,0 +1,75 @@
+// Solver-backed LinearOperator adapters (DESIGN.md §1).
+//
+// These bridge the solver layer into the block linear-algebra backbone:
+// the Laplacian pseudo-inverse becomes an operator the block Lanczos
+// eigensolver can apply batched, and a preconditioned composition exposes
+// the M⁻¹A operator PCG effectively iterates on (useful for spectrum /
+// condition-number diagnostics of a preconditioner).
+#pragma once
+
+#include "la/linear_operator.hpp"
+#include "solver/laplacian_solver.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace sgl::solver {
+
+/// L⁺ as a LinearOperator. apply_block batches the right-hand sides
+/// through the solver's shared factorization (multi-RHS solve).
+class LaplacianPinvOperator final : public la::LinearOperator {
+ public:
+  /// Keeps a reference to `solver`; it must outlive the operator.
+  explicit LaplacianPinvOperator(const LaplacianPinvSolver& solver,
+                                 Index num_threads = 0)
+      : solver_(solver), num_threads_(num_threads) {}
+
+  [[nodiscard]] Index rows() const noexcept override {
+    return solver_.num_nodes();
+  }
+  [[nodiscard]] Index cols() const noexcept override {
+    return solver_.num_nodes();
+  }
+
+  void apply(const la::Vector& x, la::Vector& y) const override {
+    y = solver_.apply(x);
+  }
+
+  void apply_block(la::ConstBlockView x, la::BlockView y) const override {
+    solver_.apply_block(x, y, num_threads_);
+  }
+
+ private:
+  const LaplacianPinvSolver& solver_;
+  Index num_threads_;
+};
+
+/// y = M⁻¹ (A x): the left-preconditioned operator whose spectrum governs
+/// PCG convergence. Note M⁻¹A is similar to (not equal to) the symmetric
+/// M^{-1/2} A M^{-1/2}, so its eigenvalues are real and positive for SPD
+/// A, M — but the operator itself is not symmetric; it is a diagnostics /
+/// composition adapter, not a Lanczos input.
+class PreconditionedOperator final : public la::LinearOperator {
+ public:
+  /// Keeps references to `a` and `m`; both must outlive the operator.
+  PreconditionedOperator(const la::CsrMatrix& a, const Preconditioner& m,
+                         Index num_threads = 0)
+      : a_(a), m_(m), num_threads_(num_threads) {
+    SGL_EXPECTS(a.rows() == a.cols(),
+                "PreconditionedOperator: matrix must be square");
+    SGL_EXPECTS(m.size() == a.rows(),
+                "PreconditionedOperator: preconditioner size mismatch");
+  }
+
+  [[nodiscard]] Index rows() const noexcept override { return a_.rows(); }
+  [[nodiscard]] Index cols() const noexcept override { return a_.cols(); }
+
+  void apply(const la::Vector& x, la::Vector& y) const override;
+
+  void apply_block(la::ConstBlockView x, la::BlockView y) const override;
+
+ private:
+  const la::CsrMatrix& a_;
+  const Preconditioner& m_;
+  Index num_threads_;
+};
+
+}  // namespace sgl::solver

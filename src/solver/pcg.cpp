@@ -24,7 +24,7 @@ PcgResult pcg_solve(const la::CsrMatrix& a, const la::Vector& b, la::Vector& x,
 
   la::Vector r(b.size());
   la::Vector ap(b.size());
-  a.multiply(x, ap);
+  a.multiply(x, ap, options.num_threads);
   for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ap[i];
 
   la::Vector z;
@@ -33,7 +33,7 @@ PcgResult pcg_solve(const la::CsrMatrix& a, const la::Vector& b, la::Vector& x,
   Real rz = la::dot(r, z);
 
   for (Index it = 0; it < options.max_iterations; ++it) {
-    a.multiply(p, ap);
+    a.multiply(p, ap, options.num_threads);
     const Real p_ap = la::dot(p, ap);
     if (!(p_ap > 0.0)) {
       // Loss of positive definiteness (or exact convergence): stop.

@@ -10,6 +10,12 @@ namespace sgl::solver {
 struct PcgOptions {
   Real rel_tolerance = 1e-10;  // on ‖r‖ / ‖b‖
   Index max_iterations = 2000;
+  /// Worker threads for the CSR SpMV inside each iteration (0 = library
+  /// default, 1 = serial). The SpMV is row-chunked and bit-identical for
+  /// every thread count, so this knob never changes the iterates. Nested
+  /// parallel regions (e.g. PCG inside a multi-RHS apply_block) degrade
+  /// to serial automatically.
+  Index num_threads = 0;
 };
 
 struct PcgResult {

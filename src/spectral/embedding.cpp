@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace sgl::spectral {
 
 Embedding compute_embedding(const graph::Graph& g,
@@ -16,16 +18,20 @@ Embedding compute_embedding(const graph::Graph& g,
 
   Embedding out;
   out.eigenvalues = pairs.eigenvalues;
+  out.eig_converged = pairs.converged;
+  out.lanczos_steps = pairs.lanczos_steps;
   out.u = la::DenseMatrix(g.num_nodes(), dims);
   const Real inv_sigma2 = 1.0 / options.sigma2;
-  for (Index c = 0; c < dims; ++c) {
+  // Column scaling is a block AXPY-style kernel: each column is scaled
+  // independently, so the loop parallelizes without changing any value.
+  parallel::parallel_for(0, dims, options.lanczos.num_threads, [&](Index c) {
     const Real scale =
         1.0 / std::sqrt(pairs.eigenvalues[static_cast<std::size_t>(c)] +
                         inv_sigma2);
     const auto src = pairs.eigenvectors.col(c);
     auto dst = out.u.col(c);
     for (Index i = 0; i < g.num_nodes(); ++i) dst[i] = scale * src[i];
-  }
+  });
   return out;
 }
 

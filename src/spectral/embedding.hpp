@@ -22,6 +22,13 @@ struct EmbeddingOptions {
 struct Embedding {
   la::Vector eigenvalues;  // λ_2 … λ_r (ascending)
   la::DenseMatrix u;       // N × (r−1), column i scaled by 1/√(λ+1/σ²)
+  /// Whether the eigensolver met its residual tolerance within the
+  /// subspace cap. A false value means the embedding was built from the
+  /// best available Ritz pairs; callers that need a guarantee should
+  /// check this (SglLearner surfaces it per iteration).
+  bool eig_converged = false;
+  /// Basis dimension the eigensolver used (diagnostics).
+  Index lanczos_steps = 0;
 };
 
 /// Computes the embedding of a connected graph.

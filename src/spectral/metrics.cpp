@@ -47,16 +47,26 @@ SpectrumComparison compare_spectra(const graph::Graph& reference,
   const Index k_learned = std::min(k, learned.num_nodes() - 1);
   const Index kk = std::min(k_ref, k_learned);
 
-  eig::LanczosOptions opt = lanczos;
-  if (opt.max_subspace == 0) opt.max_subspace = 2 * kk + 40;
+  // Each graph sizes its own auto cap: the graphs may differ in node
+  // count (reduced-network comparisons), and a shared cap clamped by the
+  // smaller graph would starve the larger one's eigensolver.
+  eig::LanczosOptions opt_ref = lanczos;
+  eig::LanczosOptions opt_learned = lanczos;
+  if (lanczos.max_subspace == 0) {
+    opt_ref.max_subspace = eig::spectrum_subspace_cap(
+        reference.num_nodes(), kk, lanczos.block_size);
+    opt_learned.max_subspace = eig::spectrum_subspace_cap(
+        learned.num_nodes(), kk, lanczos.block_size);
+  }
 
   const solver::LaplacianPinvSolver pinv_ref(reference, solver);
   const solver::LaplacianPinvSolver pinv_learned(learned, solver);
   SpectrumComparison out;
   out.reference =
-      eig::smallest_laplacian_eigenpairs(pinv_ref, kk, opt).eigenvalues;
+      eig::smallest_laplacian_eigenpairs(pinv_ref, kk, opt_ref).eigenvalues;
   out.approx =
-      eig::smallest_laplacian_eigenpairs(pinv_learned, kk, opt).eigenvalues;
+      eig::smallest_laplacian_eigenpairs(pinv_learned, kk, opt_learned)
+          .eigenvalues;
   out.correlation = pearson_correlation(out.reference, out.approx);
   out.mean_rel_error = mean_relative_error(out.reference, out.approx);
   return out;
@@ -114,12 +124,27 @@ ResistanceComparison compare_effective_resistances(
   const solver::LaplacianPinvSolver pinv_ref(reference, solver);
   const solver::LaplacianPinvSolver pinv_learned(learned, solver);
 
+  // All probe vectors e_s − e_t go through one multi-RHS block solve per
+  // graph instead of a solve per pair.
+  const Index n = reference.num_nodes();
+  la::DenseMatrix probes(n, to_index(pairs.size()));
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [s, t] = pairs[p];
+    SGL_EXPECTS(s >= 0 && s < n && t >= 0 && t < n && s != t,
+                "compare_effective_resistances: bad node pair");
+    probes(s, to_index(p)) = 1.0;
+    probes(t, to_index(p)) = -1.0;
+  }
+  const la::DenseMatrix x_ref = pinv_ref.apply_block(probes);
+  const la::DenseMatrix x_learned = pinv_learned.apply_block(probes);
+
   ResistanceComparison out;
   out.reference.reserve(pairs.size());
   out.approx.reserve(pairs.size());
-  for (const auto& [s, t] : pairs) {
-    out.reference.push_back(pinv_ref.effective_resistance(s, t));
-    out.approx.push_back(pinv_learned.effective_resistance(s, t));
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [s, t] = pairs[p];
+    out.reference.push_back(x_ref(s, to_index(p)) - x_ref(t, to_index(p)));
+    out.approx.push_back(x_learned(s, to_index(p)) - x_learned(t, to_index(p)));
   }
   out.correlation = pearson_correlation(out.reference, out.approx);
   return out;

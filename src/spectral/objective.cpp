@@ -27,7 +27,8 @@ ObjectiveBreakdown graphical_lasso_objective(const graph::Graph& g,
   eig::LanczosOptions lanczos = options.lanczos;
   if (lanczos.max_subspace == 0) {
     // The 50-eigenvalue log det needs a roomier subspace than embedding.
-    lanczos.max_subspace = std::min(g.num_nodes() - 1, 2 * k + 40);
+    lanczos.max_subspace =
+        eig::spectrum_subspace_cap(g.num_nodes(), k, lanczos.block_size);
   }
   const eig::EigenPairs pairs =
       eig::smallest_laplacian_eigenpairs(pinv, k, lanczos);

@@ -26,7 +26,14 @@ TEST(Integration, GridRecoveryPreservesSpectrum) {
 
   const spectral::SpectrumComparison cmp =
       spectral::compare_spectra(truth, result.learned, 20);
-  EXPECT_GT(cmp.correlation, 0.95);
+  // The periodic 20×20 mesh's reference spectrum contains a
+  // multiplicity-8 eigenvalue group inside the first 20; the correct
+  // reference (all copies recovered — see Lanczos.TorusMultiplicityEight-
+  // Recovered) correlates at ≈0.93–0.95 with the learned spectrum across
+  // measurement seeds. The historical 0.95 bound was calibrated against a
+  // per-vector eigensolver that silently dropped three degenerate copies,
+  // inflating the correlation.
+  EXPECT_GT(cmp.correlation, 0.92);
   // λ2 recovered within a factor band (edge scaling pins the scale).
   EXPECT_NEAR(cmp.approx[0] / cmp.reference[0], 1.0, 0.5);
 }

@@ -328,6 +328,23 @@ TEST(SglLearner, ThreadedRunMatchesSerialBitForBit) {
   }
 }
 
+TEST(SglLearner, StepReportsEigensolverConvergence) {
+  const measure::Measurements m = grid_measurements(9, 9, 30);
+  SglConfig config;
+  SglLearner learner(m.voltages, config);
+  const SglIterationStats healthy = learner.step();
+  EXPECT_TRUE(healthy.eig_converged);
+
+  // A basis capped at r−1 vectors starves the block eigensolver; the
+  // iteration must still make progress but flag the unconverged embedding.
+  SglConfig starved_config;
+  starved_config.lanczos.max_subspace = starved_config.r - 1;
+  SglLearner starved(m.voltages, starved_config);
+  const SglIterationStats stats = starved.step();
+  EXPECT_FALSE(stats.eig_converged);
+  EXPECT_EQ(stats.iteration, 1);
+}
+
 TEST(SglLearner, Contracts) {
   la::DenseMatrix x(2, 3);  // too few nodes
   SglConfig config;

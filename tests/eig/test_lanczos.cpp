@@ -192,5 +192,113 @@ TEST(Lanczos, DeterministicAcrossRuns) {
     EXPECT_DOUBLE_EQ(a.eigenvalues[i], b.eigenvalues[i]);
 }
 
+TEST(Lanczos, BitIdenticalAcrossThreadCounts) {
+  // The block kernels and batched applies are deterministic by contract:
+  // eigenvalues AND eigenvectors must match bit for bit for every thread
+  // count (the num_threads knob resolves exactly like SGL_NUM_THREADS).
+  const graph::Graph g = graph::make_grid2d(9, 7).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  LanczosOptions serial;
+  serial.num_threads = 1;
+  const EigenPairs ref = smallest_laplacian_eigenpairs(pinv, 5, serial);
+  for (const Index threads : {2, 4, 8}) {
+    LanczosOptions opt;
+    opt.num_threads = threads;
+    const EigenPairs got = smallest_laplacian_eigenpairs(pinv, 5, opt);
+    EXPECT_EQ(ref.lanczos_steps, got.lanczos_steps);
+    EXPECT_EQ(ref.eigenvalues, got.eigenvalues) << "threads=" << threads;
+    EXPECT_EQ(ref.eigenvectors.data(), got.eigenvectors.data())
+        << "threads=" << threads;
+  }
+}
+
+TEST(Lanczos, ConvergedReportedOnEasyProblem) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 3);
+  EXPECT_TRUE(pairs.converged);
+  EXPECT_GT(pairs.lanczos_steps, 0);
+}
+
+TEST(Lanczos, UnconvergedReportedWhenSubspaceCapped) {
+  // With the basis capped at exactly r vectors, one Rayleigh–Ritz step on
+  // a mesh cannot reach the residual tolerance.
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  LanczosOptions options;
+  options.max_subspace = 3;
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 3, options);
+  EXPECT_FALSE(pairs.converged);
+  EXPECT_EQ(pairs.eigenvalues.size(), 3u);
+}
+
+TEST(Lanczos, RequireConvergedThrowsNumericalError) {
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  LanczosOptions options;
+  options.max_subspace = 3;
+  EXPECT_THROW(
+      (void)smallest_laplacian_eigenpairs(pinv, 3, options,
+                                          /*require_converged=*/true),
+      NumericalError);
+}
+
+TEST(Lanczos, TorusMultiplicityEightRecovered) {
+  // The periodic 20×20 mesh has a multiplicity-8 eigenvalue group inside
+  // its first 20 nontrivial eigenvalues. A per-vector Krylov space cannot
+  // see all copies structurally — the historical implementation silently
+  // dropped three of them while reporting convergence; the block solver
+  // with random-restart rank repair must recover every copy.
+  const graph::Graph g = graph::make_grid2d(20, 20, /*periodic=*/true).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 20);
+  // Mode (±1, ±2) and (±2, ±1): λ = (2 − 2cos(2π/20)) + (2 − 2cos(4π/20)).
+  const Real lambda = 4.0 - 2.0 * std::cos(2.0 * M_PI * 1.0 / 20.0) -
+                      2.0 * std::cos(2.0 * M_PI * 2.0 / 20.0);
+  Index copies = 0;
+  for (const Real l : pairs.eigenvalues)
+    if (std::abs(l - lambda) < 1e-8) ++copies;
+  EXPECT_EQ(copies, 8);
+}
+
+TEST(Lanczos, BlockSizeOneStillConverges) {
+  // Explicit single-vector blocks exercise the restart path on a graph
+  // with distinct eigenvalues.
+  const graph::Graph g = graph::make_path(30);
+  const solver::LaplacianPinvSolver pinv(g);
+  LanczosOptions options;
+  options.block_size = 1;
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 3, options);
+  for (Index k = 1; k <= 3; ++k) {
+    const Real expected =
+        4.0 * std::pow(std::sin(static_cast<Real>(k) * M_PI / 60.0), 2);
+    EXPECT_NEAR(pairs.eigenvalues[static_cast<std::size_t>(k - 1)], expected,
+                1e-8);
+  }
+}
+
+TEST(Lanczos, LargeBlockClampedBySubspaceCap) {
+  const graph::Graph g = graph::make_grid2d(5, 4).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  LanczosOptions options;
+  options.block_size = 64;  // far above the cap; must clamp, not throw
+  options.max_subspace = 10;
+  const EigenPairs pairs = smallest_laplacian_eigenpairs(pinv, 4, options);
+  EXPECT_EQ(pairs.eigenvalues.size(), 4u);
+  EXPECT_LE(pairs.lanczos_steps, 10);
+}
+
+TEST(Lanczos, SubspaceCapHelpersSharedPolicy) {
+  // b = 1 reproduces the classical single-vector default exactly.
+  EXPECT_EQ(default_subspace_cap(1000, 4, 1), 40);
+  EXPECT_EQ(default_subspace_cap(1000, 20, 1), 76);
+  // Block defaults widen the cap by (b−1)·8.
+  EXPECT_EQ(default_subspace_cap(1000, 4), 40 + 3 * 8);
+  // Always clamped by the 1-perp dimension.
+  EXPECT_EQ(default_subspace_cap(10, 4), 9);
+  EXPECT_EQ(spectrum_subspace_cap(1000, 50, 1), 140);
+  EXPECT_EQ(spectrum_subspace_cap(10, 5), 9);
+}
+
 }  // namespace
 }  // namespace sgl::eig

@@ -1,0 +1,83 @@
+// Unit tests for the LinearOperator interface and the CSR adapter.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "la/linear_operator.hpp"
+
+namespace sgl::la {
+namespace {
+
+CsrMatrix random_square(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  for (Index i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0 + rng.uniform()});
+    for (Index k = 0; k < 3; ++k) t.push_back({i, rng.uniform_int(n), rng.normal()});
+  }
+  return CsrMatrix::from_triplets(n, n, t);
+}
+
+/// Minimal operator relying on the default (column-loop) apply_block.
+class ScaleOperator final : public LinearOperator {
+ public:
+  explicit ScaleOperator(Index n, Real factor) : n_(n), factor_(factor) {}
+  [[nodiscard]] Index rows() const noexcept override { return n_; }
+  [[nodiscard]] Index cols() const noexcept override { return n_; }
+  void apply(const Vector& x, Vector& y) const override {
+    y.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = factor_ * x[i];
+  }
+
+ private:
+  Index n_;
+  Real factor_;
+};
+
+TEST(LinearOperator, CsrOperatorMatchesMatrixOps) {
+  const CsrMatrix a = random_square(30, 1);
+  const CsrOperator op(a);
+  EXPECT_EQ(op.rows(), 30);
+  EXPECT_EQ(op.cols(), 30);
+
+  Rng rng(2);
+  Vector x(30);
+  for (Real& v : x) v = rng.normal();
+  Vector y;
+  op.apply(x, y);
+  const Vector ref = a.multiply(x);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_DOUBLE_EQ(y[i], ref[i]);
+
+  MultiVector xb(30, 4);
+  for (Index j = 0; j < 4; ++j)
+    for (Real& v : xb.col(j)) v = rng.normal();
+  MultiVector yb(30, 4);
+  op.apply_block(xb.view(), yb.view());
+  for (Index j = 0; j < 4; ++j) {
+    const Vector xj(xb.col(j).begin(), xb.col(j).end());
+    const Vector yj = a.multiply(xj);
+    for (Index i = 0; i < 30; ++i)
+      EXPECT_DOUBLE_EQ(yb(i, j), yj[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(LinearOperator, DefaultApplyBlockLoopsColumns) {
+  const ScaleOperator op(12, -2.5);
+  Rng rng(3);
+  MultiVector x(12, 3);
+  for (Index j = 0; j < 3; ++j)
+    for (Real& v : x.col(j)) v = rng.normal();
+  MultiVector y(12, 3);
+  op.apply_block(x.view(), y.view());
+  for (Index j = 0; j < 3; ++j)
+    for (Index i = 0; i < 12; ++i) EXPECT_DOUBLE_EQ(y(i, j), -2.5 * x(i, j));
+}
+
+TEST(LinearOperator, DefaultApplyBlockShapeContract) {
+  const ScaleOperator op(12, 1.0);
+  MultiVector x(12, 2);
+  MultiVector y(11, 2);
+  EXPECT_THROW(op.apply_block(x.view(), y.view()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::la

@@ -1,0 +1,237 @@
+// Unit tests for the MultiVector block type and its parallel kernels,
+// including the bit-identical-across-thread-counts contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "la/multi_vector.hpp"
+#include "la/sparse.hpp"
+
+namespace sgl::la {
+namespace {
+
+CsrMatrix random_sparse(Index rows, Index cols, Index nnz_per_row,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  for (Index i = 0; i < rows; ++i) {
+    for (Index k = 0; k < nnz_per_row; ++k) {
+      t.push_back({i, rng.uniform_int(cols), rng.normal()});
+    }
+  }
+  return CsrMatrix::from_triplets(rows, cols, t);
+}
+
+MultiVector random_block(Index rows, Index cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MultiVector x(rows, cols);
+  for (Index j = 0; j < cols; ++j)
+    for (Real& v : x.col(j)) v = rng.normal();
+  return x;
+}
+
+TEST(MultiVector, DenseRoundTripMovesStorage) {
+  MultiVector x = random_block(7, 3, 1);
+  const Real probe = x(5, 2);
+  DenseMatrix d = x.release_dense();
+  EXPECT_TRUE(x.empty());
+  EXPECT_EQ(d.rows(), 7);
+  EXPECT_EQ(d.cols(), 3);
+  EXPECT_DOUBLE_EQ(d(5, 2), probe);
+  const MultiVector back(std::move(d));
+  EXPECT_DOUBLE_EQ(back(5, 2), probe);
+}
+
+TEST(MultiVector, BlockViewAddressesColumnRange) {
+  const MultiVector x = random_block(6, 5, 2);
+  const ConstBlockView v = x.block(1, 4);
+  EXPECT_EQ(v.cols, 3);
+  for (Index j = 0; j < 3; ++j)
+    for (Index i = 0; i < 6; ++i)
+      EXPECT_DOUBLE_EQ(v.at(i, j), x(i, j + 1));
+}
+
+TEST(MultiVector, ViewOfDenseMatrixSharesStorage) {
+  DenseMatrix d(4, 2);
+  d(3, 1) = 7.0;
+  const BlockView v = view_of(d);
+  v.at(0, 0) = 2.5;
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(view_of(static_cast<const DenseMatrix&>(d)).at(3, 1), 7.0);
+}
+
+TEST(MultiVector, SpmmMatchesPerColumnMultiplyBitwise) {
+  const CsrMatrix a = random_sparse(40, 30, 4, 3);
+  const MultiVector x = random_block(30, 9, 4);
+  MultiVector y(40, 9);
+  spmm(a, x.view(), y.view(), 1);
+  for (Index j = 0; j < 9; ++j) {
+    const Vector xj(x.col(j).begin(), x.col(j).end());
+    const Vector yj = a.multiply(xj);
+    for (Index i = 0; i < 40; ++i)
+      EXPECT_DOUBLE_EQ(y(i, j), yj[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(MultiVector, SpmmBitIdenticalAcrossThreadCounts) {
+  // Large enough to clear the serial-rows threshold.
+  const CsrMatrix a = random_sparse(5000, 5000, 5, 5);
+  const MultiVector x = random_block(5000, 8, 6);
+  MultiVector y1(5000, 8);
+  spmm(a, x.view(), y1.view(), 1);
+  for (const Index threads : {2, 4, 8}) {
+    MultiVector yt(5000, 8);
+    spmm(a, x.view(), yt.view(), threads);
+    EXPECT_EQ(y1.data(), yt.data()) << "threads=" << threads;
+  }
+}
+
+TEST(MultiVector, CsrMultiplyBitIdenticalAcrossThreadCounts) {
+  const CsrMatrix a = random_sparse(6000, 6000, 5, 7);
+  Rng rng(8);
+  Vector x(6000);
+  for (Real& v : x) v = rng.normal();
+  const Vector y1 = a.multiply(x, 1);
+  for (const Index threads : {2, 4, 8})
+    EXPECT_EQ(y1, a.multiply(x, threads)) << "threads=" << threads;
+}
+
+TEST(MultiVector, CsrMultiplyTransposedBitIdenticalAcrossThreadCounts) {
+  const CsrMatrix a = random_sparse(6000, 500, 4, 9);
+  Rng rng(10);
+  Vector x(6000);
+  for (Real& v : x) v = rng.normal();
+  const Vector y1 = a.multiply_transposed(x, 1);
+  for (const Index threads : {2, 4, 8})
+    EXPECT_EQ(y1, a.multiply_transposed(x, threads)) << "threads=" << threads;
+}
+
+TEST(MultiVector, CsrMultiplyTransposedMatchesDenseReference) {
+  const CsrMatrix a = random_sparse(5000, 40, 3, 11);
+  Rng rng(12);
+  Vector x(5000);
+  for (Real& v : x) v = rng.normal();
+  const Vector y = a.multiply_transposed(x, 4);
+  // Reference via explicit transpose (serial gather kernel).
+  const Vector ref = a.transposed().multiply(x);
+  ASSERT_EQ(y.size(), ref.size());
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-10);
+}
+
+TEST(MultiVector, BlockInnerMatchesManualDots) {
+  const MultiVector v = random_block(25, 4, 13);
+  const MultiVector w = random_block(25, 3, 14);
+  const DenseMatrix c = block_inner(v.view(), w.view(), 1);
+  ASSERT_EQ(c.rows(), 4);
+  ASSERT_EQ(c.cols(), 3);
+  for (Index i = 0; i < 4; ++i)
+    for (Index j = 0; j < 3; ++j) {
+      Real acc = 0.0;
+      for (Index k = 0; k < 25; ++k) acc += v(k, i) * w(k, j);
+      EXPECT_DOUBLE_EQ(c(i, j), acc);
+    }
+}
+
+TEST(MultiVector, BlockInnerBitIdenticalAcrossThreadCounts) {
+  const MultiVector v = random_block(3000, 6, 15);
+  const MultiVector w = random_block(3000, 5, 16);
+  const DenseMatrix c1 = block_inner(v.view(), w.view(), 1);
+  for (const Index threads : {2, 4, 8}) {
+    const DenseMatrix ct = block_inner(v.view(), w.view(), threads);
+    EXPECT_EQ(c1.data(), ct.data()) << "threads=" << threads;
+  }
+}
+
+TEST(MultiVector, BlockProductAndSubtractInvert) {
+  // W -= V (Vᵀ W) must leave W orthogonal to the columns of V when V is
+  // orthonormal; block_product reconstructs the removed component.
+  const MultiVector v_raw = random_block(60, 3, 17);
+  // Orthonormalize v via modified Gram–Schmidt (test-local, serial).
+  MultiVector v = v_raw;
+  for (Index j = 0; j < 3; ++j) {
+    auto cj = v.col(j);
+    for (Index k = 0; k < j; ++k) {
+      const auto ck = v.col(k);
+      Real d = 0.0;
+      for (Index i = 0; i < 60; ++i) d += cj[i] * ck[i];
+      for (Index i = 0; i < 60; ++i) cj[i] -= d * ck[i];
+    }
+    Real n2 = 0.0;
+    for (const Real x : cj) n2 += x * x;
+    const Real inv = 1.0 / std::sqrt(n2);
+    for (Real& x : cj) x *= inv;
+  }
+
+  MultiVector w = random_block(60, 2, 18);
+  const MultiVector w_orig = w;
+  const DenseMatrix c = block_inner(v.view(), w.view(), 1);
+  block_subtract(w.view(), v.view(), c, 1);
+  const DenseMatrix after = block_inner(v.view(), w.view(), 1);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 2; ++j) EXPECT_NEAR(after(i, j), 0.0, 1e-12);
+
+  MultiVector removed(60, 2);
+  block_product(v.view(), c, removed.view(), 1);
+  for (Index j = 0; j < 2; ++j)
+    for (Index i = 0; i < 60; ++i)
+      EXPECT_NEAR(w(i, j) + removed(i, j), w_orig(i, j), 1e-12);
+}
+
+TEST(MultiVector, BlockProductBitIdenticalAcrossThreadCounts) {
+  const MultiVector v = random_block(4000, 7, 19);
+  const MultiVector c_src = random_block(7, 3, 20);
+  const DenseMatrix c = c_src.to_dense();
+  MultiVector out1(4000, 3);
+  block_product(v.view(), c, out1.view(), 1);
+  for (const Index threads : {2, 4, 8}) {
+    MultiVector outt(4000, 3);
+    block_product(v.view(), c, outt.view(), threads);
+    EXPECT_EQ(out1.data(), outt.data()) << "threads=" << threads;
+  }
+}
+
+TEST(MultiVector, ColumnKernels) {
+  MultiVector x = random_block(50, 3, 21);
+  const MultiVector y = random_block(50, 3, 22);
+  const Vector dots = column_dots(x.view(), y.view(), 1);
+  const Vector norms = column_norms(x.view(), 1);
+  for (Index j = 0; j < 3; ++j) {
+    Real d = 0.0;
+    Real n2 = 0.0;
+    for (Index i = 0; i < 50; ++i) {
+      d += x(i, j) * y(i, j);
+      n2 += x(i, j) * x(i, j);
+    }
+    EXPECT_DOUBLE_EQ(dots[static_cast<std::size_t>(j)], d);
+    EXPECT_DOUBLE_EQ(norms[static_cast<std::size_t>(j)], std::sqrt(n2));
+  }
+
+  center_columns(x.view(), 1);
+  for (Index j = 0; j < 3; ++j) {
+    Real mean = 0.0;
+    for (Index i = 0; i < 50; ++i) mean += x(i, j);
+    EXPECT_NEAR(mean / 50.0, 0.0, 1e-14);
+  }
+
+  const Vector alpha = {2.0, -1.0, 0.5};
+  MultiVector z = y;
+  block_axpy(alpha, x.view(), z.view(), 1);
+  for (Index j = 0; j < 3; ++j)
+    for (Index i = 0; i < 50; ++i)
+      EXPECT_DOUBLE_EQ(z(i, j),
+                       y(i, j) + alpha[static_cast<std::size_t>(j)] * x(i, j));
+}
+
+TEST(MultiVector, KernelShapeContracts) {
+  const CsrMatrix a = random_sparse(10, 8, 2, 23);
+  const MultiVector x = random_block(9, 2, 24);  // wrong inner dim
+  MultiVector y(10, 2);
+  EXPECT_THROW(spmm(a, x.view(), y.view(), 1), ContractViolation);
+  const MultiVector v = random_block(10, 2, 25);
+  const MultiVector w = random_block(11, 2, 26);
+  EXPECT_THROW((void)block_inner(v.view(), w.view(), 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgl::la

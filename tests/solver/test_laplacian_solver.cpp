@@ -134,6 +134,67 @@ TEST(LaplacianSolver, ReportsResolvedAutoMethod) {
   EXPECT_EQ(pinv.method(), LaplacianMethod::kCholesky);
 }
 
+TEST(LaplacianSolver, ApplyBlockMatchesPerColumnApplyBitwise) {
+  const graph::Graph g = graph::make_grid2d(7, 6).graph;
+  for (const LaplacianMethod method :
+       {LaplacianMethod::kCholesky, LaplacianMethod::kPcgJacobi,
+        LaplacianMethod::kPcgAmg}) {
+    LaplacianSolverOptions options;
+    options.method = method;
+    const LaplacianPinvSolver pinv(g, options);
+    Rng rng(7);
+    la::DenseMatrix y(g.num_nodes(), 6);
+    for (Index j = 0; j < 6; ++j)
+      for (Real& v : y.col(j)) v = rng.normal();
+    const la::DenseMatrix x = pinv.apply_block(y, 1);
+    for (Index j = 0; j < 6; ++j) {
+      const la::Vector ref = pinv.apply(y.col_vector(j));
+      for (Index i = 0; i < g.num_nodes(); ++i)
+        EXPECT_DOUBLE_EQ(x(i, j), ref[static_cast<std::size_t>(i)])
+            << "method=" << static_cast<int>(method);
+    }
+  }
+}
+
+TEST(LaplacianSolver, ApplyBlockBitIdenticalAcrossThreadCounts) {
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  const LaplacianPinvSolver pinv(g);
+  Rng rng(8);
+  la::DenseMatrix y(g.num_nodes(), 8);
+  for (Index j = 0; j < 8; ++j)
+    for (Real& v : y.col(j)) v = rng.normal();
+  const la::DenseMatrix serial = pinv.apply_block(y, 1);
+  for (const Index threads : {2, 4, 8}) {
+    const la::DenseMatrix threaded = pinv.apply_block(y, threads);
+    EXPECT_EQ(serial.data(), threaded.data()) << "threads=" << threads;
+  }
+}
+
+TEST(LaplacianSolver, ApplyBlockShapeContracts) {
+  const graph::Graph g = graph::make_path(6);
+  const LaplacianPinvSolver pinv(g);
+  la::DenseMatrix y(5, 2);  // wrong row count
+  la::DenseMatrix x(6, 2);
+  EXPECT_THROW(pinv.apply_block(la::view_of(y), la::view_of(x), 1),
+               ContractViolation);
+}
+
+TEST(LaplacianSolver, ApplyBlockPropagatesPcgFailurePerRhs) {
+  // One PCG iteration cannot solve a 10×10 grid system: the per-RHS
+  // convergence check must surface NumericalError from the block path.
+  const graph::Graph g = graph::make_grid2d(10, 10).graph;
+  LaplacianSolverOptions options;
+  options.method = LaplacianMethod::kPcgJacobi;
+  options.pcg.max_iterations = 1;
+  options.pcg.rel_tolerance = 1e-14;
+  const LaplacianPinvSolver pinv(g, options);
+  Rng rng(9);
+  la::DenseMatrix y(g.num_nodes(), 4);
+  for (Index j = 0; j < 4; ++j)
+    for (Real& v : y.col(j)) v = rng.normal();
+  EXPECT_THROW((void)pinv.apply_block(y, 2), NumericalError);
+}
+
 TEST(LaplacianSolver, PcgIterationCountExposed) {
   const graph::Graph g = graph::make_grid2d(10, 10).graph;
   LaplacianSolverOptions options;

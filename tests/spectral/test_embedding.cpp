@@ -100,6 +100,25 @@ TEST(Embedding, EigenvaluesAscending) {
     EXPECT_LE(e.eigenvalues[i - 1], e.eigenvalues[i] + 1e-12);
 }
 
+TEST(Embedding, ReportsEigensolverConvergence) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  EmbeddingOptions options;
+  options.r = 4;
+  const Embedding ok = compute_embedding(g, options);
+  EXPECT_TRUE(ok.eig_converged);
+  EXPECT_GT(ok.lanczos_steps, 0);
+
+  // Starve the eigensolver: a basis capped at dims vectors cannot reach
+  // the residual tolerance on a mesh, and the flag must say so while the
+  // embedding is still built from the best available pairs.
+  EmbeddingOptions starved = options;
+  starved.lanczos.max_subspace = options.r - 1;
+  const Embedding bad = compute_embedding(g, starved);
+  EXPECT_FALSE(bad.eig_converged);
+  EXPECT_EQ(bad.u.cols(), options.r - 1);
+  EXPECT_EQ(bad.u.rows(), g.num_nodes());
+}
+
 TEST(Embedding, Contracts) {
   const graph::Graph g = graph::make_path(5);
   EmbeddingOptions options;

@@ -58,6 +58,26 @@ TEST(Metrics, CompareSpectraIdenticalGraphs) {
   EXPECT_LT(cmp.mean_rel_error, 1e-7);
 }
 
+TEST(Metrics, CompareSpectraSizesSubspacePerGraph) {
+  // Reduced-network comparison: the graphs differ in node count, and the
+  // larger one's eigensolver must not inherit a subspace cap clamped by
+  // the smaller one (a 14-node learned graph would otherwise cap the
+  // 144-node reference's basis at 13 vectors — one unconverged
+  // Rayleigh–Ritz pass). Cross-check the reference eigenvalues against a
+  // direct solve with a healthy cap.
+  const graph::Graph reference = graph::make_grid2d(12, 12).graph;
+  const graph::Graph learned = graph::make_path(14);
+  const SpectrumComparison cmp = compare_spectra(reference, learned, 13);
+  ASSERT_EQ(cmp.reference.size(), 13u);
+
+  const solver::LaplacianPinvSolver pinv(reference);
+  const auto direct = eig::smallest_laplacian_eigenpairs(pinv, 13);
+  ASSERT_TRUE(direct.converged);
+  for (std::size_t i = 0; i < 13; ++i)
+    EXPECT_NEAR(cmp.reference[i], direct.eigenvalues[i],
+                1e-8 * direct.eigenvalues[i]);
+}
+
 TEST(Metrics, CompareSpectraDetectsScaleError) {
   const graph::Graph g = graph::make_grid2d(6, 6).graph;
   graph::Graph scaled = g;

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Diff two Google-Benchmark JSON artifacts and flag regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+                     [--metric real_time] [--strict]
+
+Benchmarks are matched by name. A benchmark whose current time exceeds
+the baseline by more than the threshold (default 15%) is flagged as a
+regression; one that is faster by more than the threshold is reported as
+an improvement. Output is a Markdown table (suitable for
+$GITHUB_STEP_SUMMARY). Exit status is 0 unless --strict is given and at
+least one regression was found — CI runs it non-blocking, without
+--strict, because shared-runner timings are too noisy to gate on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str, metric: str) -> dict[str, float]:
+    """Returns {benchmark name: metric value}, skipping aggregate rows."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        # Repetition aggregates (mean/median/stddev) would double-count.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        value = bench.get(metric)
+        if name is None or not isinstance(value, (int, float)):
+            continue
+        out[name] = float(value)
+    return out
+
+
+def format_time(value: float, unit: str) -> str:
+    return f"{value:,.3f} {unit}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative slowdown that counts as a regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="real_time",
+        choices=["real_time", "cpu_time"],
+        help="which benchmark field to compare (default real_time)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when regressions are found (default: report only)",
+    )
+    args = parser.parse_args()
+
+    try:
+        base = load_benchmarks(args.baseline, args.metric)
+        curr = load_benchmarks(args.current, args.metric)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: cannot read input: {exc}", file=sys.stderr)
+        return 0 if not args.strict else 1
+
+    with open(args.current, "r", encoding="utf-8") as fh:
+        unit = "ns"
+        for bench in json.load(fh).get("benchmarks", []):
+            unit = bench.get("time_unit", "ns")
+            break
+
+    shared = sorted(set(base) & set(curr))
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+
+    regressions: list[str] = []
+    improvements: list[str] = []
+    rows: list[str] = []
+    for name in shared:
+        b = base[name]
+        c = curr[name]
+        if b <= 0.0:
+            continue
+        ratio = c / b
+        delta = (ratio - 1.0) * 100.0
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            marker = " ⚠️ regression"
+            regressions.append(name)
+        elif ratio < 1.0 - args.threshold:
+            marker = " ✅ improvement"
+            improvements.append(name)
+        rows.append(
+            f"| `{name}` | {format_time(b, unit)} | {format_time(c, unit)} "
+            f"| {delta:+.1f}%{marker} |"
+        )
+
+    print(f"### Benchmark comparison ({args.metric}, threshold "
+          f"{args.threshold:.0%})")
+    print()
+    if not shared:
+        print("No overlapping benchmarks between the two artifacts.")
+    else:
+        print("| benchmark | baseline | current | delta |")
+        print("|---|---:|---:|---:|")
+        for row in rows:
+            print(row)
+    print()
+    print(
+        f"**{len(regressions)} regression(s), {len(improvements)} "
+        f"improvement(s) across {len(shared)} shared benchmark(s).**"
+    )
+    if only_curr:
+        print(f"\nNew benchmarks (no baseline): {len(only_curr)}")
+        for name in only_curr:
+            print(f"- `{name}`")
+    if only_base:
+        print(f"\nRemoved benchmarks (baseline only): {len(only_base)}")
+        for name in only_base:
+            print(f"- `{name}`")
+
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
