@@ -119,6 +119,89 @@ BENCHMARK(BM_BlockLanczos)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Grounded Laplacian of the 192² mesh — the SPD system behind the
+/// factorization benchmarks.
+const la::CsrMatrix& grounded_mesh_laplacian() {
+  static const la::CsrMatrix a =
+      solver::grounded_laplacian(graph::make_grid2d(192, 192).graph);
+  return a;
+}
+
+const solver::CholeskySolver& mesh_factor() {
+  static const solver::CholeskySolver chol(grounded_mesh_laplacian());
+  return chol;
+}
+
+/// Block triangular sweeps: one forward/backward pass over the factor per
+/// b right-hand sides; args: block width b, threads.
+void BM_SolveBlock(benchmark::State& state) {
+  const solver::CholeskySolver& chol = mesh_factor();
+  const Index b = static_cast<Index>(state.range(0));
+  const Index threads = static_cast<Index>(state.range(1));
+  const la::MultiVector rhs = random_block(chol.size(), b, 19);
+  la::MultiVector x(chol.size(), b);
+  for (auto _ : state) {
+    x.data() = rhs.data();
+    chol.solve_in_place_block(x.view(), threads);
+    benchmark::DoNotOptimize(x.data().data());
+  }
+  state.counters["factor_nnz"] = static_cast<double>(chol.stats().factor_nnz);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          chol.stats().factor_nnz * b);
+}
+BENCHMARK(BM_SolveBlock)
+    ->ArgsProduct({{1, 4, 16}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The unbatched baseline the block sweep must beat: b scalar solves
+/// streaming the factor once per column.
+void BM_SolvePerColumn(benchmark::State& state) {
+  const solver::CholeskySolver& chol = mesh_factor();
+  const Index b = static_cast<Index>(state.range(0));
+  const la::MultiVector rhs = random_block(chol.size(), b, 19);
+  la::Vector xj(static_cast<std::size_t>(chol.size()));
+  for (auto _ : state) {
+    for (Index j = 0; j < b; ++j) {
+      const auto col = rhs.col(j);
+      std::copy(col.begin(), col.end(), xj.begin());
+      chol.solve_in_place(xj);
+      benchmark::DoNotOptimize(xj.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          chol.stats().factor_nnz * b);
+}
+BENCHMARK(BM_SolvePerColumn)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Level-scheduled numeric factorization of the grounded mesh; args:
+/// threads (the symbolic phase and ordering are included).
+void BM_FactorLevelScheduled(benchmark::State& state) {
+  const la::CsrMatrix& a = grounded_mesh_laplacian();
+  const Index threads = static_cast<Index>(state.range(0));
+  Index levels = 0;
+  for (auto _ : state) {
+    const solver::CholeskySolver chol(a, solver::OrderingMethod::kAuto,
+                                      threads);
+    levels = chol.stats().num_levels;
+    benchmark::DoNotOptimize(levels);
+  }
+  state.counters["levels"] = static_cast<double>(levels);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_FactorLevelScheduled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 /// Multi-RHS pseudo-inverse solve (measurement generation hot path).
 void BM_ApplyBlockMultiRhs(benchmark::State& state) {
   const graph::Graph g = graph::make_grid2d(64, 64).graph;

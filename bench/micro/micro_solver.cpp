@@ -9,19 +9,7 @@
 namespace {
 
 using namespace sgl;
-
-la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
-  std::vector<la::Triplet> t;
-  for (const graph::Edge& e : g.edges()) {
-    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
-    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
-    if (e.s != 0 && e.t != 0) {
-      t.push_back({e.s - 1, e.t - 1, -e.weight});
-      t.push_back({e.t - 1, e.s - 1, -e.weight});
-    }
-  }
-  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
-}
+using solver::grounded_laplacian;
 
 la::CsrMatrix mesh_matrix(Index side) {
   return grounded_laplacian(graph::make_grid2d(side, side).graph);

@@ -26,6 +26,11 @@ SglLearner::SglLearner(const la::DenseMatrix& x, SglConfig config)
   SGL_EXPECTS(config_.tolerance >= 0.0,
               "SglLearner: tolerance must be nonnegative");
 
+  // The factorization inherits the learner's thread knob unless the
+  // solver options pin their own (results are identical either way).
+  if (config_.solver.num_threads == 0)
+    config_.solver.num_threads = config_.num_threads;
+
   // Step 1: candidate kNN graph and its maximum spanning tree.
   WallTimer knn_timer;
   knn::KnnGraphOptions knn_options = config_.knn;

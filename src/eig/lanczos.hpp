@@ -7,7 +7,9 @@
 // eigenvalues of the operator, which Lanczos finds in a handful of steps.
 // The iteration is *blocked* (DESIGN.md §1): the operator is applied to b
 // vectors at a time through LinearOperator::apply_block (multi-RHS solves
-// sharing one factorization), the basis is kept orthonormal by blocked
+// sharing one factorization — on the Cholesky path each batched apply is
+// one pair of block triangular sweeps streaming the factor once per
+// block, DESIGN.md §4), the basis is kept orthonormal by blocked
 // full reorthogonalization, and eigenvalue multiplicities up to the block
 // size are resolved structurally instead of through rounding noise. The
 // constant nullspace vector is deflated explicitly by centering every

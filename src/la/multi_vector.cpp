@@ -229,4 +229,60 @@ void center_columns(BlockView x, Index num_threads) {
   });
 }
 
+Vector column_means(ConstBlockView x, Index num_threads) {
+  SGL_EXPECTS(x.rows > 0, "column_means: need at least one row");
+  Vector m(static_cast<std::size_t>(x.cols), 0.0);
+  const Index threads = x.rows < kSerialRows ? 1 : num_threads;
+  parallel::parallel_for(0, x.cols, threads, [&](Index j) {
+    const std::span<const Real> xj = x.col(j);
+    Real acc = 0.0;
+    for (Index i = 0; i < x.rows; ++i) acc += xj[static_cast<std::size_t>(i)];
+    m[static_cast<std::size_t>(j)] = acc / static_cast<Real>(x.rows);
+  });
+  return m;
+}
+
+void shift_columns(BlockView x, const Vector& delta, Index num_threads) {
+  SGL_EXPECTS(to_index(delta.size()) == x.cols,
+              "shift_columns: delta count mismatch");
+  const Index threads = x.rows < kSerialRows ? 1 : num_threads;
+  parallel::parallel_for(0, x.cols, threads, [&](Index j) {
+    const Real d = delta[static_cast<std::size_t>(j)];
+    const std::span<Real> xj = x.col(j);
+    for (Index i = 0; i < x.rows; ++i) xj[static_cast<std::size_t>(i)] -= d;
+  });
+}
+
+void gather_rows(ConstBlockView x, std::span<const Index> rows, BlockView out,
+                 Index num_threads) {
+  SGL_EXPECTS(to_index(rows.size()) == out.rows,
+              "gather_rows: row map size mismatch");
+  SGL_EXPECTS(x.cols == out.cols, "gather_rows: column count mismatch");
+  const Index threads = out.rows < kSerialRows ? 1 : num_threads;
+  parallel::parallel_for(0, out.cols, threads, [&](Index j) {
+    const std::span<const Real> xj = x.col(j);
+    const std::span<Real> oj = out.col(j);
+    for (Index i = 0; i < out.rows; ++i) {
+      oj[static_cast<std::size_t>(i)] =
+          xj[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])];
+    }
+  });
+}
+
+void scatter_rows(ConstBlockView x, std::span<const Index> rows, BlockView out,
+                  Index num_threads) {
+  SGL_EXPECTS(to_index(rows.size()) == x.rows,
+              "scatter_rows: row map size mismatch");
+  SGL_EXPECTS(x.cols == out.cols, "scatter_rows: column count mismatch");
+  const Index threads = x.rows < kSerialRows ? 1 : num_threads;
+  parallel::parallel_for(0, x.cols, threads, [&](Index j) {
+    const std::span<const Real> xj = x.col(j);
+    const std::span<Real> oj = out.col(j);
+    for (Index i = 0; i < x.rows; ++i) {
+      oj[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])] =
+          xj[static_cast<std::size_t>(i)];
+    }
+  });
+}
+
 }  // namespace sgl::la

@@ -206,4 +206,23 @@ void block_axpy(const Vector& alpha, ConstBlockView x, BlockView y,
 /// all-ones vector). Column-parallel.
 void center_columns(BlockView x, Index num_threads = 0);
 
+/// Per-column means, each a fixed-order ascending sum (the same order as
+/// center_columns and la::mean, so block and per-column paths agree
+/// bitwise). Column-parallel.
+[[nodiscard]] Vector column_means(ConstBlockView x, Index num_threads = 0);
+
+/// x(:, j) -= delta[j] for every column j. Column-parallel.
+void shift_columns(BlockView x, const Vector& delta, Index num_threads = 0);
+
+/// Strided block row gather: out(i, :) = x(rows[i], :). The row map lets
+/// solver consumers drop a grounded row (or apply a permutation) for a
+/// whole block in one pass. Column-parallel.
+void gather_rows(ConstBlockView x, std::span<const Index> rows, BlockView out,
+                 Index num_threads = 0);
+
+/// Inverse scatter: out(rows[i], :) = x(i, :). Rows of `out` absent from
+/// the map are left untouched. Column-parallel.
+void scatter_rows(ConstBlockView x, std::span<const Index> rows, BlockView out,
+                  Index num_threads = 0);
+
 }  // namespace sgl::la

@@ -15,7 +15,12 @@ Measurements generate_measurements(const graph::Graph& ground_truth,
   SGL_EXPECTS(m >= 1, "generate_measurements: need at least one measurement");
   SGL_EXPECTS(n >= 3, "generate_measurements: graph too small");
 
-  const solver::LaplacianPinvSolver pinv(ground_truth, options.solver);
+  // The factorization inherits the measurement thread knob unless the
+  // solver options pin their own (results are identical either way).
+  solver::LaplacianSolverOptions solver_options = options.solver;
+  if (solver_options.num_threads == 0)
+    solver_options.num_threads = options.num_threads;
+  const solver::LaplacianPinvSolver pinv(ground_truth, solver_options);
   Rng rng(options.seed);
 
   Measurements out;

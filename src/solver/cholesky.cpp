@@ -1,11 +1,24 @@
 #include "solver/cholesky.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 
 namespace sgl::solver {
 
-CholeskySolver::CholeskySolver(const la::CsrMatrix& a, OrderingMethod ordering) {
+namespace {
+
+/// Matrix size below which the numeric phase and the block sweeps stay
+/// serial: pool dispatch costs more than the work. Scheduling-only — the
+/// values are identical either way.
+constexpr Index kSerialCols = 256;
+
+}  // namespace
+
+CholeskySolver::CholeskySolver(const la::CsrMatrix& a, OrderingMethod ordering,
+                               Index num_threads) {
   SGL_EXPECTS(a.rows() == a.cols(), "CholeskySolver: matrix must be square");
   const WallTimer timer;
   n_ = a.rows();
@@ -13,15 +26,19 @@ CholeskySolver::CholeskySolver(const la::CsrMatrix& a, OrderingMethod ordering) 
   stats_.input_nnz = a.nnz();
 
   perm_ = compute_ordering(a, ordering);
-  inv_perm_ = invert_permutation(perm_);
   const la::CsrMatrix pa = permute_symmetric(a, perm_);
 
+  analyze(pa);
+  factorize(pa, num_threads);
+  stats_.factor_seconds = timer.seconds();
+}
+
+void CholeskySolver::analyze(const la::CsrMatrix& pa) {
   const auto& rp = pa.row_ptr();
   const auto& ci = pa.col_idx();
-  const auto& vv = pa.values();
   const std::size_t un = static_cast<std::size_t>(n_);
 
-  // --- Symbolic: elimination tree and per-column factor counts. ---------
+  // --- Elimination tree and per-column factor counts. -------------------
   // Row k of the (symmetric) matrix restricted to indices < k is the
   // pattern of column k of the upper factor; walking each entry up the
   // elimination tree enumerates the columns it updates.
@@ -29,7 +46,6 @@ CholeskySolver::CholeskySolver(const la::CsrMatrix& a, OrderingMethod ordering) 
   std::vector<Index> flag(un, kInvalidIndex);
   std::vector<Index> l_nnz(un, 0);
   for (Index k = 0; k < n_; ++k) {
-    parent[static_cast<std::size_t>(k)] = kInvalidIndex;
     flag[static_cast<std::size_t>(k)] = k;
     for (Index p = rp[static_cast<std::size_t>(k)];
          p < rp[static_cast<std::size_t>(k) + 1]; ++p) {
@@ -52,77 +68,219 @@ CholeskySolver::CholeskySolver(const la::CsrMatrix& a, OrderingMethod ordering) 
   const Index total_nnz = l_col_ptr_[un];
   stats_.factor_nnz = total_nnz;
   l_row_idx_.resize(static_cast<std::size_t>(total_nnz));
-  l_values_.resize(static_cast<std::size_t>(total_nnz));
-  d_.assign(un, 0.0);
+  l_values_.assign(static_cast<std::size_t>(total_nnz), 0.0);
 
-  // --- Numeric: up-looking, one sparse triangular solve per row k. ------
+  // --- Full column pattern of L. ----------------------------------------
+  // Re-run the row-subtree walk with the completed tree; appending row k
+  // to every column it updates fills each column's rows in ascending
+  // order because k only grows.
   std::vector<Index> next_slot(l_col_ptr_.begin(), l_col_ptr_.end() - 1);
-  std::vector<Real> y(un, 0.0);
-  std::vector<Index> pattern(un, 0);
-  std::vector<Index> stack(un, 0);
-
+  std::fill(flag.begin(), flag.end(), kInvalidIndex);
   for (Index k = 0; k < n_; ++k) {
-    Index top = n_;
     flag[static_cast<std::size_t>(k)] = k;
-    d_[static_cast<std::size_t>(k)] = 0.0;
     for (Index p = rp[static_cast<std::size_t>(k)];
          p < rp[static_cast<std::size_t>(k) + 1]; ++p) {
-      const Index col = ci[static_cast<std::size_t>(p)];
-      if (col > k) continue;
-      if (col == k) {
-        d_[static_cast<std::size_t>(k)] += vv[static_cast<std::size_t>(p)];
-        continue;
-      }
-      y[static_cast<std::size_t>(col)] += vv[static_cast<std::size_t>(p)];
-      Index len = 0;
-      for (Index i = col; flag[static_cast<std::size_t>(i)] != k;
+      Index i = ci[static_cast<std::size_t>(p)];
+      if (i >= k) continue;
+      for (; flag[static_cast<std::size_t>(i)] != k;
            i = parent[static_cast<std::size_t>(i)]) {
-        pattern[static_cast<std::size_t>(len++)] = i;
+        l_row_idx_[static_cast<std::size_t>(
+            next_slot[static_cast<std::size_t>(i)]++)] = k;
         flag[static_cast<std::size_t>(i)] = k;
       }
-      while (len > 0) stack[static_cast<std::size_t>(--top)] = pattern[static_cast<std::size_t>(--len)];
-    }
-
-    for (Index s = top; s < n_; ++s) {
-      const Index i = stack[static_cast<std::size_t>(s)];
-      const Real yi = y[static_cast<std::size_t>(i)];
-      y[static_cast<std::size_t>(i)] = 0.0;
-      const Index p2 = next_slot[static_cast<std::size_t>(i)];
-      for (Index p = l_col_ptr_[static_cast<std::size_t>(i)]; p < p2; ++p) {
-        y[static_cast<std::size_t>(l_row_idx_[static_cast<std::size_t>(p)])] -=
-            l_values_[static_cast<std::size_t>(p)] * yi;
-      }
-      const Real l_ki = yi / d_[static_cast<std::size_t>(i)];
-      d_[static_cast<std::size_t>(k)] -= l_ki * yi;
-      l_row_idx_[static_cast<std::size_t>(p2)] = k;
-      l_values_[static_cast<std::size_t>(p2)] = l_ki;
-      ++next_slot[static_cast<std::size_t>(i)];
-    }
-    if (!(d_[static_cast<std::size_t>(k)] > 0.0)) {
-      throw NumericalError(
-          "CholeskySolver: non-positive pivot at column " + std::to_string(k) +
-          " — matrix is not positive definite");
     }
   }
-  stats_.factor_seconds = timer.seconds();
+
+  // --- Row-major mirror (the gather lists). -----------------------------
+  // Iterating columns in ascending order fills each row's entries with
+  // ascending column indices — the fixed gather order of every sweep.
+  r_row_ptr_.assign(un + 1, 0);
+  for (Index p = 0; p < total_nnz; ++p)
+    ++r_row_ptr_[static_cast<std::size_t>(l_row_idx_[static_cast<std::size_t>(p)]) + 1];
+  for (Index i = 0; i < n_; ++i)
+    r_row_ptr_[static_cast<std::size_t>(i) + 1] += r_row_ptr_[static_cast<std::size_t>(i)];
+  r_col_idx_.resize(static_cast<std::size_t>(total_nnz));
+  r_val_pos_.resize(static_cast<std::size_t>(total_nnz));
+  std::vector<Index> row_next(r_row_ptr_.begin(), r_row_ptr_.end() - 1);
+  for (Index j = 0; j < n_; ++j) {
+    for (Index p = l_col_ptr_[static_cast<std::size_t>(j)];
+         p < l_col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+      const Index i = l_row_idx_[static_cast<std::size_t>(p)];
+      const Index q = row_next[static_cast<std::size_t>(i)]++;
+      r_col_idx_[static_cast<std::size_t>(q)] = j;
+      r_val_pos_[static_cast<std::size_t>(q)] = p;
+    }
+  }
+
+  // --- Chain-coalesced column blocks (supernodes). ----------------------
+  // Column j joins the block of j−1 when j−1 is its only child: every
+  // strict descendant of j is then a descendant of j−1, so the block is a
+  // self-contained serial task and a tridiagonal chain (or the dense
+  // trailing triangle of a mesh factor) never fragments into n levels.
+  std::vector<Index> num_children(un, 0);
+  for (Index j = 0; j < n_; ++j) {
+    if (parent[static_cast<std::size_t>(j)] != kInvalidIndex)
+      ++num_children[static_cast<std::size_t>(parent[static_cast<std::size_t>(j)])];
+  }
+  super_ptr_.clear();
+  super_ptr_.push_back(0);
+  std::vector<Index> super_of(un, 0);
+  for (Index j = 1; j < n_; ++j) {
+    const bool chains = parent[static_cast<std::size_t>(j) - 1] == j &&
+                        num_children[static_cast<std::size_t>(j)] == 1;
+    if (!chains) super_ptr_.push_back(j);
+    super_of[static_cast<std::size_t>(j)] = to_index(super_ptr_.size()) - 1;
+  }
+  super_ptr_.push_back(n_);
+  const Index nsuper = to_index(super_ptr_.size()) - 1;
+  stats_.num_supernodes = nsuper;
+
+  // --- Level sets over the block tree. ----------------------------------
+  // level[s] = 1 + max level over blocks feeding s through a
+  // cross-block parent edge. Cross edges always originate below the
+  // target block's first column, so one ascending pass suffices.
+  std::vector<Index> level(static_cast<std::size_t>(nsuper), 0);
+  for (Index j = 0; j < n_; ++j) {
+    const Index pj = parent[static_cast<std::size_t>(j)];
+    if (pj == kInvalidIndex) continue;
+    const Index s = super_of[static_cast<std::size_t>(j)];
+    const Index sp = super_of[static_cast<std::size_t>(pj)];
+    if (sp != s) {
+      level[static_cast<std::size_t>(sp)] =
+          std::max(level[static_cast<std::size_t>(sp)],
+                   level[static_cast<std::size_t>(s)] + 1);
+    }
+  }
+  Index num_levels = 0;
+  for (Index s = 0; s < nsuper; ++s)
+    num_levels = std::max(num_levels, level[static_cast<std::size_t>(s)] + 1);
+  stats_.num_levels = num_levels;
+
+  level_ptr_.assign(static_cast<std::size_t>(num_levels) + 1, 0);
+  for (Index s = 0; s < nsuper; ++s)
+    ++level_ptr_[static_cast<std::size_t>(level[static_cast<std::size_t>(s)]) + 1];
+  for (Index l = 0; l < num_levels; ++l)
+    level_ptr_[static_cast<std::size_t>(l) + 1] += level_ptr_[static_cast<std::size_t>(l)];
+  stats_.max_level_supernodes = 0;
+  for (Index l = 0; l < num_levels; ++l) {
+    stats_.max_level_supernodes =
+        std::max(stats_.max_level_supernodes,
+                 level_ptr_[static_cast<std::size_t>(l) + 1] -
+                     level_ptr_[static_cast<std::size_t>(l)]);
+  }
+  level_supers_.resize(static_cast<std::size_t>(nsuper));
+  std::vector<Index> level_next(level_ptr_.begin(), level_ptr_.end() - 1);
+  for (Index s = 0; s < nsuper; ++s) {
+    level_supers_[static_cast<std::size_t>(
+        level_next[static_cast<std::size_t>(level[static_cast<std::size_t>(s)])]++)] = s;
+  }
+}
+
+void CholeskySolver::factor_column(const la::CsrMatrix& pa, Index j, Real* w) {
+  const auto& rp = pa.row_ptr();
+  const auto& ci = pa.col_idx();
+  const auto& vv = pa.values();
+
+  // Scatter A's column j (rows ≥ j; by symmetry, row j at columns ≥ j).
+  for (Index p = rp[static_cast<std::size_t>(j)];
+       p < rp[static_cast<std::size_t>(j) + 1]; ++p) {
+    const Index i = ci[static_cast<std::size_t>(p)];
+    if (i >= j) w[i] += vv[static_cast<std::size_t>(p)];
+  }
+
+  // Left-looking updates from every column k with L(j,k) ≠ 0, in
+  // ascending k — the fixed combine order that makes the factor
+  // thread-count independent. Column k's rows > j all lie inside column
+  // j's pattern, so the scatter stays within entries we reset below.
+  for (Index q = r_row_ptr_[static_cast<std::size_t>(j)];
+       q < r_row_ptr_[static_cast<std::size_t>(j) + 1]; ++q) {
+    const Index k = r_col_idx_[static_cast<std::size_t>(q)];
+    const Index p = r_val_pos_[static_cast<std::size_t>(q)];
+    const Real ljk = l_values_[static_cast<std::size_t>(p)];
+    const Real c = d_[static_cast<std::size_t>(k)] * ljk;
+    w[j] -= ljk * c;
+    for (Index p2 = p + 1; p2 < l_col_ptr_[static_cast<std::size_t>(k) + 1]; ++p2) {
+      w[l_row_idx_[static_cast<std::size_t>(p2)]] -=
+          l_values_[static_cast<std::size_t>(p2)] * c;
+    }
+  }
+
+  const Real dj = w[j];
+  w[j] = 0.0;
+  if (!(dj > 0.0)) {
+    throw NumericalError(
+        "CholeskySolver: non-positive pivot at column " +
+        std::to_string(perm_[static_cast<std::size_t>(j)]) +
+        " — matrix is not positive definite");
+  }
+  d_[static_cast<std::size_t>(j)] = dj;
+  for (Index p = l_col_ptr_[static_cast<std::size_t>(j)];
+       p < l_col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+    const Index i = l_row_idx_[static_cast<std::size_t>(p)];
+    l_values_[static_cast<std::size_t>(p)] = w[i] / dj;
+    w[i] = 0.0;
+  }
+}
+
+void CholeskySolver::factorize(const la::CsrMatrix& pa, Index num_threads) {
+  const std::size_t un = static_cast<std::size_t>(n_);
+  d_.assign(un, 0.0);
+
+  const Index threads =
+      n_ < kSerialCols ? 1 : parallel::resolve_num_threads(num_threads);
+  // One dense scratch column per worker slot; each task leaves its
+  // scratch zeroed outside the column being factored.
+  std::vector<la::Vector> scratch(static_cast<std::size_t>(threads),
+                                  la::Vector(un, 0.0));
+
+  const Index num_levels = to_index(level_ptr_.size()) - 1;
+  for (Index l = 0; l < num_levels; ++l) {
+    const Index lo = level_ptr_[static_cast<std::size_t>(l)];
+    const Index hi = level_ptr_[static_cast<std::size_t>(l) + 1];
+    const auto run_supers = [&](Index slo, Index shi, Index slot) {
+      Real* w = scratch[static_cast<std::size_t>(slot)].data();
+      for (Index si = slo; si < shi; ++si) {
+        const Index s = level_supers_[static_cast<std::size_t>(si)];
+        for (Index j = super_ptr_[static_cast<std::size_t>(s)];
+             j < super_ptr_[static_cast<std::size_t>(s) + 1]; ++j) {
+          factor_column(pa, j, w);
+        }
+      }
+    };
+    if (threads == 1 || hi - lo == 1) {
+      run_supers(lo, hi, 0);
+    } else {
+      parallel::parallel_for_slots(lo, hi, threads, run_supers);
+    }
+  }
+
+  // Contiguous row-major value mirror so the forward sweeps stream
+  // instead of chasing r_val_pos_ indirections. The position map is only
+  // needed during the numeric phase, so its memory (one Index per factor
+  // nonzero) is released rather than carried for the solver's lifetime.
+  r_values_.resize(l_values_.size());
+  for (std::size_t q = 0; q < r_values_.size(); ++q)
+    r_values_[q] = l_values_[static_cast<std::size_t>(r_val_pos_[q])];
+  std::vector<Index>().swap(r_val_pos_);
 }
 
 void CholeskySolver::solve_in_place(la::Vector& x) const {
   SGL_EXPECTS(to_index(x.size()) == n_, "CholeskySolver::solve: size mismatch");
-  // Permute, forward solve L y = b, diagonal scale, back solve Lᵀ x = y,
-  // un-permute.
+  // Permute, forward solve L y = b (row gather, ascending columns — the
+  // same per-element order as the block sweep), diagonal scale, back
+  // solve Lᵀ x = y (column gather), un-permute.
   la::Vector b(static_cast<std::size_t>(n_));
   for (Index i = 0; i < n_; ++i)
     b[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
 
-  for (Index j = 0; j < n_; ++j) {
-    const Real bj = b[static_cast<std::size_t>(j)];
-    if (bj == 0.0) continue;
-    for (Index p = l_col_ptr_[static_cast<std::size_t>(j)];
-         p < l_col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
-      b[static_cast<std::size_t>(l_row_idx_[static_cast<std::size_t>(p)])] -=
-          l_values_[static_cast<std::size_t>(p)] * bj;
+  for (Index i = 0; i < n_; ++i) {
+    Real acc = b[static_cast<std::size_t>(i)];
+    for (Index q = r_row_ptr_[static_cast<std::size_t>(i)];
+         q < r_row_ptr_[static_cast<std::size_t>(i) + 1]; ++q) {
+      acc -= r_values_[static_cast<std::size_t>(q)] *
+             b[static_cast<std::size_t>(r_col_idx_[static_cast<std::size_t>(q)])];
     }
+    b[static_cast<std::size_t>(i)] = acc;
   }
   for (Index j = 0; j < n_; ++j) b[static_cast<std::size_t>(j)] /= d_[static_cast<std::size_t>(j)];
   for (Index j = n_ - 1; j >= 0; --j) {
@@ -143,6 +301,129 @@ la::Vector CholeskySolver::solve(const la::Vector& b) const {
   la::Vector x = b;
   solve_in_place(x);
   return x;
+}
+
+template <int TILE>
+void CholeskySolver::solve_block_tile(la::BlockView x, Index col0,
+                                      Index num_threads,
+                                      std::vector<Real>& w) const {
+  constexpr std::size_t sb = static_cast<std::size_t>(TILE);
+  const Index threads =
+      n_ < kSerialCols ? 1 : parallel::resolve_num_threads(num_threads);
+
+  // Row-major scratch: the TILE right-hand-side values of one (permuted)
+  // row sit contiguously, so every gathered factor entry touches one
+  // strip; the compile-time tile width keeps the strip updates in
+  // registers and vectorized.
+  w.resize(static_cast<std::size_t>(n_) * sb);
+  parallel::parallel_for(0, n_, threads, [&](Index i) {
+    Real* dst = w.data() + static_cast<std::size_t>(i) * sb;
+    const Index src = perm_[static_cast<std::size_t>(i)];
+    for (int c = 0; c < TILE; ++c) dst[c] = x.at(src, col0 + c);
+  });
+
+  // Both sweeps gather per output row/column in the same fixed order as
+  // the scalar path, so scheduling never changes a bit. Within a level the
+  // blocks touch disjoint rows; across levels the level loop is the
+  // barrier.
+  const Index num_levels = to_index(level_ptr_.size()) - 1;
+  // Forward: L Y = B, levels ascending, block columns ascending.
+  for (Index l = 0; l < num_levels; ++l) {
+    const Index lo = level_ptr_[static_cast<std::size_t>(l)];
+    const Index hi = level_ptr_[static_cast<std::size_t>(l) + 1];
+    const auto sweep = [&](Index slo, Index shi, Index /*slot*/) {
+      for (Index si = slo; si < shi; ++si) {
+        const Index s = level_supers_[static_cast<std::size_t>(si)];
+        for (Index i = super_ptr_[static_cast<std::size_t>(s)];
+             i < super_ptr_[static_cast<std::size_t>(s) + 1]; ++i) {
+          Real* wi = w.data() + static_cast<std::size_t>(i) * sb;
+          for (Index q = r_row_ptr_[static_cast<std::size_t>(i)];
+               q < r_row_ptr_[static_cast<std::size_t>(i) + 1]; ++q) {
+            const Real v = r_values_[static_cast<std::size_t>(q)];
+            const Real* wk =
+                w.data() +
+                static_cast<std::size_t>(r_col_idx_[static_cast<std::size_t>(q)]) * sb;
+            for (int c = 0; c < TILE; ++c) wi[c] -= v * wk[c];
+          }
+        }
+      }
+    };
+    if (threads == 1 || hi - lo == 1) {
+      sweep(lo, hi, 0);
+    } else {
+      parallel::parallel_for_slots(lo, hi, threads, sweep);
+    }
+  }
+
+  // Diagonal: D Z = Y. Divides (not multiply-by-reciprocal) to stay
+  // bitwise equal to the scalar path.
+  parallel::parallel_for(0, n_, threads, [&](Index i) {
+    Real* wi = w.data() + static_cast<std::size_t>(i) * sb;
+    const Real dv = d_[static_cast<std::size_t>(i)];
+    for (int c = 0; c < TILE; ++c) wi[c] /= dv;
+  });
+
+  // Backward: Lᵀ X = Z, levels descending, block columns descending
+  // (ancestors inside a block come later in column order).
+  for (Index l = num_levels - 1; l >= 0; --l) {
+    const Index lo = level_ptr_[static_cast<std::size_t>(l)];
+    const Index hi = level_ptr_[static_cast<std::size_t>(l) + 1];
+    const auto sweep = [&](Index slo, Index shi, Index /*slot*/) {
+      for (Index si = slo; si < shi; ++si) {
+        const Index s = level_supers_[static_cast<std::size_t>(si)];
+        for (Index j = super_ptr_[static_cast<std::size_t>(s) + 1] - 1;
+             j >= super_ptr_[static_cast<std::size_t>(s)]; --j) {
+          Real* wj = w.data() + static_cast<std::size_t>(j) * sb;
+          for (Index p = l_col_ptr_[static_cast<std::size_t>(j)];
+               p < l_col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+            const Real v = l_values_[static_cast<std::size_t>(p)];
+            const Real* wi =
+                w.data() +
+                static_cast<std::size_t>(l_row_idx_[static_cast<std::size_t>(p)]) * sb;
+            for (int c = 0; c < TILE; ++c) wj[c] -= v * wi[c];
+          }
+        }
+      }
+    };
+    if (threads == 1 || hi - lo == 1) {
+      sweep(lo, hi, 0);
+    } else {
+      parallel::parallel_for_slots(lo, hi, threads, sweep);
+    }
+  }
+
+  parallel::parallel_for(0, n_, threads, [&](Index i) {
+    const Real* src = w.data() + static_cast<std::size_t>(i) * sb;
+    const Index dst = perm_[static_cast<std::size_t>(i)];
+    for (int c = 0; c < TILE; ++c) x.at(dst, col0 + c) = src[c];
+  });
+}
+
+void CholeskySolver::solve_in_place_block(la::BlockView x,
+                                          Index num_threads) const {
+  SGL_EXPECTS(x.rows == n_, "CholeskySolver::solve_in_place_block: size mismatch");
+  if (x.cols == 0 || n_ == 0) return;
+  // Tile dispatch (8, then 4/2/1 tails — the spmm group pattern): each
+  // tile streams the factor once per sweep with a compile-time-width
+  // inner loop. Columns never interact, so tiling cannot change a bit.
+  std::vector<Real> w;
+  Index g0 = 0;
+  while (g0 < x.cols) {
+    const Index left = x.cols - g0;
+    if (left >= 8) {
+      solve_block_tile<8>(x, g0, num_threads, w);
+      g0 += 8;
+    } else if (left >= 4) {
+      solve_block_tile<4>(x, g0, num_threads, w);
+      g0 += 4;
+    } else if (left >= 2) {
+      solve_block_tile<2>(x, g0, num_threads, w);
+      g0 += 2;
+    } else {
+      solve_block_tile<1>(x, g0, num_threads, w);
+      g0 += 1;
+    }
+  }
 }
 
 }  // namespace sgl::solver

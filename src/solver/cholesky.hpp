@@ -1,8 +1,29 @@
-// Sparse LDLᵀ factorization for symmetric positive definite systems.
+// Sparse LDLᵀ factorization subsystem for symmetric positive definite
+// systems (DESIGN.md §4).
 //
-// Up-looking factorization in the style of the classic LDL algorithm
-// (elimination-tree symbolic analysis + one sparse triangular solve per
-// column), combined with the fill-reducing orderings in ordering.hpp.
+// The factorization is split into an explicit symbolic phase and a
+// level-scheduled numeric phase:
+//
+//   - Symbolic analysis builds the elimination tree of P A Pᵀ (orderings
+//     from ordering.hpp), the full column pattern of L, a row-major
+//     mirror of that pattern for gather-based sweeps, chain-coalesced
+//     column blocks (supernodes: maximal single-child parent chains, so a
+//     tridiagonal chain or the dense trailing triangle of a mesh factor
+//     becomes one block), and level sets over the block tree — blocks in
+//     the same level set share no ancestor/descendant relation and can be
+//     factored or swept concurrently.
+//   - Numeric factorization is left-looking per column, parallel across
+//     the blocks of each level on the common/parallel pool. Each column's
+//     updates are applied in ascending updater order, so the factor is
+//     bit-identical for every thread count.
+//   - Triangular solves come in a scalar flavour (solve / solve_in_place,
+//     the per-column reference path) and a block flavour (solve_block /
+//     solve_in_place_block) that streams the factor's nonzeros ONCE per
+//     block of b right-hand sides with level-parallel sweeps. Both
+//     flavours gather every output element in the same fixed order, so
+//     the block result equals the scalar result bitwise, column by
+//     column, for every thread count.
+//
 // On the ultra-sparse graphs SGL produces (spanning tree + εN extra
 // edges) the factor is essentially linear in N; on 2D meshes nested
 // dissection keeps fill near O(N log N).
@@ -10,47 +31,100 @@
 
 #include <vector>
 
+#include "la/multi_vector.hpp"
 #include "la/sparse.hpp"
 #include "la/vector_ops.hpp"
 #include "solver/ordering.hpp"
 
 namespace sgl::solver {
 
-/// Factorization statistics (for benchmarks and regression tests).
-struct CholeskyStats {
+/// Factorization statistics (benchmarks, regression tests, --verbose).
+struct FactorStats {
   Index n = 0;
-  Index input_nnz = 0;     // nnz of the (full symmetric) input
-  Index factor_nnz = 0;    // nnz of L (strictly lower part)
+  Index input_nnz = 0;   // nnz of the (full symmetric) input
+  Index factor_nnz = 0;  // nnz of L (strictly lower part)
+  /// Chain-coalesced column blocks (supernodes) of the elimination tree.
+  Index num_supernodes = 0;
+  /// Level sets of the block tree; blocks within a level are independent.
+  Index num_levels = 0;
+  /// Widest level (upper bound on exploitable factor/sweep parallelism).
+  Index max_level_supernodes = 0;
   double factor_seconds = 0.0;
 };
+
+/// Historical name from when the struct lived inside the scalar solver.
+using CholeskyStats = FactorStats;
 
 class CholeskySolver {
  public:
   /// Factors the SPD matrix `a` (full symmetric storage) as
-  /// P a Pᵀ = L D Lᵀ. Throws NumericalError if a pivot is ≤ 0
-  /// (matrix not positive definite).
+  /// P a Pᵀ = L D Lᵀ. Throws NumericalError if a pivot is ≤ 0 (matrix not
+  /// positive definite). `num_threads` workers factor the level sets
+  /// (0 = library default, 1 = serial); the factor is bit-identical for
+  /// every value.
   explicit CholeskySolver(const la::CsrMatrix& a,
-                          OrderingMethod ordering = OrderingMethod::kAuto);
+                          OrderingMethod ordering = OrderingMethod::kAuto,
+                          Index num_threads = 0);
 
-  /// Solves a x = b.
+  /// Solves a x = b (scalar reference path).
   [[nodiscard]] la::Vector solve(const la::Vector& b) const;
 
   /// In-place variant reusing caller storage.
   void solve_in_place(la::Vector& x) const;
 
+  /// Solves a X = B for an n × b column block in place: one forward and
+  /// one backward sweep over the factor per block (not per column), with
+  /// level-parallel gathers. Bit-identical to b scalar solve() calls for
+  /// every thread count.
+  void solve_in_place_block(la::BlockView x, Index num_threads = 0) const;
+
+  /// Convenience overload: returns the solved block.
+  [[nodiscard]] la::MultiVector solve_block(la::MultiVector b,
+                                            Index num_threads = 0) const {
+    solve_in_place_block(b.view(), num_threads);
+    return b;
+  }
+
   [[nodiscard]] Index size() const noexcept { return n_; }
-  [[nodiscard]] const CholeskyStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FactorStats& stats() const noexcept { return stats_; }
 
  private:
+  void analyze(const la::CsrMatrix& pa);
+  void factorize(const la::CsrMatrix& pa, Index num_threads);
+  /// Left-looking update of one column onto the dense scratch `w`
+  /// (zeroed outside the column's pattern; restored to zero on return).
+  void factor_column(const la::CsrMatrix& pa, Index j, Real* w);
+  /// Full solve pipeline (gather → L → D → Lᵀ → scatter) for the TILE
+  /// columns [col0, col0 + TILE) of x. The tile width is a compile-time
+  /// constant so the b-wide updates vectorize (same trick as la::spmm).
+  template <int TILE>
+  void solve_block_tile(la::BlockView x, Index col0, Index num_threads,
+                        std::vector<Real>& w) const;
+
   Index n_ = 0;
-  std::vector<Index> perm_;      // perm_[new] = old
-  std::vector<Index> inv_perm_;  // inv_perm_[old] = new
-  // L in compressed-column form (unit diagonal implicit).
+  std::vector<Index> perm_;  // perm_[new] = old
+  // L in compressed-column form (unit diagonal implicit, rows ascending).
   std::vector<Index> l_col_ptr_;
   std::vector<Index> l_row_idx_;
   std::vector<Real> l_values_;
+  // Row-major mirror of L's pattern: row i lists its columns k < i in
+  // ascending order (the updaters of column i / the gather list of the
+  // forward sweep). r_val_pos_[q] is the CSC position of the same entry,
+  // used (and then released) by the numeric phase; r_values_[q] caches
+  // its value so sweeps stream contiguously.
+  std::vector<Index> r_row_ptr_;
+  std::vector<Index> r_col_idx_;
+  std::vector<Index> r_val_pos_;
+  std::vector<Real> r_values_;
+  // Chain-coalesced column blocks: block s = columns
+  // [super_ptr_[s], super_ptr_[s+1]), and their level sets: level l =
+  // level_supers_[level_ptr_[l] .. level_ptr_[l+1]) (ascending block ids
+  // within a level — the deterministic combine order of the level).
+  std::vector<Index> super_ptr_;
+  std::vector<Index> level_ptr_;
+  std::vector<Index> level_supers_;
   la::Vector d_;  // diagonal of D
-  CholeskyStats stats_;
+  FactorStats stats_;
 };
 
 }  // namespace sgl::solver

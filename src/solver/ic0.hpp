@@ -22,6 +22,13 @@ class Ic0Preconditioner final : public Preconditioner {
 
   void apply(const la::Vector& r, la::Vector& z) const override;
 
+  /// Block application: both triangular sweeps stream the IC(0) factor
+  /// once per block of b right-hand sides (row-major scratch, b-wide
+  /// updates) instead of once per column. Each column's sums run in the
+  /// same order as apply(), so the block matches b apply() calls bitwise.
+  void apply_block(la::ConstBlockView r, la::BlockView z,
+                   Index num_threads = 0) const override;
+
   [[nodiscard]] Index size() const noexcept override { return n_; }
 
   /// Diagonal shift that was needed for the factorization (0 for clean

@@ -8,12 +8,11 @@
 
 namespace sgl::solver {
 
-namespace {
-
-/// Reduced Laplacian with the ground row/column deleted. Node i > ground
-/// maps to i − 1 (ground is 0 in this library's convention).
-la::CsrMatrix build_grounded_laplacian(const graph::Graph& g, Index ground) {
+la::CsrMatrix grounded_laplacian(const graph::Graph& g, Index ground) {
   const Index n = g.num_nodes();
+  SGL_EXPECTS(n >= 2, "grounded_laplacian: need at least two nodes");
+  SGL_EXPECTS(ground >= 0 && ground < n,
+              "grounded_laplacian: ground node out of range");
   std::vector<la::Triplet> triplets;
   triplets.reserve(g.edges().size() * 4);
   const auto reduced = [ground](Index v) { return v > ground ? v - 1 : v; };
@@ -30,7 +29,33 @@ la::CsrMatrix build_grounded_laplacian(const graph::Graph& g, Index ground) {
   return la::CsrMatrix::from_triplets(n - 1, n - 1, triplets);
 }
 
-}  // namespace
+const char* laplacian_method_name(LaplacianMethod method) {
+  switch (method) {
+    case LaplacianMethod::kCholesky:
+      return "cholesky";
+    case LaplacianMethod::kPcgJacobi:
+      return "pcg-jacobi";
+    case LaplacianMethod::kPcgIc0:
+      return "pcg-ic0";
+    case LaplacianMethod::kPcgTree:
+      return "pcg-tree";
+    case LaplacianMethod::kPcgAmg:
+      return "pcg-amg";
+    case LaplacianMethod::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<LaplacianMethod> parse_laplacian_method(std::string_view name) {
+  for (const LaplacianMethod m :
+       {LaplacianMethod::kCholesky, LaplacianMethod::kPcgJacobi,
+        LaplacianMethod::kPcgIc0, LaplacianMethod::kPcgTree,
+        LaplacianMethod::kPcgAmg, LaplacianMethod::kAuto}) {
+    if (name == laplacian_method_name(m)) return m;
+  }
+  return std::nullopt;
+}
 
 LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,
                                          const LaplacianSolverOptions& options)
@@ -39,7 +64,7 @@ LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,
   SGL_EXPECTS(graph::is_connected(g),
               "LaplacianPinvSolver: graph must be connected");
 
-  grounded_ = build_grounded_laplacian(g, ground_);
+  grounded_ = grounded_laplacian(g, ground_);
 
   method_ = options.method;
   if (method_ == LaplacianMethod::kAuto) {
@@ -51,9 +76,14 @@ LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,
                                                  : LaplacianMethod::kPcgAmg;
   }
 
+  live_rows_.reserve(static_cast<std::size_t>(n_) - 1);
+  for (Index i = 0; i < n_; ++i)
+    if (i != ground_) live_rows_.push_back(i);
+
   switch (method_) {
     case LaplacianMethod::kCholesky:
-      cholesky_ = std::make_unique<CholeskySolver>(grounded_, options.ordering);
+      cholesky_ = std::make_unique<CholeskySolver>(grounded_, options.ordering,
+                                                   options.num_threads);
       break;
     case LaplacianMethod::kPcgJacobi:
       preconditioner_ = std::make_unique<JacobiPreconditioner>(grounded_);
@@ -126,9 +156,32 @@ void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
               "LaplacianPinvSolver::apply_block: row count mismatch");
   SGL_EXPECTS(y.cols == x.cols,
               "LaplacianPinvSolver::apply_block: column count mismatch");
-  // The b solves are independent applications of one shared factorization
-  // (read-only after construction); each column runs the exact per-column
-  // kernel, so any thread count yields the same block.
+  if (y.cols == 0) return;
+
+  if (method_ == LaplacianMethod::kCholesky) {
+    // Block fast path: hoist the nullspace projection and grounding into
+    // MultiVector kernels, then stream the factor once for the whole
+    // block. Every step sums in the same fixed order as apply_column, so
+    // the block equals b sequential apply() calls bitwise.
+    const la::Vector means = la::column_means(y, num_threads);
+    la::MultiVector bg(n_ - 1, y.cols);
+    la::gather_rows(y, live_rows_, bg.view(), num_threads);
+    la::shift_columns(bg.view(), means, num_threads);
+
+    cholesky_->solve_in_place_block(bg.view(), num_threads);
+    last_pcg_iterations_.store(0, std::memory_order_relaxed);
+
+    // Re-insert the grounded node (zero row) and center: the grounded
+    // solution differs from L⁺y by a multiple of the ones vector.
+    for (Index j = 0; j < x.cols; ++j) x.at(ground_, j) = 0.0;
+    la::scatter_rows(bg.view(), live_rows_, x, num_threads);
+    la::center_columns(x, num_threads);
+    return;
+  }
+
+  // PCG methods: b independent per-column solves over the shared
+  // preconditioner (read-only after construction); each column runs the
+  // exact per-column kernel, so any thread count yields the same block.
   parallel::parallel_for(0, y.cols, num_threads,
                          [&](Index j) { apply_column(y.col(j), x.col(j)); });
 }

@@ -13,6 +13,8 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <string_view>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "la/multi_vector.hpp"
@@ -34,9 +36,26 @@ enum class LaplacianMethod {
   kAuto,
 };
 
+/// Reduced Laplacian of `g` with the `ground` row/column deleted (node
+/// i > ground maps to i − 1) — SPD for connected graphs. The exact matrix
+/// LaplacianPinvSolver factors; exported so tests and benchmarks build
+/// their SPD systems with the production grounding convention.
+[[nodiscard]] la::CsrMatrix grounded_laplacian(const graph::Graph& g,
+                                               Index ground = 0);
+
+/// CLI-facing name of a method ("cholesky", "pcg-jacobi", …, "auto").
+[[nodiscard]] const char* laplacian_method_name(LaplacianMethod method);
+
+/// Inverse of laplacian_method_name; nullopt for unknown names.
+[[nodiscard]] std::optional<LaplacianMethod> parse_laplacian_method(
+    std::string_view name);
+
 struct LaplacianSolverOptions {
   LaplacianMethod method = LaplacianMethod::kAuto;
   OrderingMethod ordering = OrderingMethod::kAuto;
+  /// Worker threads for the numeric factorization (0 = library default,
+  /// 1 = serial). The factor is bit-identical for every value.
+  Index num_threads = 0;
   PcgOptions pcg;
   AmgOptions amg;
 };
@@ -57,12 +76,15 @@ class LaplacianPinvSolver {
 
   /// X = L⁺ Y for an n × b block of right-hand sides — the multi-RHS hot
   /// path. All b solves share this solver's factorization/preconditioner
-  /// (built once at construction) and run column-parallel; each column
-  /// goes through exactly the same arithmetic as apply(), so the block
-  /// result is bit-identical to b sequential apply() calls for every
-  /// thread count. PCG convergence is checked per RHS: the first stalled
-  /// column throws NumericalError. `num_threads`: 0 = library default,
-  /// 1 = serial.
+  /// (built once at construction). On the Cholesky path the whole block
+  /// goes through ONE pair of level-parallel triangular sweeps (the
+  /// factor's nonzeros are streamed once per block, not once per column),
+  /// with grounding gather/scatter and centering hoisted into MultiVector
+  /// kernels; PCG methods run column-parallel. Every output element is
+  /// gathered in the same fixed order as apply(), so the block result is
+  /// bit-identical to b sequential apply() calls for every thread count.
+  /// PCG convergence is checked per RHS: the first stalled column throws
+  /// NumericalError. `num_threads`: 0 = library default, 1 = serial.
   void apply_block(la::ConstBlockView y, la::BlockView x,
                    Index num_threads = 0) const;
 
@@ -82,6 +104,13 @@ class LaplacianPinvSolver {
   /// Method actually selected after kAuto resolution.
   [[nodiscard]] LaplacianMethod method() const noexcept { return method_; }
 
+  /// Factorization statistics (nnz, supernodes, levels, seconds) when the
+  /// resolved method is Cholesky; nullptr for the PCG methods, which hold
+  /// no factor.
+  [[nodiscard]] const FactorStats* factor_stats() const noexcept {
+    return cholesky_ ? &cholesky_->stats() : nullptr;
+  }
+
   /// PCG iterations spent in the most recent apply() (0 for Cholesky).
   /// Under concurrent apply() calls this reports one of the racing solves.
   [[nodiscard]] Index last_pcg_iterations() const noexcept {
@@ -97,6 +126,7 @@ class LaplacianPinvSolver {
   Index ground_ = 0;  // grounded node (index 0 by convention)
   LaplacianMethod method_ = LaplacianMethod::kCholesky;
   la::CsrMatrix grounded_;  // (n−1)×(n−1) SPD reduced Laplacian
+  std::vector<Index> live_rows_;  // the n−1 non-ground node indices
   std::unique_ptr<CholeskySolver> cholesky_;
   std::unique_ptr<Preconditioner> preconditioner_;
   PcgOptions pcg_options_;

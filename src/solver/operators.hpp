@@ -14,7 +14,10 @@
 namespace sgl::solver {
 
 /// L⁺ as a LinearOperator. apply_block batches the right-hand sides
-/// through the solver's shared factorization (multi-RHS solve).
+/// through the solver's shared factorization (multi-RHS solve) — on the
+/// Cholesky path, one pair of block triangular sweeps per batch
+/// (DESIGN.md §4), which is what makes the eigensolver's batched applies
+/// fast.
 class LaplacianPinvOperator final : public la::LinearOperator {
  public:
   /// Keeps a reference to `solver`; it must outlive the operator.

@@ -295,6 +295,32 @@ std::vector<Index> nested_dissection_ordering(const la::CsrMatrix& a) {
   return perm;
 }
 
+const char* ordering_method_name(OrderingMethod method) {
+  switch (method) {
+    case OrderingMethod::kNatural:
+      return "natural";
+    case OrderingMethod::kRcm:
+      return "rcm";
+    case OrderingMethod::kMinimumDegree:
+      return "amd";
+    case OrderingMethod::kNestedDissection:
+      return "nd";
+    case OrderingMethod::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<OrderingMethod> parse_ordering_method(std::string_view name) {
+  for (const OrderingMethod m :
+       {OrderingMethod::kNatural, OrderingMethod::kRcm,
+        OrderingMethod::kMinimumDegree, OrderingMethod::kNestedDissection,
+        OrderingMethod::kAuto}) {
+    if (name == ordering_method_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
 std::vector<Index> compute_ordering(const la::CsrMatrix& a,
                                     OrderingMethod method) {
   switch (method) {

@@ -9,6 +9,8 @@
 //     choice for large 2D meshes where MD's fill grows.
 #pragma once
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "la/sparse.hpp"
@@ -24,6 +26,14 @@ enum class OrderingMethod {
   /// nested dissection otherwise.
   kAuto,
 };
+
+/// CLI-facing name: "natural", "rcm", "amd" (minimum degree), "nd"
+/// (nested dissection), "auto".
+[[nodiscard]] const char* ordering_method_name(OrderingMethod method);
+
+/// Inverse of ordering_method_name; nullopt for unknown names.
+[[nodiscard]] std::optional<OrderingMethod> parse_ordering_method(
+    std::string_view name);
 
 /// Identity permutation.
 [[nodiscard]] std::vector<Index> natural_ordering(Index n);

@@ -1,11 +1,16 @@
 // Preconditioner interface and the simple point preconditioners.
 //
 // A preconditioner approximates A⁻¹ with a fixed symmetric positive
-// definite operator z = M⁻¹ r — the contract PCG requires.
+// definite operator z = M⁻¹ r — the contract PCG requires. The batched
+// apply_block is the seam for a future block-PCG: the default routes
+// column by column through apply(), and the sweep-based preconditioners
+// (IC(0), spanning tree) override it with true block sweeps that stream
+// their factors once per block.
 #pragma once
 
 #include <memory>
 
+#include "la/multi_vector.hpp"
 #include "la/sparse.hpp"
 #include "la/vector_ops.hpp"
 
@@ -17,6 +22,13 @@ class Preconditioner {
 
   /// z = M⁻¹ r. `z` is resized as needed.
   virtual void apply(const la::Vector& r, la::Vector& z) const = 0;
+
+  /// Z = M⁻¹ R for an n × b block. The base implementation runs the b
+  /// columns through apply() column-parallel (`num_threads`: 0 = library
+  /// default, 1 = serial); every override must keep each column bitwise
+  /// equal to apply() for every thread count.
+  virtual void apply_block(la::ConstBlockView r, la::BlockView z,
+                           Index num_threads = 0) const;
 
   /// Problem dimension.
   [[nodiscard]] virtual Index size() const noexcept = 0;

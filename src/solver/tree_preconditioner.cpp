@@ -1,5 +1,8 @@
 #include "solver/tree_preconditioner.hpp"
 
+#include <vector>
+
+#include "common/parallel.hpp"
 #include "graph/components.hpp"
 #include "graph/mst.hpp"
 
@@ -89,6 +92,49 @@ void TreePreconditioner::apply(const la::Vector& r, la::Vector& z) const {
           e.weight * z[static_cast<std::size_t>(e.parent)];
     }
   }
+}
+
+void TreePreconditioner::apply_block(la::ConstBlockView r, la::BlockView z,
+                                     Index num_threads) const {
+  SGL_EXPECTS(r.rows == n_ && z.rows == n_,
+              "TreePreconditioner::apply_block: row count mismatch");
+  SGL_EXPECTS(r.cols == z.cols,
+              "TreePreconditioner::apply_block: column count mismatch");
+  const Index b = r.cols;
+  if (b == 0 || n_ == 0) return;
+  const std::size_t sb = static_cast<std::size_t>(b);
+
+  // Row-major scratch so each elimination entry updates one contiguous
+  // b-strip; the three passes mirror apply() exactly, b-wide.
+  std::vector<Real> w(static_cast<std::size_t>(n_) * sb);
+  parallel::parallel_for(0, n_, num_threads, [&](Index i) {
+    Real* wi = w.data() + static_cast<std::size_t>(i) * sb;
+    for (Index c = 0; c < b; ++c) wi[c] = r.at(i, c);
+  });
+
+  for (const Elimination& e : elimination_) {
+    if (e.parent == kInvalidIndex) continue;
+    Real* wp = w.data() + static_cast<std::size_t>(e.parent) * sb;
+    const Real* wn = w.data() + static_cast<std::size_t>(e.node) * sb;
+    for (Index c = 0; c < b; ++c) wp[c] -= e.weight * wn[c];
+  }
+  for (Index i = 0; i < n_; ++i) {
+    Real* wi = w.data() + static_cast<std::size_t>(i) * sb;
+    const Real d = diag_[static_cast<std::size_t>(i)];
+    for (Index c = 0; c < b; ++c) wi[c] /= d;
+  }
+  for (std::size_t i = elimination_.size(); i-- > 0;) {
+    const Elimination& e = elimination_[i];
+    if (e.parent == kInvalidIndex) continue;
+    Real* wn = w.data() + static_cast<std::size_t>(e.node) * sb;
+    const Real* wp = w.data() + static_cast<std::size_t>(e.parent) * sb;
+    for (Index c = 0; c < b; ++c) wn[c] -= e.weight * wp[c];
+  }
+
+  parallel::parallel_for(0, n_, num_threads, [&](Index i) {
+    const Real* wi = w.data() + static_cast<std::size_t>(i) * sb;
+    for (Index c = 0; c < b; ++c) z.at(i, c) = wi[c];
+  });
 }
 
 }  // namespace sgl::solver

@@ -25,6 +25,12 @@ class TreePreconditioner final : public Preconditioner {
   /// z = T⁻¹ r via one leaf-to-root and one root-to-leaf sweep.
   void apply(const la::Vector& r, la::Vector& z) const override;
 
+  /// Block application: one leaf-to-root and one root-to-leaf sweep over
+  /// the elimination list per block of b right-hand sides (b-wide
+  /// updates on row-major scratch), bitwise equal to b apply() calls.
+  void apply_block(la::ConstBlockView r, la::BlockView z,
+                   Index num_threads = 0) const override;
+
   [[nodiscard]] Index size() const noexcept override { return n_; }
 
   /// Number of tree edges (n − 1 for connected graphs).

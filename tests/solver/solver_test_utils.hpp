@@ -1,0 +1,24 @@
+// Shared helpers for the solver test modules. The grounded SPD systems
+// come from the production solver::grounded_laplacian (re-exported by the
+// include below), so tests always factor the exact matrix the library
+// factors.
+#pragma once
+
+#include "common/rng.hpp"
+#include "la/multi_vector.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace sgl::solver {
+
+/// Seeded dense right-hand-side block (columns filled in order, so the
+/// values are reproducible across tests and thread counts).
+inline la::MultiVector random_block_rhs(Index rows, Index cols,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  la::MultiVector b(rows, cols);
+  for (Index j = 0; j < cols; ++j)
+    for (Real& v : b.col(j)) v = rng.normal();
+  return b;
+}
+
+}  // namespace sgl::solver

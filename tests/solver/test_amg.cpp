@@ -5,22 +5,10 @@
 #include "graph/generators.hpp"
 #include "solver/amg.hpp"
 #include "solver/pcg.hpp"
+#include "solver_test_utils.hpp"
 
 namespace sgl::solver {
 namespace {
-
-la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
-  std::vector<la::Triplet> t;
-  for (const graph::Edge& e : g.edges()) {
-    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
-    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
-    if (e.s != 0 && e.t != 0) {
-      t.push_back({e.s - 1, e.t - 1, -e.weight});
-      t.push_back({e.t - 1, e.s - 1, -e.weight});
-    }
-  }
-  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
-}
 
 TEST(Amg, BuildsMultipleLevelsOnLargeGrid) {
   const la::CsrMatrix a = grounded_laplacian(graph::make_grid2d(40, 40).graph);

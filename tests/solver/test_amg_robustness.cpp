@@ -6,22 +6,10 @@
 #include "graph/mst.hpp"
 #include "solver/amg.hpp"
 #include "solver/pcg.hpp"
+#include "solver_test_utils.hpp"
 
 namespace sgl::solver {
 namespace {
-
-la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
-  std::vector<la::Triplet> t;
-  for (const graph::Edge& e : g.edges()) {
-    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
-    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
-    if (e.s != 0 && e.t != 0) {
-      t.push_back({e.s - 1, e.t - 1, -e.weight});
-      t.push_back({e.t - 1, e.s - 1, -e.weight});
-    }
-  }
-  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
-}
 
 /// Anisotropic grid: strong couplings along x, weak along y — the classic
 /// stress test for strength-of-connection heuristics.

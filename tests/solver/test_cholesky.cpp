@@ -4,23 +4,10 @@
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "solver/cholesky.hpp"
+#include "solver_test_utils.hpp"
 
 namespace sgl::solver {
 namespace {
-
-/// Grounded Laplacian (node 0 removed) of a graph — SPD when connected.
-la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
-  std::vector<la::Triplet> t;
-  for (const graph::Edge& e : g.edges()) {
-    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
-    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
-    if (e.s != 0 && e.t != 0) {
-      t.push_back({e.s - 1, e.t - 1, -e.weight});
-      t.push_back({e.t - 1, e.s - 1, -e.weight});
-    }
-  }
-  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
-}
 
 la::CsrMatrix random_spd(Index n, Real density, std::uint64_t seed) {
   Rng rng(seed);
@@ -107,6 +94,44 @@ TEST(Cholesky, StatsAreFilled) {
   EXPECT_EQ(solver.stats().n, a.rows());
   EXPECT_EQ(solver.stats().input_nnz, a.nnz());
   EXPECT_GT(solver.stats().factor_nnz, 0);
+  EXPECT_GT(solver.stats().num_supernodes, 0);
+  EXPECT_GT(solver.stats().num_levels, 0);
+  EXPECT_GE(solver.stats().num_supernodes, solver.stats().num_levels);
+  EXPECT_GE(solver.stats().max_level_supernodes, 1);
+  EXPECT_GE(solver.stats().factor_seconds, 0.0);
+}
+
+TEST(Cholesky, PathChainCoalescesToOneBlock) {
+  // The grounded path under the natural ordering factors as one
+  // tridiagonal chain: every column's single child is its predecessor, so
+  // chain coalescing folds the whole elimination tree into one column
+  // block at one level (no spurious n-deep level schedule).
+  const la::CsrMatrix a = grounded_laplacian(graph::make_path(64));
+  const CholeskySolver solver(a, OrderingMethod::kNatural);
+  EXPECT_EQ(solver.stats().num_supernodes, 1);
+  EXPECT_EQ(solver.stats().num_levels, 1);
+  EXPECT_EQ(solver.stats().max_level_supernodes, 1);
+}
+
+TEST(Cholesky, DiagonalMatrixIsOneLevelWide) {
+  // No off-diagonals → the elimination "tree" is a forest of roots: n
+  // singleton blocks, all independent, in a single level of width n.
+  std::vector<la::Triplet> t;
+  for (Index i = 0; i < 10; ++i) t.push_back({i, i, 2.0 + i});
+  const la::CsrMatrix a = la::CsrMatrix::from_triplets(10, 10, t);
+  const CholeskySolver solver(a, OrderingMethod::kNatural);
+  EXPECT_EQ(solver.stats().num_supernodes, 10);
+  EXPECT_EQ(solver.stats().num_levels, 1);
+  EXPECT_EQ(solver.stats().max_level_supernodes, 10);
+}
+
+TEST(Cholesky, GridHasParallelLevels) {
+  // A fill-reducing ordering of a mesh produces a bushy elimination tree:
+  // several blocks per level and more than one level.
+  const la::CsrMatrix a = grounded_laplacian(graph::make_grid2d(15, 15).graph);
+  const CholeskySolver solver(a, OrderingMethod::kMinimumDegree);
+  EXPECT_GT(solver.stats().num_levels, 1);
+  EXPECT_GT(solver.stats().max_level_supernodes, 1);
 }
 
 TEST(Cholesky, MinimumDegreeFillNoWorseThanNaturalOnGrid) {
@@ -142,6 +167,75 @@ TEST(Cholesky, WrongRhsSizeThrows) {
   const la::CsrMatrix a = la::CsrMatrix::identity(3);
   const CholeskySolver solver(a);
   EXPECT_THROW(solver.solve({1.0}), ContractViolation);
+  la::MultiVector wrong(2, 2);
+  EXPECT_THROW(solver.solve_in_place_block(wrong.view()), ContractViolation);
+}
+
+class CholeskyBlockSweep : public ::testing::TestWithParam<OrderingMethod> {};
+
+TEST_P(CholeskyBlockSweep, SolveBlockMatchesScalarSolveBitwise) {
+  // The block sweeps gather every output element in the same fixed order
+  // as the scalar reference path, so each block column must equal the
+  // per-column solve bit for bit — on a mesh and on an irregular SPD
+  // matrix, under every ordering.
+  const la::CsrMatrix mesh = grounded_laplacian(graph::make_grid2d(9, 11).graph);
+  const la::CsrMatrix rand = random_spd(60, 0.12, 321);
+  for (const la::CsrMatrix* a : {&mesh, &rand}) {
+    const CholeskySolver solver(*a, GetParam());
+    const la::MultiVector b = random_block_rhs(a->rows(), 7, 55);
+    const la::MultiVector x = solver.solve_block(b, 1);
+    for (Index j = 0; j < b.cols(); ++j) {
+      const la::Vector ref =
+          solver.solve(la::Vector(b.col(j).begin(), b.col(j).end()));
+      for (Index i = 0; i < a->rows(); ++i)
+        EXPECT_EQ(x(i, j), ref[static_cast<std::size_t>(i)])
+            << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, CholeskyBlockSweep,
+                         ::testing::Values(OrderingMethod::kNatural,
+                                           OrderingMethod::kRcm,
+                                           OrderingMethod::kMinimumDegree,
+                                           OrderingMethod::kNestedDissection,
+                                           OrderingMethod::kAuto));
+
+TEST(Cholesky, SolveBlockBitIdenticalAcrossThreadCounts) {
+  // 300 nodes clears the serial-dispatch floor, so threads > 1 really
+  // schedule the level sets on the pool.
+  const la::CsrMatrix a = grounded_laplacian(graph::make_grid2d(20, 15).graph);
+  const CholeskySolver solver(a, OrderingMethod::kMinimumDegree);
+  const la::MultiVector b = random_block_rhs(a.rows(), 8, 77);
+  const la::MultiVector serial = solver.solve_block(b, 1);
+  for (const Index threads : {2, 4, 8}) {
+    const la::MultiVector threaded = solver.solve_block(b, threads);
+    EXPECT_EQ(serial.data(), threaded.data()) << "threads=" << threads;
+  }
+}
+
+TEST(Cholesky, FactorBitIdenticalAcrossThreadCounts) {
+  // The level-scheduled numeric factorization applies each column's
+  // updates in a fixed order, so the factor — observed through solves —
+  // must be bit-identical for every worker count.
+  const la::CsrMatrix a = grounded_laplacian(graph::make_grid2d(18, 18).graph);
+  const CholeskySolver reference(a, OrderingMethod::kMinimumDegree, 1);
+  la::Vector rhs(static_cast<std::size_t>(a.rows()));
+  Rng rng(88);
+  for (Real& v : rhs) v = rng.normal();
+  const la::Vector expected = reference.solve(rhs);
+  for (const Index threads : {2, 4, 8}) {
+    const CholeskySolver solver(a, OrderingMethod::kMinimumDegree, threads);
+    EXPECT_EQ(solver.solve(rhs), expected) << "threads=" << threads;
+  }
+}
+
+TEST(Cholesky, SolveBlockEmptyBlockIsNoOp) {
+  const la::CsrMatrix a = la::CsrMatrix::identity(4);
+  const CholeskySolver solver(a);
+  la::MultiVector empty(4, 0);
+  solver.solve_in_place_block(empty.view());  // must not touch anything
+  EXPECT_EQ(empty.cols(), 0);
 }
 
 }  // namespace

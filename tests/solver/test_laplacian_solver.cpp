@@ -1,6 +1,10 @@
 // Unit tests for the Laplacian pseudo-inverse facade.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "solver/laplacian_solver.hpp"
@@ -110,6 +114,75 @@ INSTANTIATE_TEST_SUITE_P(Methods, LaplacianMethodSweep,
                                            LaplacianMethod::kPcgAmg,
                                            LaplacianMethod::kAuto));
 
+// --- Solver-method agreement across graph families ----------------------
+// Every method must produce the same L⁺ action — via apply() and via
+// apply_block() — on a path, a mesh, and a torus, within 1e-8 of the
+// Cholesky reference.
+
+struct MethodGraphCase {
+  LaplacianMethod method;
+  const char* graph;
+};
+
+graph::Graph agreement_graph(const std::string& name) {
+  if (name == "path") return graph::make_path(60);
+  if (name == "mesh") return graph::make_grid2d(9, 9).graph;
+  return graph::make_grid2d(8, 8, /*periodic=*/true).graph;  // torus
+}
+
+class MethodGraphAgreement
+    : public ::testing::TestWithParam<MethodGraphCase> {};
+
+TEST_P(MethodGraphAgreement, ApplyAndApplyBlockMatchCholeskyReference) {
+  const graph::Graph g = agreement_graph(GetParam().graph);
+  LaplacianSolverOptions options;
+  options.method = GetParam().method;
+  const LaplacianPinvSolver pinv(g, options);
+
+  LaplacianSolverOptions reference_options;
+  reference_options.method = LaplacianMethod::kCholesky;
+  const LaplacianPinvSolver reference(g, reference_options);
+
+  Rng rng(3);
+  la::DenseMatrix y(g.num_nodes(), 4);
+  for (Index j = 0; j < y.cols(); ++j) {
+    for (Real& v : y.col(j)) v = rng.normal();
+  }
+  const la::DenseMatrix block = pinv.apply_block(y, 1);
+  for (Index j = 0; j < y.cols(); ++j) {
+    const la::Vector single = pinv.apply(y.col_vector(j));
+    const la::Vector ref = reference.apply(y.col_vector(j));
+    for (Index i = 0; i < g.num_nodes(); ++i) {
+      EXPECT_NEAR(single[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(i)], 1e-8)
+          << GetParam().graph << " apply col " << j;
+      EXPECT_NEAR(block(i, j), ref[static_cast<std::size_t>(i)], 1e-8)
+          << GetParam().graph << " apply_block col " << j;
+    }
+  }
+}
+
+std::vector<MethodGraphCase> method_graph_cases() {
+  std::vector<MethodGraphCase> cases;
+  for (const LaplacianMethod m :
+       {LaplacianMethod::kCholesky, LaplacianMethod::kPcgJacobi,
+        LaplacianMethod::kPcgIc0, LaplacianMethod::kPcgTree,
+        LaplacianMethod::kPcgAmg, LaplacianMethod::kAuto}) {
+    for (const char* g : {"path", "mesh", "torus"}) cases.push_back({m, g});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsByGraph, MethodGraphAgreement,
+    ::testing::ValuesIn(method_graph_cases()),
+    [](const ::testing::TestParamInfo<MethodGraphCase>& info) {
+      std::string name = std::string(laplacian_method_name(info.param.method)) +
+                         "_" + info.param.graph;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
 TEST(LaplacianSolver, DisconnectedGraphThrows) {
   graph::Graph g(4);
   g.add_edge(0, 1);
@@ -193,6 +266,68 @@ TEST(LaplacianSolver, ApplyBlockPropagatesPcgFailurePerRhs) {
   for (Index j = 0; j < 4; ++j)
     for (Real& v : y.col(j)) v = rng.normal();
   EXPECT_THROW((void)pinv.apply_block(y, 2), NumericalError);
+}
+
+TEST(LaplacianSolver, ApplyBlockMatchesPerColumnWithin1e12Relative) {
+  // Acceptance bound of the block refactor: the block sweep result stays
+  // within 1e-12 relative error of the retained per-column reference path
+  // (in fact it is bitwise equal; this guards the documented contract).
+  const graph::Graph g = graph::make_grid2d(12, 11).graph;
+  LaplacianSolverOptions options;
+  options.method = LaplacianMethod::kCholesky;
+  const LaplacianPinvSolver pinv(g, options);
+  Rng rng(21);
+  la::DenseMatrix y(g.num_nodes(), 16);
+  for (Index j = 0; j < y.cols(); ++j)
+    for (Real& v : y.col(j)) v = rng.normal();
+  const la::DenseMatrix x = pinv.apply_block(y, 1);
+  for (Index j = 0; j < y.cols(); ++j) {
+    const la::Vector ref = pinv.apply(y.col_vector(j));
+    Real ref_norm = 0.0;
+    for (const Real v : ref) ref_norm += v * v;
+    ref_norm = std::sqrt(ref_norm);
+    for (Index i = 0; i < g.num_nodes(); ++i) {
+      EXPECT_LE(std::abs(x(i, j) - ref[static_cast<std::size_t>(i)]),
+                1e-12 * ref_norm)
+          << "col " << j;
+    }
+  }
+}
+
+TEST(LaplacianSolver, FactorStatsExposedForCholesky) {
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  LaplacianSolverOptions options;
+  options.method = LaplacianMethod::kCholesky;
+  const LaplacianPinvSolver pinv(g, options);
+  const FactorStats* stats = pinv.factor_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->n, g.num_nodes() - 1);
+  EXPECT_GT(stats->factor_nnz, 0);
+  EXPECT_GT(stats->num_supernodes, 0);
+  EXPECT_GT(stats->num_levels, 0);
+  EXPECT_GE(stats->factor_seconds, 0.0);
+}
+
+TEST(LaplacianSolver, FactorStatsNullForPcgMethods) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  LaplacianSolverOptions options;
+  options.method = LaplacianMethod::kPcgJacobi;
+  const LaplacianPinvSolver pinv(g, options);
+  EXPECT_EQ(pinv.factor_stats(), nullptr);
+}
+
+TEST(LaplacianSolver, MethodNamesRoundTrip) {
+  for (const LaplacianMethod m :
+       {LaplacianMethod::kCholesky, LaplacianMethod::kPcgJacobi,
+        LaplacianMethod::kPcgIc0, LaplacianMethod::kPcgTree,
+        LaplacianMethod::kPcgAmg, LaplacianMethod::kAuto}) {
+    const auto parsed = parse_laplacian_method(laplacian_method_name(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(parse_laplacian_method("lu").has_value());
+  EXPECT_FALSE(parse_laplacian_method("").has_value());
+  EXPECT_FALSE(parse_laplacian_method("Cholesky").has_value());
 }
 
 TEST(LaplacianSolver, PcgIterationCountExposed) {

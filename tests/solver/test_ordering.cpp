@@ -16,6 +16,20 @@ bool is_permutation_of_n(const std::vector<Index>& p, Index n) {
   return to_index(s.size()) == n && *s.begin() == 0 && *s.rbegin() == n - 1;
 }
 
+TEST(Ordering, MethodNamesRoundTrip) {
+  for (const OrderingMethod m :
+       {OrderingMethod::kNatural, OrderingMethod::kRcm,
+        OrderingMethod::kMinimumDegree, OrderingMethod::kNestedDissection,
+        OrderingMethod::kAuto}) {
+    const auto parsed = parse_ordering_method(ordering_method_name(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(parse_ordering_method("metis").has_value());
+  EXPECT_FALSE(parse_ordering_method("").has_value());
+  EXPECT_FALSE(parse_ordering_method("AMD").has_value());
+}
+
 TEST(Ordering, NaturalIsIdentity) {
   const auto p = natural_ordering(4);
   EXPECT_EQ(p, (std::vector<Index>{0, 1, 2, 3}));

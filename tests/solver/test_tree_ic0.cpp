@@ -7,22 +7,10 @@
 #include "solver/ic0.hpp"
 #include "solver/pcg.hpp"
 #include "solver/tree_preconditioner.hpp"
+#include "solver_test_utils.hpp"
 
 namespace sgl::solver {
 namespace {
-
-la::CsrMatrix grounded_laplacian(const graph::Graph& g) {
-  std::vector<la::Triplet> t;
-  for (const graph::Edge& e : g.edges()) {
-    if (e.s != 0) t.push_back({e.s - 1, e.s - 1, e.weight});
-    if (e.t != 0) t.push_back({e.t - 1, e.t - 1, e.weight});
-    if (e.s != 0 && e.t != 0) {
-      t.push_back({e.s - 1, e.t - 1, -e.weight});
-      t.push_back({e.t - 1, e.s - 1, -e.weight});
-    }
-  }
-  return la::CsrMatrix::from_triplets(g.num_nodes() - 1, g.num_nodes() - 1, t);
-}
 
 // --- TreePreconditioner -------------------------------------------------
 
@@ -167,6 +155,53 @@ TEST(Ic0, WorksOnWeightedCircuitGrid) {
 TEST(Ic0, NonSquareThrows) {
   const la::CsrMatrix rect = la::CsrMatrix::from_triplets(2, 3, {{0, 0, 1.0}});
   EXPECT_THROW(Ic0Preconditioner{rect}, ContractViolation);
+}
+
+// --- apply_block (the block-PCG seam) ------------------------------------
+
+/// Every apply_block column must equal the per-column apply() bitwise,
+/// for every thread count.
+void expect_block_matches_apply(const Preconditioner& m, std::uint64_t seed) {
+  const la::MultiVector r = random_block_rhs(m.size(), 5, seed);
+  la::MultiVector z(m.size(), 5);
+  for (const Index threads : {1, 2, 4, 8}) {
+    m.apply_block(r.view(), z.view(), threads);
+    for (Index j = 0; j < r.cols(); ++j) {
+      la::Vector rj(r.col(j).begin(), r.col(j).end());
+      la::Vector ref;
+      m.apply(rj, ref);
+      for (Index i = 0; i < m.size(); ++i)
+        EXPECT_EQ(z(i, j), ref[static_cast<std::size_t>(i)])
+            << "threads=" << threads << " col=" << j;
+    }
+  }
+}
+
+TEST(Ic0, ApplyBlockMatchesApplyBitwise) {
+  const la::CsrMatrix a =
+      grounded_laplacian(graph::make_grid2d(11, 9).graph);
+  expect_block_matches_apply(Ic0Preconditioner(a), 31);
+}
+
+TEST(TreePreconditioner, ApplyBlockMatchesApplyBitwise) {
+  expect_block_matches_apply(
+      TreePreconditioner(graph::make_grid2d(10, 10).graph), 32);
+}
+
+TEST(Preconditioner, DefaultApplyBlockMatchesApplyBitwise) {
+  // Jacobi and SGS exercise the base-class column-parallel fallback.
+  const la::CsrMatrix a =
+      grounded_laplacian(graph::make_grid2d(9, 8).graph);
+  expect_block_matches_apply(JacobiPreconditioner(a), 33);
+  expect_block_matches_apply(SgsPreconditioner(a), 34);
+}
+
+TEST(Preconditioner, ApplyBlockShapeContracts) {
+  const la::CsrMatrix a = grounded_laplacian(graph::make_path(6));
+  const Ic0Preconditioner ic0(a);
+  la::MultiVector r(4, 2);  // wrong row count
+  la::MultiVector z(5, 2);
+  EXPECT_THROW(ic0.apply_block(r.view(), z.view()), ContractViolation);
 }
 
 class PreconditionerQualityOrder : public ::testing::Test {};

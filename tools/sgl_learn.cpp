@@ -58,8 +58,13 @@ void usage() {
       "  --noise <real>  relative voltage noise     (default 0)\n"
       "  --refine        stagewise weight polish    (off by default)\n"
       "  --seed <int>    measurement RNG seed       (default 2021)\n"
+      "  --solver <name> Laplacian solver: auto, cholesky, pcg-jacobi,\n"
+      "                  pcg-ic0, pcg-tree, pcg-amg  (default auto)\n"
+      "  --ordering <name> factorization ordering: auto, amd, rcm, nd,\n"
+      "                  natural                     (default auto)\n"
       "  --threads <int> worker threads; 0 = SGL_NUM_THREADS or hardware\n"
       "                  (results are identical for any thread count)\n"
+      "  --verbose       print solver/factorization statistics\n"
       "  --quiet         suppress per-iteration log");
 }
 
@@ -67,8 +72,9 @@ void usage() {
 
 int main(int argc, char** argv) {
   static constexpr const char* kValueOptions[] = {
-      "voltages", "currents", "graph",  "measurements", "out",  "k",
-      "r",        "beta",     "tol",    "noise",        "seed", "threads"};
+      "voltages", "currents", "graph",   "measurements", "out",
+      "k",        "r",        "beta",    "tol",          "noise",
+      "seed",     "threads",  "solver",  "ordering"};
   CliArgs args;
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
@@ -78,7 +84,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     key.erase(0, 2);
-    if (key == "refine" || key == "quiet" || key == "help") {
+    if (key == "refine" || key == "quiet" || key == "verbose" ||
+        key == "help") {
       args.kv[key] = "1";
       continue;
     }
@@ -103,6 +110,24 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Strict option policy (PR 1): unknown --solver/--ordering values are
+  // rejected up front instead of being silently mapped to a default.
+  const auto method = solver::parse_laplacian_method(args.str("solver", "auto"));
+  if (!method) {
+    std::fprintf(stderr, "unknown --solver '%s'\n",
+                 args.str("solver").c_str());
+    usage();
+    return 2;
+  }
+  const auto ordering =
+      solver::parse_ordering_method(args.str("ordering", "auto"));
+  if (!ordering) {
+    std::fprintf(stderr, "unknown --ordering '%s'\n",
+                 args.str("ordering").c_str());
+    usage();
+    return 2;
+  }
+
   try {
     la::DenseMatrix x;
     la::DenseMatrix y;
@@ -117,6 +142,8 @@ int main(int argc, char** argv) {
           static_cast<Index>(args.num("measurements", 100));
       mopt.seed = static_cast<std::uint64_t>(args.num("seed", 2021));
       mopt.num_threads = static_cast<Index>(args.num("threads", 0));
+      mopt.solver.method = *method;
+      mopt.solver.ordering = *ordering;
       const measure::Measurements data = measure::generate_measurements(g, mopt);
       x = data.voltages;
       y = data.currents;
@@ -148,6 +175,12 @@ int main(int argc, char** argv) {
     config.beta = args.num("beta", 1e-3);
     config.tolerance = args.num("tol", 1e-12);
     config.num_threads = static_cast<Index>(args.num("threads", 0));
+    config.solver.method = *method;
+    config.solver.ordering = *ordering;
+    // The learner inherits this internally, but the --verbose stats
+    // factorization below uses config.solver directly, so wire the
+    // thread knob here too.
+    config.solver.num_threads = config.num_threads;
     if (!args.has("quiet")) {
       config.observer = [](Index it, Real smax, Index added) {
         std::printf("  iter %3d  smax %.3e  +%d edges\n", it, smax, added);
@@ -162,6 +195,23 @@ int main(int argc, char** argv) {
                 result.learned.num_edges(), result.learned.density(),
                 result.iterations, result.converged ? "yes" : "no",
                 result.knn_seconds, result.learn_seconds);
+
+    if (args.has("verbose")) {
+      // Surface the solver the learned graph's Laplacian resolves to,
+      // plus the factorization statistics of the refactored backbone.
+      const solver::LaplacianPinvSolver pinv(result.learned, config.solver);
+      std::printf("solver: %s (requested %s, ordering %s)\n",
+                  solver::laplacian_method_name(pinv.method()),
+                  solver::laplacian_method_name(*method),
+                  solver::ordering_method_name(*ordering));
+      if (const solver::FactorStats* fs = pinv.factor_stats()) {
+        std::printf(
+            "factor: n=%d nnz=%d supernodes=%d levels=%d "
+            "(widest level %d) in %.4fs\n",
+            fs->n, fs->factor_nnz, fs->num_supernodes, fs->num_levels,
+            fs->max_level_supernodes, fs->factor_seconds);
+      }
+    }
 
     graph::Graph learned = result.learned;
     if (args.has("refine")) {
