@@ -195,6 +195,23 @@ void block_axpy(const Vector& alpha, ConstBlockView x, BlockView y,
   });
 }
 
+void block_xpby(ConstBlockView x, const Vector& beta, BlockView y,
+                Index num_threads) {
+  SGL_EXPECTS(to_index(beta.size()) == x.cols,
+              "block_xpby: coefficient count mismatch");
+  SGL_EXPECTS(x.rows == y.rows && x.cols == y.cols,
+              "block_xpby: shape mismatch");
+  const Index threads = x.rows < kSerialRows ? 1 : num_threads;
+  parallel::parallel_for(0, x.cols, threads, [&](Index j) {
+    const Real b = beta[static_cast<std::size_t>(j)];
+    const std::span<const Real> xj = x.col(j);
+    const std::span<Real> yj = y.col(j);
+    for (Index i = 0; i < x.rows; ++i)
+      yj[static_cast<std::size_t>(i)] =
+          xj[static_cast<std::size_t>(i)] + b * yj[static_cast<std::size_t>(i)];
+  });
+}
+
 Vector column_dots(ConstBlockView x, ConstBlockView y, Index num_threads) {
   SGL_EXPECTS(x.rows == y.rows && x.cols == y.cols,
               "column_dots: shape mismatch");

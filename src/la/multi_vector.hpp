@@ -195,6 +195,13 @@ void block_subtract(BlockView w, ConstBlockView v, const DenseMatrix& c,
 void block_axpy(const Vector& alpha, ConstBlockView x, BlockView y,
                 Index num_threads = 0);
 
+/// y_j = x_j + beta_j y_j for every column j — the PCG search-direction
+/// update (p ← z + β p) batched over a live column set. Each element is
+/// one multiply-add in the same order as the scalar loop, so a column's
+/// result is bitwise independent of the block composition. Column-parallel.
+void block_xpby(ConstBlockView x, const Vector& beta, BlockView y,
+                Index num_threads = 0);
+
 /// Columnwise dot products <x_j, y_j>.
 [[nodiscard]] Vector column_dots(ConstBlockView x, ConstBlockView y,
                                  Index num_threads = 0);

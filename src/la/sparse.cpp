@@ -83,19 +83,8 @@ Real CsrMatrix::at(Index i, Index j) const {
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
 }
 
-namespace {
-
-/// Rows below which SpMV / transposed SpMV stay serial: pool dispatch
-/// costs more than the loop. A scheduling threshold only — above it the
-/// gather kernel computes identical values, and the scatter kernel's
-/// chunking depends only on the matrix shape.
-constexpr Index kSpmvSerialRows = 4096;
-
-/// Fixed chunk count for the transposed-scatter reduction; depends on
-/// nothing but this constant so results never vary with the thread count.
-constexpr Index kSpmvTransposeChunks = 32;
-
-}  // namespace
+using detail::kSpmvSerialRows;
+using detail::kSpmvTransposeChunks;
 
 void CsrMatrix::multiply(const Vector& x, Vector& y, Index num_threads) const {
   SGL_EXPECTS(to_index(x.size()) == cols_, "multiply: size mismatch");
@@ -154,6 +143,61 @@ Vector CsrMatrix::multiply_transposed(const Vector& x, Index num_threads) const 
   }
   return y;
 }
+
+namespace detail {
+
+void spmm_transposed_row_major(const CsrMatrix& a, const Real* x, Real* y,
+                               Index b, Index num_threads) {
+  const Index rows = a.rows();
+  const Index cols = a.cols();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const std::size_t sb = static_cast<std::size_t>(b);
+  std::fill(y, y + static_cast<std::size_t>(cols) * sb, 0.0);
+
+  // b-wide mirror of CsrMatrix::multiply_transposed's scatter_rows: rows
+  // ascending, per-(row, column) zero skip, additions per output entry in
+  // global row order.
+  const auto scatter_rows = [&](Index lo, Index hi, Real* out) {
+    for (Index i = lo; i < hi; ++i) {
+      const Real* xi = x + static_cast<std::size_t>(i) * sb;
+      for (Index k = row_ptr[static_cast<std::size_t>(i)];
+           k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const Real v = values[static_cast<std::size_t>(k)];
+        Real* oc =
+            out + static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]) * sb;
+        for (Index c = 0; c < b; ++c) {
+          const Real xic = xi[static_cast<std::size_t>(c)];
+          if (xic == 0.0) continue;
+          oc[static_cast<std::size_t>(c)] += v * xic;
+        }
+      }
+    }
+  };
+
+  if (rows < kSpmvSerialRows) {
+    scatter_rows(0, rows, y);
+    return;
+  }
+  // Chunked scatter, combined in fixed chunk order — the same chunk
+  // boundaries as the scalar path, so block ≡ scalar per column bitwise.
+  const Index chunk = (rows + kSpmvTransposeChunks - 1) / kSpmvTransposeChunks;
+  const Index num_chunks = (rows + chunk - 1) / chunk;
+  std::vector<std::vector<Real>> partial(static_cast<std::size_t>(num_chunks));
+  parallel::parallel_for(0, num_chunks, num_threads, [&](Index ck) {
+    std::vector<Real>& local = partial[static_cast<std::size_t>(ck)];
+    local.assign(static_cast<std::size_t>(cols) * sb, 0.0);
+    const Index lo = ck * chunk;
+    scatter_rows(lo, std::min(rows, lo + chunk), local.data());
+  });
+  for (Index ck = 0; ck < num_chunks; ++ck) {
+    const std::vector<Real>& local = partial[static_cast<std::size_t>(ck)];
+    for (std::size_t e = 0; e < local.size(); ++e) y[e] += local[e];
+  }
+}
+
+}  // namespace detail
 
 Real CsrMatrix::quadratic_form(const Vector& x) const {
   SGL_EXPECTS(rows_ == cols_, "quadratic_form: matrix must be square");

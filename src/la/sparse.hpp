@@ -13,6 +13,34 @@
 
 namespace sgl::la {
 
+class CsrMatrix;
+
+namespace detail {
+
+/// Row count below which the SpMV kernels stay serial (pool dispatch costs
+/// more than the loop). A scheduling threshold only for the gather kernel;
+/// for the transposed scatter it also selects between the serial per-entry
+/// sum and the fixed-chunk combine.
+inline constexpr Index kSpmvSerialRows = 4096;
+
+/// Fixed chunk count for the transposed-scatter reduction; depends on
+/// nothing but this constant so results never vary with the thread count.
+inline constexpr Index kSpmvTransposeChunks = 32;
+
+/// Y = Aᵀ X for a block of b columns packed ROW-major (one contiguous
+/// b-strip per row: x is rows×b, y is cols×b and is overwritten). Each
+/// column runs the EXACT CsrMatrix::multiply_transposed algorithm —
+/// per-row zero skip, ascending-row scatter, and above kSpmvSerialRows
+/// the fixed-chunk ordered combine — so column c of the result is
+/// bitwise equal to multiply_transposed on that column alone, for every
+/// thread count and block width. Lives here (not in multi_vector) so the
+/// scalar and block scatters evolve in lockstep; the AMG block V-cycle's
+/// restriction relies on that for its bitwise contract.
+void spmm_transposed_row_major(const CsrMatrix& a, const Real* x, Real* y,
+                               Index b, Index num_threads);
+
+}  // namespace detail
+
 /// One (row, col, value) entry of a matrix under assembly.
 struct Triplet {
   Index row = 0;

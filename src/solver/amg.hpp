@@ -35,6 +35,16 @@ class AmgHierarchy {
   /// One V-cycle approximating A⁻¹ r (zero initial guess).
   void v_cycle(const la::Vector& r, la::Vector& z) const;
 
+  /// One V-cycle per column of an n × b block (zero initial guesses). The
+  /// smoothing sweeps, residuals, and grid transfers run b-wide on
+  /// row-major scratch — every level operator is streamed once per block
+  /// instead of once per column — while each column's operations mirror
+  /// v_cycle() op-for-op (the restriction reproduces multiply_transposed's
+  /// zero-skip and fixed-chunk combine), so column j of the result is
+  /// bitwise equal to v_cycle(r_j) for every thread count and block width.
+  void v_cycle_block(la::ConstBlockView r, la::BlockView z,
+                     Index num_threads = 0) const;
+
   [[nodiscard]] Index num_levels() const noexcept {
     return to_index(levels_.size());
   }
@@ -55,6 +65,12 @@ class AmgHierarchy {
   void smooth(const Level& level, const la::Vector& rhs, la::Vector& x,
               bool forward) const;
   void cycle(std::size_t depth, const la::Vector& rhs, la::Vector& x) const;
+  /// Gauss–Seidel sweep over b columns packed row-major in `x`.
+  void smooth_block(const Level& level, const std::vector<Real>& rhs,
+                    std::vector<Real>& x, Index b, bool forward) const;
+  /// Recursive block cycle; `rhs`/`x` are level-sized row-major n × b.
+  void cycle_block(std::size_t depth, const std::vector<Real>& rhs,
+                   std::vector<Real>& x, Index b, Index num_threads) const;
 
   AmgOptions options_;
   std::vector<Level> levels_;
@@ -71,6 +87,16 @@ class AmgPreconditioner final : public Preconditioner {
   void apply(const la::Vector& r, la::Vector& z) const override {
     hierarchy_.v_cycle(r, z);
   }
+
+  /// Block application: one block V-cycle (hierarchy operators streamed
+  /// once per block of b right-hand sides), bitwise equal to b apply()
+  /// calls — the real override the block-PCG seam needs instead of the
+  /// column-parallel fallback.
+  void apply_block(la::ConstBlockView r, la::BlockView z,
+                   Index num_threads = 0) const override {
+    hierarchy_.v_cycle_block(r, z, num_threads);
+  }
+
   [[nodiscard]] Index size() const noexcept override {
     return hierarchy_.size();
   }

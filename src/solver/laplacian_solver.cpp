@@ -2,8 +2,9 @@
 
 #include <cmath>
 #include <span>
+#include <string>
+#include <utility>
 
-#include "common/parallel.hpp"
 #include "graph/components.hpp"
 
 namespace sgl::solver {
@@ -118,12 +119,12 @@ void LaplacianPinvSolver::apply_column(std::span<const Real> y,
   la::Vector xg;
   if (method_ == LaplacianMethod::kCholesky) {
     xg = cholesky_->solve(b);
-    last_pcg_iterations_.store(0, std::memory_order_relaxed);
+    record_pcg_stats(0, 0, 0, 0);
   } else {
     xg.assign(b.size(), 0.0);
     const PcgResult res = pcg_solve(grounded_, b, xg, *preconditioner_,
                                     pcg_options_);
-    last_pcg_iterations_.store(res.iterations, std::memory_order_relaxed);
+    record_pcg_stats(1, res.iterations, res.iterations, res.converged ? 1 : 0);
     if (!res.converged) {
       throw NumericalError(
           "LaplacianPinvSolver: PCG stalled at relative residual " +
@@ -158,32 +159,58 @@ void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
               "LaplacianPinvSolver::apply_block: column count mismatch");
   if (y.cols == 0) return;
 
+  // Both paths hoist the nullspace projection and grounding into
+  // MultiVector kernels. Every step sums in the same fixed order as
+  // apply_column, so the block equals b sequential apply() calls bitwise.
+  const la::Vector means = la::column_means(y, num_threads);
+  la::MultiVector bg(n_ - 1, y.cols);
+  la::gather_rows(y, live_rows_, bg.view(), num_threads);
+  la::shift_columns(bg.view(), means, num_threads);
+
   if (method_ == LaplacianMethod::kCholesky) {
-    // Block fast path: hoist the nullspace projection and grounding into
-    // MultiVector kernels, then stream the factor once for the whole
-    // block. Every step sums in the same fixed order as apply_column, so
-    // the block equals b sequential apply() calls bitwise.
-    const la::Vector means = la::column_means(y, num_threads);
-    la::MultiVector bg(n_ - 1, y.cols);
-    la::gather_rows(y, live_rows_, bg.view(), num_threads);
-    la::shift_columns(bg.view(), means, num_threads);
-
+    // Stream the factor once for the whole block: one pair of
+    // level-parallel triangular sweeps.
     cholesky_->solve_in_place_block(bg.view(), num_threads);
-    last_pcg_iterations_.store(0, std::memory_order_relaxed);
-
-    // Re-insert the grounded node (zero row) and center: the grounded
-    // solution differs from L⁺y by a multiple of the ones vector.
-    for (Index j = 0; j < x.cols; ++j) x.at(ground_, j) = 0.0;
-    la::scatter_rows(bg.view(), live_rows_, x, num_threads);
-    la::center_columns(x, num_threads);
-    return;
+    record_pcg_stats(0, 0, 0, 0);
+  } else {
+    // Block PCG: one SpMM and one Preconditioner::apply_block per
+    // iteration, per-column convergence with deflation. Zero initial
+    // guesses, exactly like apply_column's per-RHS solves.
+    la::MultiVector xg(n_ - 1, y.cols);
+    PcgOptions options = pcg_options_;
+    if (num_threads != 0) options.num_threads = num_threads;
+    const PcgBlockResult res =
+        pcg_solve_block(grounded_, bg.view(), xg.view(), *preconditioner_,
+                        options);
+    Index converged = 0;
+    for (const PcgResult& c : res.columns) converged += c.converged ? 1 : 0;
+    record_pcg_stats(y.cols, res.max_iterations(), res.total_iterations(),
+                     converged);
+    if (!res.all_converged()) {
+      const Index j = res.first_unconverged();
+      const PcgResult& c = res.columns[static_cast<std::size_t>(j)];
+      throw NumericalError(
+          "LaplacianPinvSolver: PCG stalled on block column " +
+          std::to_string(j) + " at relative residual " +
+          std::to_string(c.relative_residual));
+    }
+    bg = std::move(xg);
   }
 
-  // PCG methods: b independent per-column solves over the shared
-  // preconditioner (read-only after construction); each column runs the
-  // exact per-column kernel, so any thread count yields the same block.
-  parallel::parallel_for(0, y.cols, num_threads,
-                         [&](Index j) { apply_column(y.col(j), x.col(j)); });
+  // Re-insert the grounded node (zero row) and center: the grounded
+  // solution differs from L⁺y by a multiple of the ones vector.
+  for (Index j = 0; j < x.cols; ++j) x.at(ground_, j) = 0.0;
+  la::scatter_rows(bg.view(), live_rows_, x, num_threads);
+  la::center_columns(x, num_threads);
+}
+
+void LaplacianPinvSolver::record_pcg_stats(Index columns, Index max_iters,
+                                           Index total_iters,
+                                           Index converged) const noexcept {
+  last_pcg_iterations_.store(max_iters, std::memory_order_relaxed);
+  stat_columns_.store(columns, std::memory_order_relaxed);
+  stat_total_iterations_.store(total_iters, std::memory_order_relaxed);
+  stat_converged_.store(converged, std::memory_order_relaxed);
 }
 
 Real LaplacianPinvSolver::effective_resistance(Index s, Index t) const {

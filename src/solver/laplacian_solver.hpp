@@ -60,6 +60,19 @@ struct LaplacianSolverOptions {
   AmgOptions amg;
 };
 
+/// Iteration statistics of the most recent block solve on a PCG method —
+/// the iterative-path counterpart of FactorStats (all zero on the
+/// Cholesky path, which runs no iterations).
+struct PcgBlockStats {
+  /// Block width of the last apply_block (1 after a scalar apply()).
+  Index columns = 0;
+  /// Max per-column iteration count — the block iterations actually run.
+  Index max_iterations = 0;
+  /// Sum over columns — the work a per-column solver would have streamed.
+  Index total_iterations = 0;
+  Index converged_columns = 0;
+};
+
 class LaplacianPinvSolver {
  public:
   /// Builds a solver for the Laplacian of `g`. The graph must be connected
@@ -80,11 +93,15 @@ class LaplacianPinvSolver {
   /// goes through ONE pair of level-parallel triangular sweeps (the
   /// factor's nonzeros are streamed once per block, not once per column),
   /// with grounding gather/scatter and centering hoisted into MultiVector
-  /// kernels; PCG methods run column-parallel. Every output element is
-  /// gathered in the same fixed order as apply(), so the block result is
-  /// bit-identical to b sequential apply() calls for every thread count.
-  /// PCG convergence is checked per RHS: the first stalled column throws
-  /// NumericalError. `num_threads`: 0 = library default, 1 = serial.
+  /// kernels; PCG methods run block PCG (pcg_solve_block): one CSR SpMM
+  /// and one Preconditioner::apply_block per iteration, with converged
+  /// columns deflated. Every output element is computed in the same fixed
+  /// order as apply(), so the block result is bit-identical to b
+  /// sequential apply() calls for every thread count and block width.
+  /// PCG convergence is checked per RHS; if any column stalls, the whole
+  /// block finishes and a NumericalError naming the first stalled column
+  /// (by its index in Y) is thrown. `num_threads`: 0 = library default,
+  /// 1 = serial.
   void apply_block(la::ConstBlockView y, la::BlockView x,
                    Index num_threads = 0) const;
 
@@ -111,10 +128,26 @@ class LaplacianPinvSolver {
     return cholesky_ ? &cholesky_->stats() : nullptr;
   }
 
-  /// PCG iterations spent in the most recent apply() (0 for Cholesky).
-  /// Under concurrent apply() calls this reports one of the racing solves.
+  /// PCG iterations spent in the most recent apply() or — max over the
+  /// block's columns — apply_block() (0 on the Cholesky path, which
+  /// resets the counter). Under concurrent calls this reports one of the
+  /// racing solves.
   [[nodiscard]] Index last_pcg_iterations() const noexcept {
     return last_pcg_iterations_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-block iteration statistics of the most recent apply()/
+  /// apply_block() on a PCG method — the iterative-path counterpart of
+  /// factor_stats(). All zero on the Cholesky path. Each field is
+  /// individually atomic; under concurrent applies the snapshot may mix
+  /// racing solves (a diagnostic, like last_pcg_iterations()).
+  [[nodiscard]] PcgBlockStats pcg_block_stats() const noexcept {
+    PcgBlockStats s;
+    s.columns = stat_columns_.load(std::memory_order_relaxed);
+    s.max_iterations = last_pcg_iterations_.load(std::memory_order_relaxed);
+    s.total_iterations = stat_total_iterations_.load(std::memory_order_relaxed);
+    s.converged_columns = stat_converged_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
@@ -130,9 +163,17 @@ class LaplacianPinvSolver {
   std::unique_ptr<CholeskySolver> cholesky_;
   std::unique_ptr<Preconditioner> preconditioner_;
   PcgOptions pcg_options_;
-  // Atomic so concurrent apply() calls (multi-RHS solves) stay data-race
-  // free; relaxed ordering suffices for a diagnostic counter.
+  /// Records one solve's statistics (block width, per-column iteration
+  /// counts) into the atomic diagnostic counters.
+  void record_pcg_stats(Index columns, Index max_iters, Index total_iters,
+                        Index converged) const noexcept;
+
+  // Atomics so concurrent apply() calls (multi-RHS solves) stay data-race
+  // free; relaxed ordering suffices for diagnostic counters.
   mutable std::atomic<Index> last_pcg_iterations_{0};
+  mutable std::atomic<Index> stat_columns_{0};
+  mutable std::atomic<Index> stat_total_iterations_{0};
+  mutable std::atomic<Index> stat_converged_{0};
 };
 
 }  // namespace sgl::solver

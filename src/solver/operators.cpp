@@ -1,9 +1,5 @@
 #include "solver/operators.hpp"
 
-#include <algorithm>
-
-#include "common/parallel.hpp"
-
 namespace sgl::solver {
 
 void PreconditionedOperator::apply(const la::Vector& x, la::Vector& y) const {
@@ -16,19 +12,13 @@ void PreconditionedOperator::apply_block(la::ConstBlockView x,
                                          la::BlockView y) const {
   SGL_EXPECTS(x.rows == a_.cols() && y.rows == a_.rows() && x.cols == y.cols,
               "PreconditionedOperator::apply_block: shape mismatch");
-  // A is applied to the whole block in one streaming SpMM pass; the
-  // preconditioner interface is vector-valued, so its solves go
-  // column-parallel (identical arithmetic per column at any thread count).
+  // A is applied to the whole block in one streaming SpMM pass, then the
+  // preconditioner's block seam streams its factor/hierarchy once for the
+  // block (every Preconditioner keeps apply_block bitwise equal to b
+  // apply() calls, so this adapter stays bitwise too).
   la::MultiVector ax(a_.rows(), x.cols);
   spmm(a_, x, ax.view(), num_threads_);
-  parallel::parallel_for(0, x.cols, num_threads_, [&](Index j) {
-    const std::span<const Real> src = ax.col(j);
-    la::Vector r(src.begin(), src.end());
-    la::Vector z;
-    m_.apply(r, z);
-    const std::span<Real> dst = y.col(j);
-    std::copy(z.begin(), z.end(), dst.begin());
-  });
+  m_.apply_block(ax.view(), y, num_threads_);
 }
 
 }  // namespace sgl::solver

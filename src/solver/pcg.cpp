@@ -1,6 +1,8 @@
 #include "solver/pcg.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <initializer_list>
 
 #include "common/contracts.hpp"
 
@@ -59,6 +61,233 @@ PcgResult pcg_solve(const la::CsrMatrix& a, const la::Vector& b, la::Vector& x,
   }
   result.relative_residual = la::norm2(r) / b_norm;
   result.converged = result.relative_residual <= options.rel_tolerance;
+  return result;
+}
+
+Index PcgBlockResult::max_iterations() const noexcept {
+  Index m = 0;
+  for (const PcgResult& c : columns) m = std::max(m, c.iterations);
+  return m;
+}
+
+Index PcgBlockResult::total_iterations() const noexcept {
+  Index total = 0;
+  for (const PcgResult& c : columns) total += c.iterations;
+  return total;
+}
+
+bool PcgBlockResult::all_converged() const noexcept {
+  for (const PcgResult& c : columns)
+    if (!c.converged) return false;
+  return true;
+}
+
+Index PcgBlockResult::first_unconverged() const noexcept {
+  for (std::size_t j = 0; j < columns.size(); ++j)
+    if (!columns[j].converged) return to_index(j);
+  return kInvalidIndex;
+}
+
+namespace {
+
+/// ‖v‖₂ of one packed column, in the exact ascending-sum order of
+/// la::norm2 / la::column_dots — so a residual norm computed here is
+/// bitwise equal to the scalar path's check on the same data.
+Real column_norm2(std::span<const Real> v) {
+  Real acc = 0.0;
+  for (const Real e : v) acc += e * e;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+PcgBlockResult pcg_solve_block(const la::CsrMatrix& a, la::ConstBlockView b,
+                               la::BlockView x, const Preconditioner& m,
+                               const PcgOptions& options) {
+  const Index n = a.rows();
+  SGL_EXPECTS(a.rows() == a.cols(), "pcg_solve_block: matrix must be square");
+  SGL_EXPECTS(b.rows == n && x.rows == n,
+              "pcg_solve_block: rhs/solution row count mismatch");
+  SGL_EXPECTS(b.cols == x.cols, "pcg_solve_block: column count mismatch");
+  SGL_EXPECTS(m.size() == n, "pcg_solve_block: preconditioner size mismatch");
+
+  const Index total = b.cols;
+  PcgBlockResult result;
+  result.columns.assign(static_cast<std::size_t>(total), PcgResult{});
+  if (total == 0) return result;
+  const Index threads = options.num_threads;
+
+  if (total == 1) {
+    // Single column: the block iteration is bitwise equal to the scalar
+    // one, so skip its packing/SpMM scaffolding and run the scalar kernel
+    // directly (the same free fast path the Cholesky block sweeps take).
+    la::Vector bj(b.col(0).begin(), b.col(0).end());
+    la::Vector xj(x.col(0).begin(), x.col(0).end());
+    result.columns[0] = pcg_solve(a, bj, xj, m, options);
+    std::copy(xj.begin(), xj.end(), x.col(0).begin());
+    return result;
+  }
+
+  // The live set: columns still iterating, packed into the leading slots
+  // of the work blocks. orig[s] maps packed slot s back to its column in
+  // b/x; deflation compacts slots but never reorders survivors, and every
+  // kernel below computes each column independently in a fixed order, so
+  // a column's trajectory cannot depend on which other columns are live.
+  std::vector<Index> orig;
+  orig.reserve(static_cast<std::size_t>(total));
+  const la::Vector b_norm_all = la::column_norms(b, threads);
+  for (Index j = 0; j < total; ++j) {
+    if (b_norm_all[static_cast<std::size_t>(j)] == 0.0) {
+      // Mirror pcg_solve: zero rhs → zero solution, converged at once.
+      const std::span<Real> xj = x.col(j);
+      std::fill(xj.begin(), xj.end(), 0.0);
+      result.columns[static_cast<std::size_t>(j)].converged = true;
+    } else {
+      orig.push_back(j);
+    }
+  }
+  Index live = to_index(orig.size());
+  if (live == 0) return result;
+
+  la::MultiVector xw(n, live);  // packed iterates (live columns of x)
+  la::MultiVector r(n, live);
+  la::MultiVector z(n, live);
+  la::MultiVector p(n, live);
+  la::MultiVector ap(n, live);
+  la::Vector b_norm(static_cast<std::size_t>(live));
+  std::vector<Index> iters(static_cast<std::size_t>(live), 0);
+  for (Index s = 0; s < live; ++s) {
+    b_norm[static_cast<std::size_t>(s)] =
+        b_norm_all[static_cast<std::size_t>(orig[static_cast<std::size_t>(s)])];
+    const std::span<const Real> src = x.col(orig[static_cast<std::size_t>(s)]);
+    std::copy(src.begin(), src.end(), xw.col(s).begin());
+  }
+
+  // R = B − A X: one SpMM for the whole block, then the same elementwise
+  // subtraction the scalar path performs.
+  la::spmm(a, xw.view(), ap.view(), threads);
+  for (Index s = 0; s < live; ++s) {
+    const std::span<const Real> bs = b.col(orig[static_cast<std::size_t>(s)]);
+    const std::span<const Real> aps = ap.col(s);
+    const std::span<Real> rs = r.col(s);
+    for (std::size_t i = 0; i < bs.size(); ++i) rs[i] = bs[i] - aps[i];
+  }
+
+  m.apply_block(r.view(), z.view(), threads);
+  std::copy(z.data().begin(), z.data().end(), p.data().begin());  // P = Z
+  la::Vector rz = la::column_dots(r.view(), z.view(), threads);
+
+  // Freezes slot s with the given relative residual: records the result
+  // under the original column index and writes the iterate out.
+  const auto finalize_slot = [&](Index s, Real rel) {
+    const Index col = orig[static_cast<std::size_t>(s)];
+    PcgResult& res = result.columns[static_cast<std::size_t>(col)];
+    res.iterations = iters[static_cast<std::size_t>(s)];
+    res.relative_residual = rel;
+    res.converged = rel <= options.rel_tolerance;
+    const std::span<const Real> src = xw.col(s);
+    std::copy(src.begin(), src.end(), x.col(col).begin());
+  };
+
+  // Deflation: drop finished slots by sliding survivors down (relative
+  // order preserved — the "deflation ordering rule" of DESIGN.md §5).
+  const auto compact = [&](const std::vector<char>& finished,
+                           std::initializer_list<la::MultiVector*> blocks,
+                           std::initializer_list<la::Vector*> scalars) {
+    Index w = 0;
+    for (Index s = 0; s < live; ++s) {
+      if (finished[static_cast<std::size_t>(s)]) continue;
+      if (w != s) {
+        for (la::MultiVector* mv : blocks) {
+          const std::span<const Real> src =
+              static_cast<const la::MultiVector*>(mv)->col(s);
+          std::copy(src.begin(), src.end(), mv->col(w).begin());
+        }
+        for (la::Vector* v : scalars)
+          (*v)[static_cast<std::size_t>(w)] = (*v)[static_cast<std::size_t>(s)];
+        orig[static_cast<std::size_t>(w)] = orig[static_cast<std::size_t>(s)];
+        iters[static_cast<std::size_t>(w)] = iters[static_cast<std::size_t>(s)];
+      }
+      ++w;
+    }
+    live = w;
+  };
+
+  for (Index it = 0; it < options.max_iterations && live > 0; ++it) {
+    la::spmm(a, p.block(0, live), ap.block(0, live), threads);
+    la::Vector pap =
+        la::column_dots(p.block(0, live), ap.block(0, live), threads);
+
+    // Per-column breakdown (loss of positive definiteness, or exact
+    // convergence with a zero search direction): mirror the scalar
+    // loop's break, classifying by the current residual.
+    {
+      std::vector<char> finished(static_cast<std::size_t>(live), 0);
+      bool any = false;
+      for (Index s = 0; s < live; ++s) {
+        if (!(pap[static_cast<std::size_t>(s)] > 0.0)) {
+          const Real rel =
+              column_norm2(r.col(s)) / b_norm[static_cast<std::size_t>(s)];
+          finalize_slot(s, rel);
+          finished[static_cast<std::size_t>(s)] = 1;
+          any = true;
+        }
+      }
+      if (any) compact(finished, {&xw, &r, &p, &ap}, {&b_norm, &rz, &pap});
+      if (live == 0) break;
+    }
+
+    la::Vector alpha(static_cast<std::size_t>(live));
+    la::Vector neg_alpha(static_cast<std::size_t>(live));
+    for (Index s = 0; s < live; ++s) {
+      const Real as =
+          rz[static_cast<std::size_t>(s)] / pap[static_cast<std::size_t>(s)];
+      alpha[static_cast<std::size_t>(s)] = as;
+      neg_alpha[static_cast<std::size_t>(s)] = -as;
+    }
+    la::block_axpy(alpha, p.block(0, live), xw.block(0, live), threads);
+    la::block_axpy(neg_alpha, ap.block(0, live), r.block(0, live), threads);
+    for (Index s = 0; s < live; ++s) iters[static_cast<std::size_t>(s)] = it + 1;
+
+    // Per-column convergence: freeze columns that meet the tolerance and
+    // keep iterating the rest.
+    const la::Vector r_norm = la::column_norms(r.block(0, live), threads);
+    {
+      std::vector<char> finished(static_cast<std::size_t>(live), 0);
+      bool any = false;
+      for (Index s = 0; s < live; ++s) {
+        const Real rel = r_norm[static_cast<std::size_t>(s)] /
+                         b_norm[static_cast<std::size_t>(s)];
+        if (rel <= options.rel_tolerance) {
+          finalize_slot(s, rel);
+          finished[static_cast<std::size_t>(s)] = 1;
+          any = true;
+        }
+      }
+      if (any) compact(finished, {&xw, &r, &p}, {&b_norm, &rz});
+      if (live == 0) break;
+    }
+    if (it + 1 == options.max_iterations) break;
+
+    m.apply_block(r.block(0, live), z.block(0, live), threads);
+    const la::Vector rz_new =
+        la::column_dots(r.block(0, live), z.block(0, live), threads);
+    la::Vector beta(static_cast<std::size_t>(live));
+    for (Index s = 0; s < live; ++s) {
+      const std::size_t us = static_cast<std::size_t>(s);
+      beta[us] = rz_new[us] / rz[us];
+      rz[us] = rz_new[us];
+    }
+    la::block_xpby(z.block(0, live), beta, p.block(0, live), threads);
+  }
+
+  // Iteration cap exhausted: mirror the scalar epilogue — recompute the
+  // relative residual from the final iterate and classify.
+  for (Index s = 0; s < live; ++s) {
+    const Real rel =
+        column_norm2(r.col(s)) / b_norm[static_cast<std::size_t>(s)];
+    finalize_slot(s, rel);
+  }
   return result;
 }
 

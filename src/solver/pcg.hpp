@@ -1,6 +1,9 @@
-// Preconditioned conjugate gradient.
+// Preconditioned conjugate gradient — scalar and block flavours.
 #pragma once
 
+#include <vector>
+
+#include "la/multi_vector.hpp"
 #include "la/sparse.hpp"
 #include "la/vector_ops.hpp"
 #include "solver/preconditioner.hpp"
@@ -10,11 +13,11 @@ namespace sgl::solver {
 struct PcgOptions {
   Real rel_tolerance = 1e-10;  // on ‖r‖ / ‖b‖
   Index max_iterations = 2000;
-  /// Worker threads for the CSR SpMV inside each iteration (0 = library
-  /// default, 1 = serial). The SpMV is row-chunked and bit-identical for
-  /// every thread count, so this knob never changes the iterates. Nested
-  /// parallel regions (e.g. PCG inside a multi-RHS apply_block) degrade
-  /// to serial automatically.
+  /// Worker threads for the CSR SpMV/SpMM inside each iteration (0 =
+  /// library default, 1 = serial). The kernels are row-chunked and
+  /// bit-identical for every thread count, so this knob never changes the
+  /// iterates. Nested parallel regions (e.g. PCG inside a multi-RHS
+  /// apply_block) degrade to serial automatically.
   Index num_threads = 0;
 };
 
@@ -28,5 +31,37 @@ struct PcgResult {
 /// guess in and the solution out.
 PcgResult pcg_solve(const la::CsrMatrix& a, const la::Vector& b, la::Vector& x,
                     const Preconditioner& m, const PcgOptions& options = {});
+
+/// Per-column results of a block PCG solve (DESIGN.md §5).
+struct PcgBlockResult {
+  std::vector<PcgResult> columns;
+
+  /// Max iteration count over the columns (0 for an empty block) — the
+  /// number of block iterations the solve actually ran.
+  [[nodiscard]] Index max_iterations() const noexcept;
+
+  /// Sum of the per-column iteration counts (the work a per-column solver
+  /// would have spent on its SpMVs/preconditioner sweeps).
+  [[nodiscard]] Index total_iterations() const noexcept;
+
+  [[nodiscard]] bool all_converged() const noexcept;
+
+  /// Smallest column index that failed to converge; kInvalidIndex if all
+  /// converged.
+  [[nodiscard]] Index first_unconverged() const noexcept;
+};
+
+/// Solves A X = B for all b right-hand sides together: one CSR SpMM and
+/// one Preconditioner::apply_block per iteration instead of b SpMVs and b
+/// factor sweeps, with per-column α/β/residual bookkeeping. Columns whose
+/// residual meets the tolerance are deflated (frozen and removed from the
+/// live set) while the iteration continues on the rest, so a column's
+/// iterate sequence — and therefore the returned solution — is BITWISE
+/// identical to running pcg_solve on that column alone, for every thread
+/// count and block width (see DESIGN.md §5 for the ordering argument).
+/// `x` carries the per-column initial guesses in and the solutions out.
+PcgBlockResult pcg_solve_block(const la::CsrMatrix& a, la::ConstBlockView b,
+                               la::BlockView x, const Preconditioner& m,
+                               const PcgOptions& options = {});
 
 }  // namespace sgl::solver

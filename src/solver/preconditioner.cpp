@@ -41,6 +41,20 @@ void JacobiPreconditioner::apply(const la::Vector& r, la::Vector& z) const {
   for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
 }
 
+void JacobiPreconditioner::apply_block(la::ConstBlockView r, la::BlockView z,
+                                       Index num_threads) const {
+  const Index n = size();
+  SGL_EXPECTS(r.rows == n && z.rows == n,
+              "JacobiPreconditioner::apply_block: row count mismatch");
+  SGL_EXPECTS(r.cols == z.cols,
+              "JacobiPreconditioner::apply_block: column count mismatch");
+  parallel::parallel_for(0, r.cols, num_threads, [&](Index j) {
+    const std::span<const Real> rj = r.col(j);
+    const std::span<Real> zj = z.col(j);
+    for (std::size_t i = 0; i < rj.size(); ++i) zj[i] = rj[i] * inv_diag_[i];
+  });
+}
+
 SgsPreconditioner::SgsPreconditioner(const la::CsrMatrix& a) : a_(a) {
   SGL_EXPECTS(a.rows() == a.cols(), "SgsPreconditioner: square matrix");
   diag_ = a.diagonal();

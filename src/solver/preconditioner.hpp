@@ -50,6 +50,13 @@ class JacobiPreconditioner final : public Preconditioner {
  public:
   explicit JacobiPreconditioner(const la::CsrMatrix& a);
   void apply(const la::Vector& r, la::Vector& z) const override;
+
+  /// Block application: one elementwise diagonal scaling over the whole
+  /// block (no per-column scratch or virtual dispatch), the same multiply
+  /// per element as apply() — bitwise equal to b apply() calls.
+  void apply_block(la::ConstBlockView r, la::BlockView z,
+                   Index num_threads = 0) const override;
+
   [[nodiscard]] Index size() const noexcept override {
     return to_index(inv_diag_.size());
   }

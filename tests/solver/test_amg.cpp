@@ -102,6 +102,47 @@ TEST(Amg, PreconditionerIsSymmetric) {
   EXPECT_NEAR(la::dot(s, mr), la::dot(r, ms), 1e-8 * la::norm2(r) * la::norm2(s));
 }
 
+TEST(Amg, ApplyBlockMatchesApplyBitwise) {
+  // The real block V-cycle override must equal b scalar V-cycles exactly,
+  // for every thread count.
+  const la::CsrMatrix a = grounded_laplacian(graph::make_grid2d(17, 13).graph);
+  const AmgPreconditioner amg(a);
+  const la::MultiVector r = random_block_rhs(a.rows(), 5, 35);
+  la::MultiVector z(a.rows(), 5);
+  for (const Index threads : {1, 2, 4, 8}) {
+    amg.apply_block(r.view(), z.view(), threads);
+    for (Index j = 0; j < r.cols(); ++j) {
+      la::Vector rj(r.col(j).begin(), r.col(j).end());
+      la::Vector ref;
+      amg.apply(rj, ref);
+      for (Index i = 0; i < a.rows(); ++i)
+        EXPECT_EQ(z(i, j), ref[static_cast<std::size_t>(i)])
+            << "threads=" << threads << " col=" << j;
+    }
+  }
+}
+
+TEST(Amg, ApplyBlockMatchesApplyBitwiseAboveScatterThreshold) {
+  // A fine level past la::detail::kSpmvSerialRows rows exercises the
+  // chunked restriction combine; the block path must reproduce it.
+  const la::CsrMatrix a = grounded_laplacian(graph::make_grid2d(72, 70).graph);
+  ASSERT_GE(a.rows(), la::detail::kSpmvSerialRows);
+  const AmgPreconditioner amg(a);
+  const la::MultiVector r = random_block_rhs(a.rows(), 3, 36);
+  la::MultiVector z(a.rows(), 3);
+  for (const Index threads : {1, 4}) {
+    amg.apply_block(r.view(), z.view(), threads);
+    for (Index j = 0; j < r.cols(); ++j) {
+      la::Vector rj(r.col(j).begin(), r.col(j).end());
+      la::Vector ref;
+      amg.apply(rj, ref);
+      for (Index i = 0; i < a.rows(); ++i)
+        EXPECT_EQ(z(i, j), ref[static_cast<std::size_t>(i)])
+            << "threads=" << threads << " col=" << j;
+    }
+  }
+}
+
 TEST(Amg, WorksOnWeightedCircuitGrid) {
   const graph::MeshGraph mesh = graph::make_circuit_grid(25, 25, 0, 0.5, 5.0, 3);
   const la::CsrMatrix a = grounded_laplacian(mesh.graph);

@@ -189,7 +189,8 @@ TEST(TreePreconditioner, ApplyBlockMatchesApplyBitwise) {
 }
 
 TEST(Preconditioner, DefaultApplyBlockMatchesApplyBitwise) {
-  // Jacobi and SGS exercise the base-class column-parallel fallback.
+  // Jacobi exercises its elementwise block override; SGS exercises the
+  // base-class column-parallel fallback.
   const la::CsrMatrix a =
       grounded_laplacian(graph::make_grid2d(9, 8).graph);
   expect_block_matches_apply(JacobiPreconditioner(a), 33);

@@ -3,21 +3,27 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
-                     [--metric real_time] [--strict]
+                     [--metric real_time] [--strict] [--filter REGEX]
 
 Benchmarks are matched by name. A benchmark whose current time exceeds
 the baseline by more than the threshold (default 15%) is flagged as a
 regression; one that is faster by more than the threshold is reported as
 an improvement. Output is a Markdown table (suitable for
 $GITHUB_STEP_SUMMARY). Exit status is 0 unless --strict is given and at
-least one regression was found — CI runs it non-blocking, without
---strict, because shared-runner timings are too noisy to gate on.
+least one regression was found.
+
+--filter restricts the comparison to benchmark names matching the given
+regex (re.search semantics). CI uses it to run a BLOCKING pass over the
+solver families only (BM_Solve*/BM_Pcg*/BM_BlockPcg, generous threshold)
+while the full comparison stays advisory — shared-runner timings are too
+noisy to gate every benchmark on.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -63,6 +69,12 @@ def main() -> int:
         action="store_true",
         help="exit 1 when regressions are found (default: report only)",
     )
+    parser.add_argument(
+        "--filter",
+        default=None,
+        metavar="REGEX",
+        help="only compare benchmarks whose name matches this regex",
+    )
     args = parser.parse_args()
 
     try:
@@ -71,6 +83,11 @@ def main() -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"bench_compare: cannot read input: {exc}", file=sys.stderr)
         return 0 if not args.strict else 1
+
+    if args.filter is not None:
+        pattern = re.compile(args.filter)
+        base = {k: v for k, v in base.items() if pattern.search(k)}
+        curr = {k: v for k, v in curr.items() if pattern.search(k)}
 
     with open(args.current, "r", encoding="utf-8") as fh:
         unit = "ns"
@@ -104,8 +121,10 @@ def main() -> int:
             f"| {delta:+.1f}%{marker} |"
         )
 
+    scope = f", filter `{args.filter}`" if args.filter else ""
+    mode = ", strict" if args.strict else ""
     print(f"### Benchmark comparison ({args.metric}, threshold "
-          f"{args.threshold:.0%})")
+          f"{args.threshold:.0%}{scope}{mode})")
     print()
     if not shared:
         print("No overlapping benchmarks between the two artifacts.")
@@ -128,6 +147,12 @@ def main() -> int:
         for name in only_base:
             print(f"- `{name}`")
 
+    if args.strict and not shared:
+        # A blocking pass that matches nothing gates nothing: renamed
+        # benchmark families or an empty/corrupt artifact must fail
+        # loudly, not fail open.
+        print("\n**FAIL (strict): no overlapping benchmarks to compare.**")
+        return 1
     if regressions and args.strict:
         return 1
     return 0

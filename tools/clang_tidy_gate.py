@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Baseline-ratcheted clang-tidy gate.
+
+Usage:
+    clang_tidy_gate.py [--baseline tools/clang_tidy_baseline.txt]
+                       [--update] LOG [LOG...]
+
+LOG files contain raw clang-tidy output. Findings are normalized to
+(repo-relative file, check) pairs and counted; line numbers are ignored
+so unrelated edits cannot shift the verdict. The gate FAILS (exit 1)
+only when a (file, check) pair appears more often than the committed
+baseline records — i.e. only on new findings. Fixing findings without
+updating the baseline is fine (the job prints a reminder to ratchet).
+
+Regenerate the baseline after an intentional change (or download the
+`clang-tidy-log-*` artifact the CI job uploads and run --update on it):
+
+    cmake --preset ci-gcc -DSGL_BUILD_TESTS=OFF -DSGL_BUILD_BENCHMARKS=OFF
+    run-clang-tidy-18 -p build/ci-gcc 'src/(solver|la)/.*\\.cpp' \
+        | tee tidy.log
+    python3 tools/clang_tidy_gate.py --update tidy.log
+
+Baseline format: one `count<TAB>file<TAB>check` line per pair, sorted;
+`#` comments and blank lines are ignored. A `# mode: bootstrap` line
+puts the gate in REPORT-ONLY mode: findings are tabulated in the
+summary but never fail the job — used exactly once, when the gate is
+introduced from an environment without clang-tidy, so the first real CI
+run can seed the baseline from its artifact instead of guessing. The
+gate becomes blocking when the marker is removed (--update removes it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import os
+import re
+import sys
+
+# path:line:col: warning: message [check-name(,check-name)*]
+FINDING = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+.*\[(?P<checks>[\w.,-]+)\]\s*$"
+)
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative path with build-dir prefixes stripped."""
+    path = os.path.normpath(path)
+    cwd = os.getcwd()
+    if os.path.isabs(path):
+        try:
+            path = os.path.relpath(path, cwd)
+        except ValueError:
+            pass
+    # Strip leading ../ produced by compile databases rooted in build/.
+    while path.startswith(".." + os.sep):
+        path = path[3:]
+    return path.replace(os.sep, "/")
+
+
+def collect_findings(paths: list[str]) -> collections.Counter:
+    counts: collections.Counter = collections.Counter()
+    for log in paths:
+        with open(log, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                match = FINDING.match(line.rstrip("\n"))
+                if not match:
+                    continue
+                file = normalize_path(match.group("file"))
+                for check in match.group("checks").split(","):
+                    counts[(file, check)] += 1
+    return counts
+
+
+def load_baseline(path: str) -> tuple[collections.Counter, bool]:
+    """Returns (per-pair counts, bootstrap flag)."""
+    counts: collections.Counter = collections.Counter()
+    bootstrap = False
+    if not os.path.exists(path):
+        return counts, bootstrap
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if line.startswith("#"):
+                if line.lstrip("# ").startswith("mode: bootstrap"):
+                    bootstrap = True
+                continue
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                continue
+            counts[(parts[1], parts[2])] = int(parts[0])
+    return counts, bootstrap
+
+
+def write_baseline(path: str, counts: collections.Counter) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# clang-tidy warning baseline — maintained by\n")
+        fh.write("# tools/clang_tidy_gate.py --update (see its docstring).\n")
+        fh.write("# count\tfile\tcheck\n")
+        for (file, check), count in sorted(counts.items()):
+            fh.write(f"{count}\t{file}\t{check}\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("logs", nargs="+", help="clang-tidy output file(s)")
+    parser.add_argument(
+        "--baseline",
+        default="tools/clang_tidy_baseline.txt",
+        help="committed warning baseline (default %(default)s)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the logs instead of gating",
+    )
+    args = parser.parse_args()
+
+    current = collect_findings(args.logs)
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"clang_tidy_gate: wrote {sum(current.values())} finding(s) "
+              f"across {len(current)} (file, check) pair(s) to {args.baseline}")
+        return 0
+
+    baseline, bootstrap = load_baseline(args.baseline)
+    new = {
+        key: (count, baseline.get(key, 0))
+        for key, count in sorted(current.items())
+        if count > baseline.get(key, 0)
+    }
+    fixed = {
+        key: (current.get(key, 0), count)
+        for key, count in sorted(baseline.items())
+        if current.get(key, 0) < count
+    }
+
+    print("### clang-tidy gate")
+    print()
+    print(f"{sum(current.values())} finding(s) now, "
+          f"{sum(baseline.values())} in the baseline.")
+    if new:
+        print()
+        print("| file | check | now | baseline |")
+        print("|---|---|---:|---:|")
+        for (file, check), (count, base) in new.items():
+            print(f"| `{file}` | `{check}` | {count} | {base} |")
+        print()
+        if bootstrap:
+            print("**REPORT-ONLY (bootstrap baseline):** seed "
+                  "tools/clang_tidy_baseline.txt from the uploaded tidy.log "
+                  "artifact via `clang_tidy_gate.py --update` — that removes "
+                  "the `# mode: bootstrap` marker and makes this gate "
+                  "blocking.")
+            return 0
+        print("**FAIL: new clang-tidy findings.** Fix them or, if accepted "
+              "deliberately, regenerate the baseline (see "
+              "tools/clang_tidy_gate.py).")
+        return 1
+    if fixed:
+        print()
+        print(f"{len(fixed)} (file, check) pair(s) improved on the baseline — "
+              "consider ratcheting it down with --update.")
+    print()
+    print("**PASS: no new findings.**")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

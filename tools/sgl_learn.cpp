@@ -210,6 +210,27 @@ int main(int argc, char** argv) {
             "(widest level %d) in %.4fs\n",
             fs->n, fs->factor_nnz, fs->num_supernodes, fs->num_levels,
             fs->max_level_supernodes, fs->factor_seconds);
+      } else {
+        // Iterative path: drive one two-column probe block through the
+        // block-PCG solve so the per-block iteration stats are populated.
+        // Purely diagnostic — a stalled probe must not fail the run.
+        try {
+          const Index n = result.learned.num_nodes();
+          la::DenseMatrix probe(n, 2);
+          probe(0, 0) = 1.0;
+          probe(n - 1, 0) = -1.0;
+          probe(0, 1) = 1.0;
+          probe(n / 2, 1) = -1.0;
+          (void)pinv.apply_block(probe, 1);
+        } catch (const NumericalError& e) {
+          std::printf("pcg: probe solve stalled (%s)\n", e.what());
+        }
+        const solver::PcgBlockStats ps = pinv.pcg_block_stats();
+        std::printf(
+            "pcg: probe block of %d columns, iterations max=%d total=%d, "
+            "converged %d/%d\n",
+            ps.columns, ps.max_iterations, ps.total_iterations,
+            ps.converged_columns, ps.columns);
       }
     }
 
