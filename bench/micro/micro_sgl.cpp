@@ -22,7 +22,7 @@ const measure::Measurements& mesh_measurements() {
 void BM_SglFullRunRSweep(benchmark::State& state) {
   const measure::Measurements& data = mesh_measurements();
   core::SglConfig config;
-  config.r = static_cast<Index>(state.range(0));
+  config.embedding.r = static_cast<Index>(state.range(0));
   Index iterations = 0;
   Index edges = 0;
   for (auto _ : state) {

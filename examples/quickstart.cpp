@@ -27,7 +27,7 @@ int main() {
   // 3. Learn the graph.
   core::SglConfig config;
   config.k = 5;
-  config.r = 5;
+  config.embedding.r = 5;
   config.beta = 1e-3;
   config.tolerance = 1e-12;
   const core::SglResult result =

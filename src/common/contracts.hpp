@@ -54,6 +54,20 @@ namespace detail {
     }                                                                       \
   } while (false)
 
+/// Suppresses -Wdeprecated-declarations around intentional uses of
+/// deprecated compat aliases (e.g. the merge step that honors an old-name
+/// knob a caller may still set). Builds with -Werror need this to keep
+/// the aliases usable during their one-release grace period.
+#if defined(__GNUC__) || defined(__clang__)
+#define SGL_SUPPRESS_DEPRECATED_BEGIN                            \
+  _Pragma("GCC diagnostic push")                                 \
+  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define SGL_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
+#else
+#define SGL_SUPPRESS_DEPRECATED_BEGIN
+#define SGL_SUPPRESS_DEPRECATED_END
+#endif
+
 /// Internal invariant; checked only in debug builds.
 #ifdef NDEBUG
 #define SGL_ASSERT(cond, msg) \

@@ -1,0 +1,60 @@
+// One generic name↔enum table for every CLI-facing option enum.
+//
+// Each option module (solver method, factorization ordering, embedding
+// engine) declares a constexpr table of {value, name} pairs and derives
+// its three public functions from it — the printable name, the strict
+// parser, and the joined valid-name list the CLI prints on rejection.
+// Before this header the name/parse pair was hand-rolled per enum
+// (switch + loop), and the valid-name list did not exist at all, so
+// `sgl_learn` could reject a value without saying what it accepts.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sgl::common {
+
+/// One row of an enum name table. `name` must be a string literal (the
+/// lookup returns it as a `const char*`).
+template <typename Enum>
+struct EnumName {
+  Enum value;
+  const char* name;
+};
+
+/// Printable name of `value`, or "unknown" for a value missing from the
+/// table (unreachable for exhaustive tables; kept as a safe fallback).
+template <typename Enum, std::size_t N>
+[[nodiscard]] constexpr const char* enum_name(
+    const std::array<EnumName<Enum>, N>& table, Enum value) noexcept {
+  for (const EnumName<Enum>& row : table)
+    if (row.value == value) return row.name;
+  return "unknown";
+}
+
+/// Strict inverse of enum_name: exact-match lookup, nullopt for unknown
+/// names (callers reject, they never default).
+template <typename Enum, std::size_t N>
+[[nodiscard]] constexpr std::optional<Enum> parse_enum(
+    const std::array<EnumName<Enum>, N>& table, std::string_view name) noexcept {
+  for (const EnumName<Enum>& row : table)
+    if (name == row.name) return row.value;
+  return std::nullopt;
+}
+
+/// Comma-joined list of every valid name, in table order — what the CLI
+/// prints next to "unknown --option" before exiting 2.
+template <typename Enum, std::size_t N>
+[[nodiscard]] std::string enum_name_list(
+    const std::array<EnumName<Enum>, N>& table) {
+  std::string out;
+  for (const EnumName<Enum>& row : table) {
+    if (!out.empty()) out += ", ";
+    out += row.name;
+  }
+  return out;
+}
+
+}  // namespace sgl::common

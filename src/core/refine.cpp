@@ -26,16 +26,11 @@ RefineResult refine_edge_weights(graph::Graph& g, const la::DenseMatrix& x,
         std::max(x.row_distance_squared(edge.s, edge.t), Real{1e-300}) / m;
   }
 
-  spectral::EmbeddingOptions eopt;
-  eopt.r = options.r;
-  eopt.sigma2 = options.sigma2;
-  eopt.lanczos = options.lanczos;
-  eopt.solver = options.solver;
-
   RefineResult result;
   const Real log_clamp = std::log(options.max_change);
   for (Index it = 0; it < options.max_iterations; ++it) {
-    const spectral::Embedding embedding = spectral::compute_embedding(g, eopt);
+    const spectral::Embedding embedding =
+        spectral::compute_embedding(g, options.embedding);
     Real max_log_ratio = 0.0;
     for (Index e = 0; e < g.num_edges(); ++e) {
       const graph::Edge& edge = g.edge(e);

@@ -13,26 +13,28 @@
 // iteration is self-correcting; steps are clamped for stability.
 #pragma once
 
-#include "eig/lanczos.hpp"
 #include "graph/graph.hpp"
 #include "la/dense_matrix.hpp"
+#include "spectral/embedding.hpp"
 
 namespace sgl::core {
 
 struct RefineOptions {
   Index max_iterations = 30;
-  /// Embedding order for the gradient estimate (richer than the learning
-  /// loop's default r = 5 since refinement is a one-off post-pass).
-  Index r = 20;
-  Real sigma2 = 1e6;
   /// Exponent applied to the ratio per update (0 < step ≤ 1).
   Real step = 0.5;
   /// Per-iteration clamp on the multiplicative change of any weight.
   Real max_change = 2.0;
   /// Stop when every edge's |log ρ| falls below this.
   Real tolerance = 0.05;
-  eig::LanczosOptions lanczos;
-  solver::LaplacianSolverOptions solver;
+  /// Gradient-estimate embedding (engine seam included). embedding.r
+  /// defaults to 20 here — richer than the learning loop's r = 5, since
+  /// refinement is a one-off post-pass.
+  spectral::EmbeddingOptions embedding = [] {
+    spectral::EmbeddingOptions o;
+    o.r = 20;
+    return o;
+  }();
 };
 
 struct RefineResult {

@@ -19,17 +19,31 @@ SglLearner::SglLearner(const la::DenseMatrix& x, SglConfig config)
   SGL_EXPECTS(x.cols() >= 1, "SglLearner: need at least one measurement");
   SGL_EXPECTS(config_.k >= 1 && config_.k < x.rows(),
               "SglLearner: need 1 <= k < N");
-  SGL_EXPECTS(config_.r >= 2, "SglLearner: r must be at least 2");
-  SGL_EXPECTS(config_.sigma2 > 0.0, "SglLearner: sigma2 must be positive");
+
+  // Merge the deprecated scalar aliases (sentinel 0 = unset) into the
+  // embedding options. The struct aliases (lanczos()/solver()) reference
+  // the embedding fields directly, so only the scalars need merging.
+  SGL_SUPPRESS_DEPRECATED_BEGIN
+  if (config_.r != 0) config_.embedding.r = config_.r;
+  if (config_.sigma2 != 0.0) config_.embedding.sigma2 = config_.sigma2;
+  SGL_SUPPRESS_DEPRECATED_END
+
+  SGL_EXPECTS(config_.embedding.r >= 2, "SglLearner: r must be at least 2");
+  SGL_EXPECTS(config_.embedding.sigma2 > 0.0,
+              "SglLearner: sigma2 must be positive");
   SGL_EXPECTS(config_.beta > 0.0 && config_.beta <= 1.0,
               "SglLearner: beta must lie in (0, 1]");
   SGL_EXPECTS(config_.tolerance >= 0.0,
               "SglLearner: tolerance must be nonnegative");
 
-  // The factorization inherits the learner's thread knob unless the
-  // solver options pin their own (results are identical either way).
-  if (config_.solver.num_threads == 0)
-    config_.solver.num_threads = config_.num_threads;
+  // Every embedding backend inherits the learner's thread knob unless its
+  // options pin their own (results are identical either way).
+  if (config_.embedding.solver.num_threads == 0)
+    config_.embedding.solver.num_threads = config_.num_threads;
+  if (config_.embedding.lanczos.num_threads == 0)
+    config_.embedding.lanczos.num_threads = config_.num_threads;
+  if (config_.embedding.sf.num_threads == 0)
+    config_.embedding.sf.num_threads = config_.num_threads;
 
   // Step 1: candidate kNN graph and its maximum spanning tree.
   WallTimer knn_timer;
@@ -73,19 +87,15 @@ SglIterationStats SglLearner::step() {
   const WallTimer timer;
   ++iteration_;
 
-  // Step 2: spectral embedding of the current learned graph. The block
-  // eigensolver inherits the learner's thread knob unless the Lanczos
-  // options pin their own.
-  spectral::EmbeddingOptions embed_options;
-  embed_options.r = config_.r;
-  embed_options.sigma2 = config_.sigma2;
-  embed_options.lanczos = config_.lanczos;
-  embed_options.solver = config_.solver;
-  if (embed_options.lanczos.num_threads == 0)
-    embed_options.lanczos.num_threads = config_.num_threads;
+  // Step 2: spectral embedding of the current learned graph through the
+  // engine seam — exact, solver-free, or auto per config_.embedding.engine
+  // (thread knobs were merged in the constructor).
   const spectral::Embedding embedding =
-      spectral::compute_embedding(learned_, embed_options);
+      spectral::compute_embedding(learned_, config_.embedding);
   stats.eig_converged = embedding.eig_converged;
+  stats.engine = embedding.engine_used;
+  stats.smoother_sweeps = embedding.smoother_sweeps;
+  stats.hierarchy_levels = embedding.hierarchy_levels;
 
   // Step 3: candidate sensitivities s_st = z_emb − z_data / M (eq. 13).
   // Each candidate's sensitivity is independent, so the scan fills the
@@ -200,7 +210,7 @@ SglResult SglLearner::finalize(const la::DenseMatrix* y) const {
   if (y != nullptr && config_.edge_scaling) {
     const WallTimer timer;
     result.scale_factor = apply_spectral_edge_scaling(
-        result.learned, x_, *y, config_.solver, config_.num_threads);
+        result.learned, x_, *y, config_.embedding.solver, config_.num_threads);
     result.learn_seconds += timer.seconds();
   }
   return result;

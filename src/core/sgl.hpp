@@ -21,21 +21,19 @@
 #include <optional>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "eig/lanczos.hpp"
 #include "graph/graph.hpp"
 #include "knn/knn_graph.hpp"
 #include "la/dense_matrix.hpp"
 #include "solver/laplacian_solver.hpp"
+#include "spectral/embedding.hpp"
 
 namespace sgl::core {
 
 struct SglConfig {
   /// kNN parameter for the candidate graph (paper default k = 5).
   Index k = 5;
-  /// Embedding order r: eigenvectors u_2…u_r are used (paper default 5).
-  Index r = 5;
-  /// Prior feature variance σ²; the paper's analysis takes σ² → ∞.
-  Real sigma2 = 1e6;
   /// Sensitivity tolerance (paper: iterations stop at smax < 1e-12).
   Real tolerance = 1e-12;
   /// Edge sampling ratio β: at most ⌈Nβ⌉ edges join per iteration.
@@ -50,12 +48,44 @@ struct SglConfig {
   Index num_threads = 0;
   /// kNN backend/connectivity knobs (k above overrides knn.k).
   knn::KnnGraphOptions knn;
-  /// Eigensolver knobs for the per-iteration embedding.
-  eig::LanczosOptions lanczos;
-  /// Laplacian solver knobs (embedding + scaling solves).
-  solver::LaplacianSolverOptions solver;
+  /// Every per-iteration embedding knob in one place: the order r, the
+  /// prior variance σ², the engine selection (exact / solver-free / auto)
+  /// and the engine-specific options (lanczos + solver for exact, sf for
+  /// solver-free). embedding.solver also serves the edge-scaling solves.
+  /// Before this struct existed the r/sigma2/lanczos/solver knobs were
+  /// duplicated here and copied field-by-field each iteration.
+  spectral::EmbeddingOptions embedding;
   /// Optional per-iteration observer (progress logging in benches).
   std::function<void(Index iteration, Real smax, Index edges_added)> observer;
+
+  // --- Deprecated compat aliases (kept for one release) --------------------
+  // The scalar knobs moved into `embedding`. The sentinel 0 means "unset";
+  // a nonzero value set through the old name overrides the embedding field
+  // when the learner starts.
+  SGL_SUPPRESS_DEPRECATED_BEGIN
+  [[deprecated("use SglConfig::embedding.r")]] Index r = 0;
+  [[deprecated("use SglConfig::embedding.sigma2")]] Real sigma2 = 0.0;
+  // The special members are defaulted inside the suppression region: their
+  // synthesized bodies touch the deprecated initializers above, which
+  // would otherwise warn at every `SglConfig config;` in client code.
+  SglConfig() = default;
+  SglConfig(const SglConfig&) = default;
+  SglConfig(SglConfig&&) = default;
+  SglConfig& operator=(const SglConfig&) = default;
+  SglConfig& operator=(SglConfig&&) = default;
+  ~SglConfig() = default;
+  SGL_SUPPRESS_DEPRECATED_END
+  // The struct knobs are reachable through deprecated reference accessors
+  // (`config.lanczos().seed = …`); they alias embedding.lanczos/.solver
+  // directly, so no merge step is needed.
+  [[deprecated("use SglConfig::embedding.lanczos")]]
+  [[nodiscard]] eig::LanczosOptions& lanczos() noexcept {
+    return embedding.lanczos;
+  }
+  [[deprecated("use SglConfig::embedding.solver")]]
+  [[nodiscard]] solver::LaplacianSolverOptions& solver() noexcept {
+    return embedding.solver;
+  }
 };
 
 struct SglIterationStats {
@@ -67,8 +97,15 @@ struct SglIterationStats {
   /// The block eigensolver behind this iteration's embedding met its
   /// residual tolerance. False means the sensitivities were computed from
   /// the best available (unconverged) Ritz pairs — raise
-  /// SglConfig::lanczos.max_subspace if this persists.
+  /// SglConfig::embedding.lanczos.max_subspace if this persists. Always
+  /// true for the solver-free engine (fixed-work projection).
   bool eig_converged = true;
+  /// Engine that computed this iteration's embedding (kAuto resolved).
+  spectral::EmbeddingEngine engine = spectral::EmbeddingEngine::kExact;
+  /// Total weighted-Jacobi sweeps of the solver-free engine (0 for exact).
+  Index smoother_sweeps = 0;
+  /// Coarsening levels of the solver-free hierarchy (0 for exact).
+  Index hierarchy_levels = 0;
 };
 
 struct SglResult {

@@ -77,6 +77,24 @@ CoarseningResult coarsen_heavy_edge_matching(const Graph& g,
   return result;
 }
 
+CoarseningHierarchy build_coarsening_hierarchy(const Graph& g,
+                                               Index coarsest_nodes,
+                                               std::uint64_t seed) {
+  SGL_EXPECTS(coarsest_nodes >= 1,
+              "build_coarsening_hierarchy: target must be positive");
+  CoarseningHierarchy hierarchy;
+  Rng rng(seed);
+  const Graph* current = &g;
+  while (current->num_nodes() > coarsest_nodes) {
+    CoarseningResult level = coarsen_heavy_edge_matching(*current, rng());
+    if (level.coarse.num_nodes() == current->num_nodes()) break;  // stall
+    hierarchy.levels.push_back(
+        {std::move(level.coarse), std::move(level.fine_to_coarse)});
+    current = &hierarchy.levels.back().graph;
+  }
+  return hierarchy;
+}
+
 CoarseningResult coarsen_to_size(const Graph& g, Index target_nodes,
                                  std::uint64_t seed) {
   SGL_EXPECTS(target_nodes >= 1, "coarsen_to_size: target must be positive");

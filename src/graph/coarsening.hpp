@@ -37,4 +37,39 @@ struct CoarseningResult {
                                                Index target_nodes,
                                                std::uint64_t seed = 17);
 
+/// One level of a multilevel hierarchy: the coarse graph plus the map from
+/// the NEXT-FINER level's nodes onto it (level 0 maps the input graph).
+struct HierarchyLevel {
+  Graph graph;
+  std::vector<Index> fine_to_coarse;
+};
+
+/// Full coarsening hierarchy, ordered fine → coarse. Unlike
+/// coarsen_to_size (which composes the maps and keeps only the coarsest
+/// graph), every intermediate level is retained — the structure a
+/// multilevel embedding walks back down, prolonging and smoothing test
+/// vectors level by level (DESIGN.md §6).
+struct CoarseningHierarchy {
+  /// levels[k].fine_to_coarse maps levels[k−1].graph's nodes (the input
+  /// graph for k = 0) onto levels[k].graph. Empty when the input already
+  /// has at most `coarsest_nodes` nodes.
+  std::vector<HierarchyLevel> levels;
+
+  [[nodiscard]] Index num_levels() const noexcept {
+    return to_index(levels.size());
+  }
+  /// The coarsest graph (the input graph is NOT stored; callers keep it).
+  [[nodiscard]] const Graph& coarsest(const Graph& fine) const noexcept {
+    return levels.empty() ? fine : levels.back().graph;
+  }
+};
+
+/// Builds the hierarchy by repeated heavy-edge matching until the coarse
+/// graph has at most `coarsest_nodes` nodes or a level stalls. Each level
+/// draws its visit-order seed from one seeded Rng, so the hierarchy is a
+/// pure function of (g, coarsest_nodes, seed) — the determinism anchor of
+/// the solver-free embedding engine.
+[[nodiscard]] CoarseningHierarchy build_coarsening_hierarchy(
+    const Graph& g, Index coarsest_nodes, std::uint64_t seed = 17);
+
 }  // namespace sgl::graph

@@ -1,10 +1,12 @@
 #include "solver/laplacian_solver.hpp"
 
+#include <array>
 #include <cmath>
 #include <span>
 #include <string>
 #include <utility>
 
+#include "common/enum_names.hpp"
 #include "graph/components.hpp"
 
 namespace sgl::solver {
@@ -30,32 +32,27 @@ la::CsrMatrix grounded_laplacian(const graph::Graph& g, Index ground) {
   return la::CsrMatrix::from_triplets(n - 1, n - 1, triplets);
 }
 
+namespace {
+constexpr std::array<common::EnumName<LaplacianMethod>, 6> kMethodNames{{
+    {LaplacianMethod::kCholesky, "cholesky"},
+    {LaplacianMethod::kPcgJacobi, "pcg-jacobi"},
+    {LaplacianMethod::kPcgIc0, "pcg-ic0"},
+    {LaplacianMethod::kPcgTree, "pcg-tree"},
+    {LaplacianMethod::kPcgAmg, "pcg-amg"},
+    {LaplacianMethod::kAuto, "auto"},
+}};
+}  // namespace
+
 const char* laplacian_method_name(LaplacianMethod method) {
-  switch (method) {
-    case LaplacianMethod::kCholesky:
-      return "cholesky";
-    case LaplacianMethod::kPcgJacobi:
-      return "pcg-jacobi";
-    case LaplacianMethod::kPcgIc0:
-      return "pcg-ic0";
-    case LaplacianMethod::kPcgTree:
-      return "pcg-tree";
-    case LaplacianMethod::kPcgAmg:
-      return "pcg-amg";
-    case LaplacianMethod::kAuto:
-      return "auto";
-  }
-  return "unknown";
+  return common::enum_name(kMethodNames, method);
 }
 
 std::optional<LaplacianMethod> parse_laplacian_method(std::string_view name) {
-  for (const LaplacianMethod m :
-       {LaplacianMethod::kCholesky, LaplacianMethod::kPcgJacobi,
-        LaplacianMethod::kPcgIc0, LaplacianMethod::kPcgTree,
-        LaplacianMethod::kPcgAmg, LaplacianMethod::kAuto}) {
-    if (name == laplacian_method_name(m)) return m;
-  }
-  return std::nullopt;
+  return common::parse_enum(kMethodNames, name);
+}
+
+std::string laplacian_method_name_list() {
+  return common::enum_name_list(kMethodNames);
 }
 
 LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,

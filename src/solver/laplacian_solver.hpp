@@ -13,6 +13,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -49,6 +50,9 @@ enum class LaplacianMethod {
 /// Inverse of laplacian_method_name; nullopt for unknown names.
 [[nodiscard]] std::optional<LaplacianMethod> parse_laplacian_method(
     std::string_view name);
+
+/// Comma-joined valid names for CLI error messages.
+[[nodiscard]] std::string laplacian_method_name_list();
 
 struct LaplacianSolverOptions {
   LaplacianMethod method = LaplacianMethod::kAuto;

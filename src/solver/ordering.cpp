@@ -1,10 +1,12 @@
 #include "solver/ordering.hpp"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 #include <queue>
 
 #include "common/contracts.hpp"
+#include "common/enum_names.hpp"
 
 namespace sgl::solver {
 
@@ -295,30 +297,26 @@ std::vector<Index> nested_dissection_ordering(const la::CsrMatrix& a) {
   return perm;
 }
 
+namespace {
+constexpr std::array<common::EnumName<OrderingMethod>, 5> kOrderingNames{{
+    {OrderingMethod::kNatural, "natural"},
+    {OrderingMethod::kRcm, "rcm"},
+    {OrderingMethod::kMinimumDegree, "amd"},
+    {OrderingMethod::kNestedDissection, "nd"},
+    {OrderingMethod::kAuto, "auto"},
+}};
+}  // namespace
+
 const char* ordering_method_name(OrderingMethod method) {
-  switch (method) {
-    case OrderingMethod::kNatural:
-      return "natural";
-    case OrderingMethod::kRcm:
-      return "rcm";
-    case OrderingMethod::kMinimumDegree:
-      return "amd";
-    case OrderingMethod::kNestedDissection:
-      return "nd";
-    case OrderingMethod::kAuto:
-      return "auto";
-  }
-  return "unknown";
+  return common::enum_name(kOrderingNames, method);
 }
 
 std::optional<OrderingMethod> parse_ordering_method(std::string_view name) {
-  for (const OrderingMethod m :
-       {OrderingMethod::kNatural, OrderingMethod::kRcm,
-        OrderingMethod::kMinimumDegree, OrderingMethod::kNestedDissection,
-        OrderingMethod::kAuto}) {
-    if (name == ordering_method_name(m)) return m;
-  }
-  return std::nullopt;
+  return common::parse_enum(kOrderingNames, name);
+}
+
+std::string ordering_method_name_list() {
+  return common::enum_name_list(kOrderingNames);
 }
 
 std::vector<Index> compute_ordering(const la::CsrMatrix& a,

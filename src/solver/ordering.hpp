@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -34,6 +35,9 @@ enum class OrderingMethod {
 /// Inverse of ordering_method_name; nullopt for unknown names.
 [[nodiscard]] std::optional<OrderingMethod> parse_ordering_method(
     std::string_view name);
+
+/// Comma-joined valid names for CLI error messages.
+[[nodiscard]] std::string ordering_method_name_list();
 
 /// Identity permutation.
 [[nodiscard]] std::vector<Index> natural_ordering(Index n);

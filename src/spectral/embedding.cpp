@@ -1,15 +1,23 @@
 #include "spectral/embedding.hpp"
 
+#include <array>
 #include <cmath>
 
+#include "common/enum_names.hpp"
 #include "common/parallel.hpp"
+#include "spectral/sf_embedding.hpp"
 
 namespace sgl::spectral {
+namespace {
 
-Embedding compute_embedding(const graph::Graph& g,
-                            const EmbeddingOptions& options) {
-  SGL_EXPECTS(options.r >= 2, "compute_embedding: r must be at least 2");
-  SGL_EXPECTS(options.sigma2 > 0.0, "compute_embedding: sigma2 must be positive");
+constexpr std::array<common::EnumName<EmbeddingEngine>, 3> kEngineNames{{
+    {EmbeddingEngine::kExact, "exact"},
+    {EmbeddingEngine::kSolverFree, "solver-free"},
+    {EmbeddingEngine::kAuto, "auto"},
+}};
+
+Embedding compute_exact_embedding(const graph::Graph& g,
+                                  const EmbeddingOptions& options) {
   const Index dims = std::min(options.r - 1, g.num_nodes() - 1);
 
   const solver::LaplacianPinvSolver pinv(g, options.solver);
@@ -20,6 +28,7 @@ Embedding compute_embedding(const graph::Graph& g,
   out.eigenvalues = pairs.eigenvalues;
   out.eig_converged = pairs.converged;
   out.lanczos_steps = pairs.lanczos_steps;
+  out.engine_used = EmbeddingEngine::kExact;
   out.u = la::DenseMatrix(g.num_nodes(), dims);
   const Real inv_sigma2 = 1.0 / options.sigma2;
   // Column scaling is a block AXPY-style kernel: each column is scaled
@@ -33,6 +42,38 @@ Embedding compute_embedding(const graph::Graph& g,
     for (Index i = 0; i < g.num_nodes(); ++i) dst[i] = scale * src[i];
   });
   return out;
+}
+
+}  // namespace
+
+const char* embedding_engine_name(EmbeddingEngine engine) {
+  return common::enum_name(kEngineNames, engine);
+}
+
+std::optional<EmbeddingEngine> parse_embedding_engine(std::string_view name) {
+  return common::parse_enum(kEngineNames, name);
+}
+
+std::string embedding_engine_name_list() {
+  return common::enum_name_list(kEngineNames);
+}
+
+EmbeddingEngine resolve_embedding_engine(EmbeddingEngine engine,
+                                         Index num_nodes) {
+  if (engine != EmbeddingEngine::kAuto) return engine;
+  return num_nodes >= kAutoSolverFreeThreshold ? EmbeddingEngine::kSolverFree
+                                               : EmbeddingEngine::kExact;
+}
+
+Embedding compute_embedding(const graph::Graph& g,
+                            const EmbeddingOptions& options) {
+  SGL_EXPECTS(options.r >= 2, "compute_embedding: r must be at least 2");
+  SGL_EXPECTS(options.sigma2 > 0.0, "compute_embedding: sigma2 must be positive");
+  const EmbeddingEngine engine =
+      resolve_embedding_engine(options.engine, g.num_nodes());
+  if (engine == EmbeddingEngine::kSolverFree)
+    return compute_sf_embedding(g, options);
+  return compute_exact_embedding(g, options);
 }
 
 }  // namespace sgl::spectral

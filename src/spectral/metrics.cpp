@@ -39,10 +39,10 @@ Real mean_relative_error(const la::Vector& reference, const la::Vector& approx) 
 
 SpectrumComparison compare_spectra(const graph::Graph& reference,
                                    const graph::Graph& learned, Index k,
-                                   const eig::LanczosOptions& lanczos,
-                                   const solver::LaplacianSolverOptions& solver) {
+                                   const EmbeddingOptions& options) {
   SGL_EXPECTS(reference.num_nodes() == learned.num_nodes() || k >= 1,
               "compare_spectra: k must be positive");
+  const eig::LanczosOptions& lanczos = options.lanczos;
   const Index k_ref = std::min(k, reference.num_nodes() - 1);
   const Index k_learned = std::min(k, learned.num_nodes() - 1);
   const Index kk = std::min(k_ref, k_learned);
@@ -59,8 +59,8 @@ SpectrumComparison compare_spectra(const graph::Graph& reference,
         learned.num_nodes(), kk, lanczos.block_size);
   }
 
-  const solver::LaplacianPinvSolver pinv_ref(reference, solver);
-  const solver::LaplacianPinvSolver pinv_learned(learned, solver);
+  const solver::LaplacianPinvSolver pinv_ref(reference, options.solver);
+  const solver::LaplacianPinvSolver pinv_learned(learned, options.solver);
   SpectrumComparison out;
   out.reference =
       eig::smallest_laplacian_eigenpairs(pinv_ref, kk, opt_ref).eigenvalues;
@@ -118,11 +118,11 @@ std::vector<std::pair<Index, Index>> sample_node_pairs_by_hops(
 ResistanceComparison compare_effective_resistances(
     const graph::Graph& reference, const graph::Graph& learned,
     const std::vector<std::pair<Index, Index>>& pairs,
-    const solver::LaplacianSolverOptions& solver) {
+    const EmbeddingOptions& options) {
   SGL_EXPECTS(reference.num_nodes() == learned.num_nodes(),
               "compare_effective_resistances: node count mismatch");
-  const solver::LaplacianPinvSolver pinv_ref(reference, solver);
-  const solver::LaplacianPinvSolver pinv_learned(learned, solver);
+  const solver::LaplacianPinvSolver pinv_ref(reference, options.solver);
+  const solver::LaplacianPinvSolver pinv_learned(learned, options.solver);
 
   // All probe vectors e_s − e_t go through one multi-RHS block solve per
   // graph instead of a solve per pair.

@@ -6,8 +6,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "eig/lanczos.hpp"
 #include "graph/graph.hpp"
+#include "spectral/embedding.hpp"
 
 namespace sgl::spectral {
 
@@ -28,10 +28,11 @@ struct SpectrumComparison {
 
 /// Computes the first K nontrivial eigenvalues of both graphs and the
 /// scatter statistics the paper plots ("True" vs "Appr." eigenvalues).
+/// Only options.lanczos/.solver are read (the comparison always runs the
+/// exact eigensolve path; r/sigma2/engine do not apply).
 [[nodiscard]] SpectrumComparison compare_spectra(
     const graph::Graph& reference, const graph::Graph& learned, Index k,
-    const eig::LanczosOptions& lanczos = {},
-    const solver::LaplacianSolverOptions& solver = {});
+    const EmbeddingOptions& options = {});
 
 /// Uniformly random distinct node pairs (s ≠ t).
 [[nodiscard]] std::vector<std::pair<Index, Index>> sample_node_pairs(
@@ -54,10 +55,10 @@ struct ResistanceComparison {
 };
 
 /// Exact effective resistances on both graphs over the given pairs
-/// (Fig. 7 scatter data).
+/// (Fig. 7 scatter data). Only options.solver is read.
 [[nodiscard]] ResistanceComparison compare_effective_resistances(
     const graph::Graph& reference, const graph::Graph& learned,
     const std::vector<std::pair<Index, Index>>& pairs,
-    const solver::LaplacianSolverOptions& solver = {});
+    const EmbeddingOptions& options = {});
 
 }  // namespace sgl::spectral

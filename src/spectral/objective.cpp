@@ -18,13 +18,13 @@ ObjectiveBreakdown graphical_lasso_objective(const graph::Graph& g,
                                              const la::DenseMatrix& x,
                                              const ObjectiveOptions& options) {
   SGL_EXPECTS(x.cols() >= 1, "graphical_lasso_objective: empty measurements");
-  SGL_EXPECTS(options.sigma2 > 0.0,
+  SGL_EXPECTS(options.embedding.sigma2 > 0.0,
               "graphical_lasso_objective: sigma2 must be positive");
   const Index k = std::min(options.num_eigenvalues, g.num_nodes() - 1);
-  const Real inv_sigma2 = 1.0 / options.sigma2;
+  const Real inv_sigma2 = 1.0 / options.embedding.sigma2;
 
-  const solver::LaplacianPinvSolver pinv(g, options.solver);
-  eig::LanczosOptions lanczos = options.lanczos;
+  const solver::LaplacianPinvSolver pinv(g, options.embedding.solver);
+  eig::LanczosOptions lanczos = options.embedding.lanczos;
   if (lanczos.max_subspace == 0) {
     // The 50-eigenvalue log det needs a roomier subspace than embedding.
     lanczos.max_subspace =

@@ -6,17 +6,18 @@
 // exact and costs O(|E|·M).
 #pragma once
 
-#include "eig/lanczos.hpp"
 #include "graph/graph.hpp"
 #include "la/dense_matrix.hpp"
+#include "spectral/embedding.hpp"
 
 namespace sgl::spectral {
 
 struct ObjectiveOptions {
   Index num_eigenvalues = 50;  // K nonzero eigenvalues for log det
-  Real sigma2 = 1e6;
-  eig::LanczosOptions lanczos;
-  solver::LaplacianSolverOptions solver;
+  /// σ², Lanczos and solver knobs (shared with the embedding seam).
+  /// embedding.r and embedding.engine are ignored: the log det spectrum
+  /// always comes from the exact eigensolve path.
+  EmbeddingOptions embedding;
 };
 
 struct ObjectiveBreakdown {

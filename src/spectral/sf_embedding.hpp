@@ -1,0 +1,38 @@
+// Solver-free spectral embedding (SF-SGL, arXiv 2302.04384).
+//
+// Replaces the Lanczos + Laplacian-pinv path of the exact engine with a
+// multilevel construction that never solves a linear system:
+//
+//   1. Coarsen the graph by repeated heavy-edge matching into a hierarchy
+//      small enough that a random block spans its low spectrum.
+//   2. Fill a seeded Gaussian test block on the coarsest graph and smooth
+//      it with weighted Jacobi (X ← X − ω D⁻¹ L X) — each sweep damps
+//      high-frequency components, leaving low-pass-filtered vectors.
+//   3. Walk the hierarchy back up: piecewise-constant prolongation (copy
+//      each aggregate's value to its fine nodes), then smooth again at
+//      every level.
+//   4. At the finest level, deflate the constant nullspace, orthonormalize
+//      the block, and run one Rayleigh–Ritz projection (a t × t dense
+//      eigenproblem) to recover approximate Laplacian eigenpairs with the
+//      correct eigenvalue scale for the 1/√(λ + 1/σ²) column weighting of
+//      paper eq. 12.
+//
+// Cost: O(sweeps · |E| · t) — no factorization, no PCG, no Lanczos.
+// Determinism: the hierarchy and the random block are pure functions of
+// the seed, and every kernel on the hot path (spmm, block products,
+// column centering) is bit-identical for every thread count, so the
+// result honors the repo determinism contract.
+#pragma once
+
+#include "spectral/embedding.hpp"
+
+namespace sgl::spectral {
+
+/// Computes the solver-free embedding of a connected graph. Produces the
+/// same Embedding shape as the exact engine: r−1 scaled Ritz vector
+/// columns with ascending Ritz values, engine diagnostics filled in
+/// (engine_used, smoother_sweeps, hierarchy_levels).
+[[nodiscard]] Embedding compute_sf_embedding(const graph::Graph& g,
+                                             const EmbeddingOptions& options);
+
+}  // namespace sgl::spectral

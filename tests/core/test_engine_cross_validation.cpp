@@ -1,0 +1,158 @@
+// Cross-validation of the two embedding engines through the full SGL
+// learning loop: on the paper's figure-generator graphs the solver-free
+// engine must learn essentially the same topology as the exact engine
+// (edge Jaccard ≥ 0.9) with comparable spectral quality, and the
+// solver-free run must honor the determinism contract end to end.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "graph/generators.hpp"
+#include "measure/measurements.hpp"
+#include "sgl.hpp"
+#include "spectral/metrics.hpp"
+
+namespace sgl::core {
+namespace {
+
+SglResult learn_with_engine(const measure::Measurements& data,
+                            spectral::EmbeddingEngine engine,
+                            Index num_threads = 0) {
+  SglConfig config;
+  config.embedding.engine = engine;
+  config.num_threads = num_threads;
+  return learn_graph(data.voltages, data.currents, config);
+}
+
+std::set<std::pair<Index, Index>> edge_set(const graph::Graph& g) {
+  std::set<std::pair<Index, Index>> edges;
+  for (const graph::Edge& e : g.edges()) edges.insert({e.s, e.t});
+  return edges;
+}
+
+double edge_jaccard(const graph::Graph& a, const graph::Graph& b) {
+  const auto ea = edge_set(a);
+  const auto eb = edge_set(b);
+  std::size_t intersection = 0;
+  for (const auto& e : ea) intersection += eb.count(e);
+  return static_cast<double>(intersection) /
+         static_cast<double>(ea.size() + eb.size() - intersection);
+}
+
+// Shared body: learn with both engines and compare topology + spectrum.
+// Thresholds carry generous margin over the measured values (grid 20×20:
+// Jaccard 0.96, correlations ≥ 0.98; triangulated mesh: Jaccard 0.93).
+void expect_engines_agree(const graph::Graph& truth) {
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 50;
+  const measure::Measurements data = measure::generate_measurements(truth, mopt);
+
+  const SglResult exact =
+      learn_with_engine(data, spectral::EmbeddingEngine::kExact);
+  const SglResult sf =
+      learn_with_engine(data, spectral::EmbeddingEngine::kSolverFree);
+
+  EXPECT_GE(edge_jaccard(exact.learned, sf.learned), 0.9);
+
+  ASSERT_FALSE(exact.history.empty());
+  ASSERT_FALSE(sf.history.empty());
+  EXPECT_EQ(exact.history.back().engine, spectral::EmbeddingEngine::kExact);
+  EXPECT_EQ(sf.history.back().engine, spectral::EmbeddingEngine::kSolverFree);
+  EXPECT_GT(sf.history.back().smoother_sweeps, 0);
+  EXPECT_EQ(exact.history.back().smoother_sweeps, 0);
+
+  // Both learned graphs must reproduce the truth's low spectrum: high
+  // eigenvalue correlation, and the solver-free relative error within a
+  // loose band of the exact engine's.
+  const Index k = std::min<Index>(15, truth.num_nodes() - 1);
+  const spectral::SpectrumComparison cmp_exact =
+      spectral::compare_spectra(truth, exact.learned, k);
+  const spectral::SpectrumComparison cmp_sf =
+      spectral::compare_spectra(truth, sf.learned, k);
+  EXPECT_GE(cmp_exact.correlation, 0.95);
+  EXPECT_GE(cmp_sf.correlation, 0.95);
+  EXPECT_LE(cmp_sf.mean_rel_error, 3.0 * cmp_exact.mean_rel_error + 0.3);
+}
+
+TEST(EngineCrossValidation, Grid2d) {
+  expect_engines_agree(graph::make_grid2d(20, 20).graph);
+}
+
+TEST(EngineCrossValidation, TriangulatedMesh) {
+  graph::TriMeshOptions options;
+  options.nx = 16;
+  options.ny = 16;
+  expect_engines_agree(graph::make_triangulated_mesh(options).graph);
+}
+
+TEST(EngineCrossValidation, CircuitGrid) {
+  expect_engines_agree(graph::make_circuit_grid(12, 12, 0, 0.5, 5.0, 3).graph);
+}
+
+TEST(EngineCrossValidation, SolverFreeRunIsBitIdenticalAcrossThreadCounts) {
+  const graph::Graph truth = graph::make_grid2d(16, 16).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 40;
+  const measure::Measurements data = measure::generate_measurements(truth, mopt);
+
+  const SglResult serial =
+      learn_with_engine(data, spectral::EmbeddingEngine::kSolverFree, 1);
+  for (const Index threads : {4, 8}) {
+    const SglResult parallel =
+        learn_with_engine(data, spectral::EmbeddingEngine::kSolverFree, threads);
+    ASSERT_EQ(parallel.learned.num_edges(), serial.learned.num_edges())
+        << threads << " threads";
+    for (Index e = 0; e < serial.learned.num_edges(); ++e) {
+      const graph::Edge& a = serial.learned.edge(e);
+      const graph::Edge& b = parallel.learned.edge(e);
+      ASSERT_EQ(a.s, b.s) << threads << " threads, edge " << e;
+      ASSERT_EQ(a.t, b.t) << threads << " threads, edge " << e;
+      ASSERT_EQ(a.weight, b.weight) << threads << " threads, edge " << e;
+    }
+  }
+}
+
+TEST(EngineCrossValidation, SolverFreeRunIsReproducibleAtFixedSeed) {
+  const graph::Graph truth = graph::make_grid2d(14, 14).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 40;
+  const measure::Measurements data = measure::generate_measurements(truth, mopt);
+
+  const SglResult a =
+      learn_with_engine(data, spectral::EmbeddingEngine::kSolverFree);
+  const SglResult b =
+      learn_with_engine(data, spectral::EmbeddingEngine::kSolverFree);
+  EXPECT_EQ(edge_set(a.learned), edge_set(b.learned));
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.final_smax, b.final_smax);
+}
+
+TEST(EngineCrossValidation, DeprecatedConfigAliasesStillSteerTheLearner) {
+  // The pre-redesign scalar knobs must keep working for one release: a
+  // value set through the old name overrides the embedding field.
+  const graph::Graph truth = graph::make_grid2d(10, 10).graph;
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 30;
+  const measure::Measurements data = measure::generate_measurements(truth, mopt);
+
+  SglConfig modern;
+  modern.embedding.r = 3;
+  const SglResult expected = learn_graph(data.voltages, data.currents, modern);
+
+  SglConfig legacy;
+  SGL_SUPPRESS_DEPRECATED_BEGIN
+  legacy.r = 3;
+  legacy.sigma2 = modern.embedding.sigma2;
+  legacy.lanczos().seed = modern.embedding.lanczos.seed;
+  legacy.solver().method = modern.embedding.solver.method;
+  SGL_SUPPRESS_DEPRECATED_END
+  const SglResult got = learn_graph(data.voltages, data.currents, legacy);
+
+  EXPECT_EQ(edge_set(expected.learned), edge_set(got.learned));
+  EXPECT_EQ(expected.iterations, got.iterations);
+}
+
+}  // namespace
+}  // namespace sgl::core

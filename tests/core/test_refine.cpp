@@ -24,7 +24,7 @@ TEST(Refine, ImprovesObjectiveAfterSgl) {
           .value();
 
   RefineOptions ropt;
-  ropt.r = 15;
+  ropt.embedding.r = 15;
   const RefineResult r = refine_edge_weights(learned.learned, m.voltages, ropt);
   EXPECT_GE(r.iterations, 1);
   const Real f_after =
@@ -47,7 +47,7 @@ TEST(Refine, MoreIterationsDoNotHurtTheObjective) {
 
   RefineOptions one;
   one.max_iterations = 1;
-  one.r = 12;
+  one.embedding.r = 12;
   graph::Graph g1 = learned.learned;
   refine_edge_weights(g1, m.voltages, one);
   const Real f_one =

@@ -199,8 +199,8 @@ TEST(SglLearner, ConvergenceCertificateHolds) {
   ASSERT_TRUE(result.converged);
 
   spectral::EmbeddingOptions eopt;
-  eopt.r = config.r;
-  eopt.sigma2 = config.sigma2;
+  eopt.r = config.embedding.r;
+  eopt.sigma2 = config.embedding.sigma2;
   const spectral::Embedding emb =
       spectral::compute_embedding(result.learned, eopt);
 
@@ -265,7 +265,7 @@ TEST(SglLearner, ExhaustionIsNotReportedAsConvergence) {
   }
   SglConfig config;
   config.k = 2;
-  config.r = 3;
+  config.embedding.r = 3;
   config.tolerance = 0.0;
   config.beta = 1.0;
   SglLearner learner(x, config);
@@ -338,7 +338,8 @@ TEST(SglLearner, StepReportsEigensolverConvergence) {
   // A basis capped at r−1 vectors starves the block eigensolver; the
   // iteration must still make progress but flag the unconverged embedding.
   SglConfig starved_config;
-  starved_config.lanczos.max_subspace = starved_config.r - 1;
+  starved_config.embedding.lanczos.max_subspace =
+      starved_config.embedding.r - 1;
   SglLearner starved(m.voltages, starved_config);
   const SglIterationStats stats = starved.step();
   EXPECT_FALSE(stats.eig_converged);
@@ -354,9 +355,9 @@ TEST(SglLearner, Contracts) {
   config.k = 10;
   EXPECT_THROW(SglLearner(ok, config), ContractViolation);
   config.k = 3;
-  config.r = 1;
+  config.embedding.r = 1;
   EXPECT_THROW(SglLearner(ok, config), ContractViolation);
-  config.r = 5;
+  config.embedding.r = 5;
   config.beta = 0.0;
   EXPECT_THROW(SglLearner(ok, config), ContractViolation);
   config.beta = 1e-3;

@@ -115,5 +115,43 @@ TEST(Coarsening, DeterministicPerSeed) {
   EXPECT_EQ(a.coarse.num_edges(), b.coarse.num_edges());
 }
 
+TEST(Hierarchy, ShrinksMonotonicallyToTarget) {
+  const Graph g = make_grid2d(16, 16).graph;  // 256 nodes
+  const CoarseningHierarchy h = build_coarsening_hierarchy(g, 30);
+  ASSERT_GE(h.num_levels(), 2);
+  Index previous = g.num_nodes();
+  for (const HierarchyLevel& level : h.levels) {
+    EXPECT_LT(level.graph.num_nodes(), previous);
+    // Each level's map takes the previous (finer) level's nodes.
+    EXPECT_EQ(to_index(level.fine_to_coarse.size()), previous);
+    for (const Index c : level.fine_to_coarse) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, level.graph.num_nodes());
+    }
+    EXPECT_TRUE(is_connected(level.graph));
+    previous = level.graph.num_nodes();
+  }
+  EXPECT_LE(h.coarsest(g).num_nodes(), 30);
+}
+
+TEST(Hierarchy, DeterministicPerSeed) {
+  const Graph g = make_grid2d(14, 13).graph;
+  const CoarseningHierarchy a = build_coarsening_hierarchy(g, 25, 99);
+  const CoarseningHierarchy b = build_coarsening_hierarchy(g, 25, 99);
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (Index k = 0; k < a.num_levels(); ++k) {
+    EXPECT_EQ(a.levels[static_cast<std::size_t>(k)].fine_to_coarse,
+              b.levels[static_cast<std::size_t>(k)].fine_to_coarse);
+  }
+}
+
+TEST(Hierarchy, LargeTargetYieldsNoLevels) {
+  const Graph g = make_grid2d(5, 5).graph;
+  const CoarseningHierarchy h = build_coarsening_hierarchy(g, 25);
+  EXPECT_EQ(h.num_levels(), 0);
+  // With no levels the coarsest graph is the input itself.
+  EXPECT_EQ(h.coarsest(g).num_nodes(), 25);
+}
+
 }  // namespace
 }  // namespace sgl::graph

@@ -39,7 +39,7 @@ TEST(Objective, MatchesDenseComputationOnSmallGraph) {
 
   ObjectiveOptions options;
   options.num_eigenvalues = n - 1;
-  options.sigma2 = sigma2;
+  options.embedding.sigma2 = sigma2;
   const ObjectiveBreakdown got = graphical_lasso_objective(g, x, options);
 
   // Dense reference: log det(L + I/σ²) via eigenvalues.

@@ -1,0 +1,204 @@
+// Unit tests for the solver-free (SF-SGL) embedding engine and the
+// EmbeddingEngine seam: name table round-trips, the kAuto policy, Ritz
+// quality against the exact engine, and the determinism contract
+// (fixed-seed reproducibility, thread-count bit-identity).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spectral/embedding.hpp"
+#include "spectral/sf_embedding.hpp"
+
+namespace sgl::spectral {
+namespace {
+
+TEST(EmbeddingEngineNames, RoundTrip) {
+  for (const EmbeddingEngine e :
+       {EmbeddingEngine::kExact, EmbeddingEngine::kSolverFree,
+        EmbeddingEngine::kAuto}) {
+    const auto parsed = parse_embedding_engine(embedding_engine_name(e));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, e);
+  }
+}
+
+TEST(EmbeddingEngineNames, UnknownNameIsRejected) {
+  EXPECT_FALSE(parse_embedding_engine("lanczos").has_value());
+  EXPECT_FALSE(parse_embedding_engine("").has_value());
+  EXPECT_FALSE(parse_embedding_engine("Exact").has_value());  // case-sensitive
+}
+
+TEST(EmbeddingEngineNames, ListMentionsEveryEngine) {
+  const std::string list = embedding_engine_name_list();
+  EXPECT_NE(list.find("exact"), std::string::npos);
+  EXPECT_NE(list.find("solver-free"), std::string::npos);
+  EXPECT_NE(list.find("auto"), std::string::npos);
+}
+
+TEST(EmbeddingEngineSeam, ExplicitChoicesAreHonored) {
+  EXPECT_EQ(resolve_embedding_engine(EmbeddingEngine::kExact, 1000000),
+            EmbeddingEngine::kExact);
+  EXPECT_EQ(resolve_embedding_engine(EmbeddingEngine::kSolverFree, 10),
+            EmbeddingEngine::kSolverFree);
+}
+
+TEST(EmbeddingEngineSeam, AutoSwitchesAtThreshold) {
+  EXPECT_EQ(resolve_embedding_engine(EmbeddingEngine::kAuto,
+                                     kAutoSolverFreeThreshold - 1),
+            EmbeddingEngine::kExact);
+  EXPECT_EQ(
+      resolve_embedding_engine(EmbeddingEngine::kAuto, kAutoSolverFreeThreshold),
+      EmbeddingEngine::kSolverFree);
+}
+
+TEST(EmbeddingEngineSeam, DispatchReportsEngineUsed) {
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  EmbeddingOptions options;
+  options.r = 4;
+
+  options.engine = EmbeddingEngine::kExact;
+  EXPECT_EQ(compute_embedding(g, options).engine_used,
+            EmbeddingEngine::kExact);
+
+  options.engine = EmbeddingEngine::kSolverFree;
+  EXPECT_EQ(compute_embedding(g, options).engine_used,
+            EmbeddingEngine::kSolverFree);
+
+  // Small graph + kAuto resolves to the exact engine.
+  options.engine = EmbeddingEngine::kAuto;
+  EXPECT_EQ(compute_embedding(g, options).engine_used,
+            EmbeddingEngine::kExact);
+}
+
+TEST(SfEmbedding, DimensionsFollowR) {
+  const graph::Graph g = graph::make_grid2d(20, 20).graph;
+  EmbeddingOptions options;
+  options.r = 5;
+  const Embedding e = compute_sf_embedding(g, options);
+  EXPECT_EQ(e.u.rows(), 400);
+  EXPECT_EQ(e.u.cols(), 4);  // u2..u5
+  EXPECT_EQ(e.eigenvalues.size(), 4u);
+  EXPECT_EQ(e.engine_used, EmbeddingEngine::kSolverFree);
+  EXPECT_GT(e.hierarchy_levels, 0);
+  EXPECT_GT(e.smoother_sweeps, 0);
+  // The solver-free projection runs a fixed amount of work: there is no
+  // iterative eigensolver that could fail to converge.
+  EXPECT_TRUE(e.eig_converged);
+  EXPECT_EQ(e.lanczos_steps, 0);
+}
+
+TEST(SfEmbedding, RIsCappedByGraphSize) {
+  const graph::Graph g = graph::make_path(6);
+  EmbeddingOptions options;
+  options.r = 50;
+  const Embedding e = compute_sf_embedding(g, options);
+  EXPECT_EQ(e.u.cols(), 5);  // at most n−1 nontrivial pairs
+  EXPECT_EQ(e.u.rows(), 6);
+}
+
+TEST(SfEmbedding, RitzValuesTrackExactEigenvalues) {
+  // The probe measured ≤ 13% relative Ritz error on this grid with the
+  // default smoothing budget; 50% leaves room for platform variation
+  // while still catching a broken projection (errors would be O(1)).
+  const graph::Graph g = graph::make_grid2d(20, 20).graph;
+  EmbeddingOptions options;
+  options.r = 5;
+  options.engine = EmbeddingEngine::kExact;
+  const Embedding exact = compute_embedding(g, options);
+  const Embedding sf = compute_sf_embedding(g, options);
+  ASSERT_EQ(sf.eigenvalues.size(), exact.eigenvalues.size());
+  for (std::size_t i = 0; i < exact.eigenvalues.size(); ++i) {
+    EXPECT_NEAR(sf.eigenvalues[i], exact.eigenvalues[i],
+                0.5 * exact.eigenvalues[i])
+        << "Ritz value " << i;
+  }
+}
+
+TEST(SfEmbedding, EigenvaluesAscending) {
+  const graph::Graph g = graph::make_grid2d(12, 9).graph;
+  EmbeddingOptions options;
+  options.r = 6;
+  const Embedding e = compute_sf_embedding(g, options);
+  for (std::size_t i = 1; i < e.eigenvalues.size(); ++i)
+    EXPECT_LE(e.eigenvalues[i - 1], e.eigenvalues[i] + 1e-12);
+}
+
+TEST(SfEmbedding, FixedSeedIsBitwiseReproducible) {
+  const graph::Graph g = graph::make_grid2d(15, 15).graph;
+  EmbeddingOptions options;
+  options.r = 5;
+  const Embedding a = compute_sf_embedding(g, options);
+  const Embedding b = compute_sf_embedding(g, options);
+  EXPECT_EQ(a.u.data(), b.u.data());
+  EXPECT_EQ(a.eigenvalues, b.eigenvalues);
+}
+
+TEST(SfEmbedding, SeedChangesTestVectors) {
+  const graph::Graph g = graph::make_grid2d(15, 15).graph;
+  EmbeddingOptions a;
+  a.r = 5;
+  EmbeddingOptions b = a;
+  b.sf.seed = a.sf.seed + 1;
+  EXPECT_NE(compute_sf_embedding(g, a).u.data(),
+            compute_sf_embedding(g, b).u.data());
+}
+
+TEST(SfEmbedding, BitIdenticalAcrossThreadCounts) {
+  // The determinism contract of the engine seam: at a fixed seed the
+  // solver-free embedding is the same bit pattern for every thread count.
+  const graph::Graph g = graph::make_grid2d(20, 20).graph;
+  EmbeddingOptions base;
+  base.r = 5;
+  base.sf.num_threads = 1;
+  const Embedding serial = compute_sf_embedding(g, base);
+  for (const Index threads : {2, 4, 8}) {
+    EmbeddingOptions options = base;
+    options.sf.num_threads = threads;
+    const Embedding e = compute_sf_embedding(g, options);
+    EXPECT_EQ(serial.u.data(), e.u.data()) << threads << " threads";
+    EXPECT_EQ(serial.eigenvalues, e.eigenvalues) << threads << " threads";
+  }
+}
+
+TEST(SfEmbedding, SmootherBudgetIsConfigurable) {
+  const graph::Graph g = graph::make_grid2d(14, 14).graph;
+  EmbeddingOptions options;
+  options.r = 4;
+  options.sf.smoother_sweeps = 3;
+  const Embedding light = compute_sf_embedding(g, options);
+  options.sf.smoother_sweeps = 12;
+  const Embedding heavy = compute_sf_embedding(g, options);
+  EXPECT_GT(heavy.smoother_sweeps, light.smoother_sweeps);
+  EXPECT_EQ(heavy.hierarchy_levels, light.hierarchy_levels);
+}
+
+TEST(SfEmbedding, Contracts) {
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  {
+    EmbeddingOptions options;
+    options.r = 1;
+    EXPECT_THROW((void)compute_sf_embedding(g, options), ContractViolation);
+  }
+  {
+    EmbeddingOptions options;
+    options.sigma2 = 0.0;
+    EXPECT_THROW((void)compute_sf_embedding(g, options), ContractViolation);
+  }
+  {
+    EmbeddingOptions options;
+    options.sf.smoother_sweeps = 0;
+    EXPECT_THROW((void)compute_sf_embedding(g, options), ContractViolation);
+  }
+  {
+    EmbeddingOptions options;
+    options.sf.jacobi_weight = 1.5;
+    EXPECT_THROW((void)compute_sf_embedding(g, options), ContractViolation);
+  }
+  {
+    EmbeddingOptions options;
+    options.sf.coarsest_size = 1;
+    EXPECT_THROW((void)compute_sf_embedding(g, options), ContractViolation);
+  }
+}
+
+}  // namespace
+}  // namespace sgl::spectral

@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
                      [--metric real_time] [--strict] [--filter REGEX]
+    bench_compare.py --baseline-file BENCH_solver.json CURRENT.json ...
 
 Benchmarks are matched by name. A benchmark whose current time exceeds
 the baseline by more than the threshold (default 15%) is flagged as a
@@ -14,9 +15,16 @@ least one regression was found.
 
 --filter restricts the comparison to benchmark names matching the given
 regex (re.search semantics). CI uses it to run a BLOCKING pass over the
-solver families only (BM_Solve*/BM_Pcg*/BM_BlockPcg, generous threshold)
-while the full comparison stays advisory — shared-runner timings are too
-noisy to gate every benchmark on.
+solver families only (BM_Solve*/BM_Pcg*/BM_BlockPcg/BM_Embed*/BM_SfSgl*,
+generous threshold) while the full comparison stays advisory —
+shared-runner timings are too noisy to gate every benchmark on.
+
+--baseline-file names the baseline explicitly instead of the first
+positional argument. It exists for the committed repo-root baseline
+(BENCH_solver.json): when CI cannot download a benchmark artifact from a
+previous run on main (fresh fork, expired artifacts), the blocking leg
+falls back to the committed snapshot rather than failing open. A
+baseline must come from exactly one of the two sources.
 """
 
 from __future__ import annotations
@@ -50,8 +58,21 @@ def format_time(value: float, unit: str) -> str:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="baseline benchmark JSON (or use --baseline-file)",
+    )
     parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--baseline-file",
+        default=None,
+        metavar="PATH",
+        help="baseline benchmark JSON named by flag; exactly one of the "
+        "positional baseline or this flag must be given (CI uses it for "
+        "the committed repo-root BENCH_solver.json fallback)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -77,8 +98,15 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    if (args.baseline is None) == (args.baseline_file is None):
+        parser.error(
+            "give a baseline exactly once: either the positional argument "
+            "or --baseline-file"
+        )
+    baseline_path = args.baseline or args.baseline_file
+
     try:
-        base = load_benchmarks(args.baseline, args.metric)
+        base = load_benchmarks(baseline_path, args.metric)
         curr = load_benchmarks(args.current, args.metric)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"bench_compare: cannot read input: {exc}", file=sys.stderr)

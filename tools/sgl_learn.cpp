@@ -58,6 +58,8 @@ void usage() {
       "  --noise <real>  relative voltage noise     (default 0)\n"
       "  --refine        stagewise weight polish    (off by default)\n"
       "  --seed <int>    measurement RNG seed       (default 2021)\n"
+      "  --engine <name> embedding engine: auto, exact, solver-free\n"
+      "                  (default auto: solver-free on large graphs)\n"
       "  --solver <name> Laplacian solver: auto, cholesky, pcg-jacobi,\n"
       "                  pcg-ic0, pcg-tree, pcg-amg  (default auto)\n"
       "  --ordering <name> factorization ordering: auto, amd, rcm, nd,\n"
@@ -74,7 +76,7 @@ int main(int argc, char** argv) {
   static constexpr const char* kValueOptions[] = {
       "voltages", "currents", "graph",   "measurements", "out",
       "k",        "r",        "beta",    "tol",          "noise",
-      "seed",     "threads",  "solver",  "ordering"};
+      "seed",     "threads",  "solver",  "ordering",     "engine"};
   CliArgs args;
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
@@ -110,20 +112,32 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Strict option policy (PR 1): unknown --solver/--ordering values are
-  // rejected up front instead of being silently mapped to a default.
+  // Strict option policy (PR 1): unknown --solver/--ordering/--engine
+  // values are rejected up front (with the valid names) instead of being
+  // silently mapped to a default.
   const auto method = solver::parse_laplacian_method(args.str("solver", "auto"));
   if (!method) {
-    std::fprintf(stderr, "unknown --solver '%s'\n",
-                 args.str("solver").c_str());
+    std::fprintf(stderr, "unknown --solver '%s' (valid: %s)\n",
+                 args.str("solver").c_str(),
+                 solver::laplacian_method_name_list().c_str());
     usage();
     return 2;
   }
   const auto ordering =
       solver::parse_ordering_method(args.str("ordering", "auto"));
   if (!ordering) {
-    std::fprintf(stderr, "unknown --ordering '%s'\n",
-                 args.str("ordering").c_str());
+    std::fprintf(stderr, "unknown --ordering '%s' (valid: %s)\n",
+                 args.str("ordering").c_str(),
+                 solver::ordering_method_name_list().c_str());
+    usage();
+    return 2;
+  }
+  const auto engine =
+      spectral::parse_embedding_engine(args.str("engine", "auto"));
+  if (!engine) {
+    std::fprintf(stderr, "unknown --engine '%s' (valid: %s)\n",
+                 args.str("engine").c_str(),
+                 spectral::embedding_engine_name_list().c_str());
     usage();
     return 2;
   }
@@ -171,16 +185,17 @@ int main(int argc, char** argv) {
 
     core::SglConfig config;
     config.k = static_cast<Index>(args.num("k", 5));
-    config.r = static_cast<Index>(args.num("r", 5));
+    config.embedding.r = static_cast<Index>(args.num("r", 5));
+    config.embedding.engine = *engine;
     config.beta = args.num("beta", 1e-3);
     config.tolerance = args.num("tol", 1e-12);
     config.num_threads = static_cast<Index>(args.num("threads", 0));
-    config.solver.method = *method;
-    config.solver.ordering = *ordering;
+    config.embedding.solver.method = *method;
+    config.embedding.solver.ordering = *ordering;
     // The learner inherits this internally, but the --verbose stats
-    // factorization below uses config.solver directly, so wire the
-    // thread knob here too.
-    config.solver.num_threads = config.num_threads;
+    // factorization below uses config.embedding.solver directly, so wire
+    // the thread knob here too.
+    config.embedding.solver.num_threads = config.num_threads;
     if (!args.has("quiet")) {
       config.observer = [](Index it, Real smax, Index added) {
         std::printf("  iter %3d  smax %.3e  +%d edges\n", it, smax, added);
@@ -197,9 +212,24 @@ int main(int argc, char** argv) {
                 result.knn_seconds, result.learn_seconds);
 
     if (args.has("verbose")) {
+      // Engine diagnostics of the learning loop: which engine computed
+      // the per-iteration embeddings and, on the solver-free path, how
+      // much smoothing/hierarchy work each one ran.
+      if (!result.history.empty()) {
+        const core::SglIterationStats& last = result.history.back();
+        std::printf("engine: %s (requested %s)",
+                    spectral::embedding_engine_name(last.engine),
+                    spectral::embedding_engine_name(*engine));
+        if (last.engine == spectral::EmbeddingEngine::kSolverFree) {
+          std::printf(", %d smoother sweeps over %d hierarchy levels",
+                      last.smoother_sweeps, last.hierarchy_levels);
+        }
+        std::printf("\n");
+      }
       // Surface the solver the learned graph's Laplacian resolves to,
       // plus the factorization statistics of the refactored backbone.
-      const solver::LaplacianPinvSolver pinv(result.learned, config.solver);
+      const solver::LaplacianPinvSolver pinv(result.learned,
+                                             config.embedding.solver);
       std::printf("solver: %s (requested %s, ordering %s)\n",
                   solver::laplacian_method_name(pinv.method()),
                   solver::laplacian_method_name(*method),
