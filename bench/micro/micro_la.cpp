@@ -121,6 +121,12 @@ BENCHMARK(BM_BlockLanczos)
 
 /// Grounded Laplacian of the 192² mesh — the SPD system behind the
 /// factorization benchmarks.
+///
+/// Shared-fixture thread-safety contract (here and in mesh_factor):
+/// magic-static initialization is thread-safe, and the returned objects
+/// are const/immutable afterwards, so benchmark repetitions may share
+/// them freely without locks. Mutable shared state in bench helpers
+/// would need the annotated common/mutex.hpp wrappers (DESIGN.md §7).
 const la::CsrMatrix& grounded_mesh_laplacian() {
   static const la::CsrMatrix a =
       solver::grounded_laplacian(graph::make_grid2d(192, 192).graph);

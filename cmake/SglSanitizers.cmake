@@ -1,10 +1,18 @@
 # Sanitizer configuration shared by every sgl target.
 #
 # SGL_SANITIZE is a comma- or semicolon-separated list of sanitizer names
-# (e.g. "address;undefined"). sgl_apply_sanitizers(<target>) turns each into
-# the matching -fsanitize= compile and link flag. Flags are PUBLIC on the
-# library target so test/tool executables linking sgl inherit them and the
-# whole binary is instrumented consistently.
+# (e.g. "address;undefined", or "thread"). sgl_apply_sanitizers(<target>)
+# turns each into the matching -fsanitize= compile and link flag. Flags
+# are PUBLIC on the library target so test/tool executables linking sgl
+# inherit them and the whole binary is instrumented consistently.
+#
+# ThreadSanitizer ("thread") is mutually exclusive with the memory
+# sanitizers (address/leak/memory) — the runtimes cannot coexist in one
+# process, and mixing them is a configure-time error here rather than an
+# obscure link failure. TSan combines fine with "undefined". The ci-tsan
+# preset/job runs the concurrency-heavy test labels under a 4-worker pool
+# with tools/tsan_suppressions.txt (justified-entry-only); see
+# DESIGN.md §7 for the TSan-vs-ASan matrix.
 
 function(sgl_apply_sanitizers target)
   if(NOT SGL_SANITIZE)
@@ -15,6 +23,16 @@ function(sgl_apply_sanitizers target)
     return()
   endif()
   string(REPLACE "," ";" _sanitizers "${SGL_SANITIZE}")
+  if("thread" IN_LIST _sanitizers)
+    foreach(_incompatible address leak memory)
+      if("${_incompatible}" IN_LIST _sanitizers)
+        message(FATAL_ERROR
+          "SGL_SANITIZE: 'thread' cannot be combined with "
+          "'${_incompatible}' (incompatible sanitizer runtimes); "
+          "use the tsan preset and the asan preset in separate builds")
+      endif()
+    endforeach()
+  endif()
   foreach(_san IN LISTS _sanitizers)
     target_compile_options(${target} PUBLIC "-fsanitize=${_san}")
     target_link_options(${target} PUBLIC "-fsanitize=${_san}")

@@ -7,6 +7,15 @@
 function(sgl_apply_warnings target)
   if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     target_compile_options(${target} PRIVATE -Wall -Wextra -Wpedantic)
+    if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      # Thread-safety analysis over the SGL_* annotations
+      # (src/common/thread_annotations.hpp). Always an error, not just
+      # under SGL_WERROR: a lock-discipline violation is never an
+      # acceptable warning to ship past (DESIGN.md §7).
+      target_compile_options(${target} PRIVATE
+        -Wthread-safety -Wthread-safety-beta
+        -Werror=thread-safety -Werror=thread-safety-beta)
+    endif()
     if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU"
        AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 13)
       # GCC 12 emits bogus -Wrestrict warnings from inlined std::string

@@ -1,0 +1,60 @@
+// Annotated mutual-exclusion primitives.
+//
+// `Mutex` is a std::mutex carrying Clang thread-safety capability
+// attributes, and `MutexLock` its RAII guard (a SCOPED_CAPABILITY). All
+// lock-protected state in the library uses these instead of raw
+// std::mutex / std::lock_guard: libstdc++'s types are unannotated, so
+// the `-Wthread-safety` analysis (see common/thread_annotations.hpp and
+// DESIGN.md §7) cannot track them — with the wrapper, a member declared
+// `SGL_GUARDED_BY(mutex_)` is statically checked to be touched only
+// while `mutex_` is held.
+//
+// Condition-variable waits use std::condition_variable_any with the
+// Mutex itself as the Lockable (`cv.wait(mutex_)` inside a held
+// MutexLock region): the wait's internal unlock/relock happens inside
+// unanalyzed library code, so the analysis sees the capability as held
+// across the wait — which is exactly the invariant the surrounding code
+// relies on (guarded state is only read between waits, with the lock
+// held).
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace sgl::common {
+
+/// std::mutex annotated as a thread-safety capability.
+class SGL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SGL_ACQUIRE() { mutex_.lock(); }
+  void unlock() SGL_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() SGL_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII guard over Mutex; the analysis treats construction as acquiring
+/// and destruction as releasing the capability.
+class SGL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SGL_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() SGL_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace sgl::common

@@ -4,18 +4,25 @@
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace sgl::parallel {
 
 namespace {
 
+using common::Mutex;
+using common::MutexLock;
+
 thread_local bool tls_in_worker = false;
 
 /// Lazily grown worker pool behind detail::run_on_pool. Workers idle on a
 /// condition variable between parallel regions; the pool lives for the
-/// process lifetime and joins everything on static destruction.
+/// process lifetime and joins everything on static destruction. All
+/// shared state is SGL_GUARDED_BY(mutex_) and checked by the clang
+/// `-Wthread-safety` CI legs (DESIGN.md §7).
 class ThreadPool {
  public:
   static ThreadPool& instance() {
@@ -23,12 +30,17 @@ class ThreadPool {
     return pool;
   }
 
-  void run(Index slots, const std::function<void(Index)>& job) {
+  void run(Index slots, const std::function<void(Index)>& job)
+      SGL_EXCLUDES(mutex_) {
+    // Per-region completion state. `remaining`/`error` are shared with
+    // the workers executing this region's tasks, so they get their own
+    // capability; `mutex` is always acquired after the pool's `mutex_`
+    // is released (never nested inside it).
     struct Sync {
-      std::mutex mutex;
-      std::condition_variable done;
-      Index remaining = 0;
-      std::exception_ptr error;
+      Mutex mutex;
+      std::condition_variable_any done;
+      Index remaining SGL_GUARDED_BY(mutex) = 0;
+      std::exception_ptr error SGL_GUARDED_BY(mutex);
     };
 
     if (slots <= 1 || tls_in_worker) {
@@ -38,14 +50,19 @@ class ThreadPool {
 
     ensure_workers(slots - 1);
     Sync sync;
-    sync.remaining = slots - 1;
+    {
+      // Locked for the analysis' benefit only: the workers that will
+      // observe `remaining` are enqueued below, after this write.
+      const MutexLock lock(sync.mutex);
+      sync.remaining = slots - 1;
+    }
     const auto record_error = [&sync] {
-      const std::lock_guard<std::mutex> lock(sync.mutex);
+      const MutexLock lock(sync.mutex);
       if (!sync.error) sync.error = std::current_exception();
     };
 
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       for (Index s = 1; s < slots; ++s) {
         queue_.emplace_back([&sync, &job, &record_error, s] {
           try {
@@ -56,7 +73,7 @@ class ThreadPool {
           // Notify under the lock: once the caller observes remaining == 0
           // it may destroy `sync`, so the worker must not touch it after
           // releasing the mutex.
-          const std::lock_guard<std::mutex> lock(sync.mutex);
+          const MutexLock lock(sync.mutex);
           --sync.remaining;
           sync.done.notify_one();
         });
@@ -70,38 +87,43 @@ class ThreadPool {
       record_error();
     }
 
-    std::unique_lock<std::mutex> lock(sync.mutex);
-    sync.done.wait(lock, [&sync] { return sync.remaining == 0; });
+    const MutexLock lock(sync.mutex);
+    while (sync.remaining != 0) sync.done.wait(sync.mutex);
     if (sync.error) std::rethrow_exception(sync.error);
   }
 
-  ~ThreadPool() {
+  ~ThreadPool() SGL_EXCLUDES(mutex_) {
+    // Swap the worker handles out under the lock, then join without it:
+    // joining while holding mutex_ would deadlock against workers that
+    // need it to observe stop_.
+    std::vector<std::thread> workers;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       stop_ = true;
+      workers.swap(workers_);
     }
     wake_.notify_all();
-    for (std::thread& t : workers_) t.join();
+    for (std::thread& t : workers) t.join();
   }
 
  private:
   ThreadPool() = default;
 
-  void ensure_workers(Index count) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void ensure_workers(Index count) SGL_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     const auto target =
         std::min<std::size_t>(static_cast<std::size_t>(count), kMaxThreads - 1);
     while (workers_.size() < target)
       workers_.emplace_back([this] { worker_loop(); });
   }
 
-  void worker_loop() {
+  void worker_loop() SGL_EXCLUDES(mutex_) {
     tls_in_worker = true;
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        const MutexLock lock(mutex_);
+        while (!stop_ && queue_.empty()) wake_.wait(mutex_);
         if (queue_.empty()) return;  // stop_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -110,11 +132,11 @@ class ThreadPool {
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::condition_variable_any wake_;
+  std::deque<std::function<void()>> queue_ SGL_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_ SGL_GUARDED_BY(mutex_);
+  bool stop_ SGL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace

@@ -24,6 +24,12 @@
 //
 // Exceptions thrown by worker bodies are captured and the first one is
 // rethrown on the calling thread after the region completes.
+//
+// This is the only translation unit allowed to touch raw threading
+// primitives (std::thread & friends) — the determinism lint
+// (tools/determinism_lint.py, rule raw-threading) enforces that, and the
+// pool internals carry clang thread-safety annotations via the
+// common/mutex.hpp capability wrappers (DESIGN.md §7).
 #pragma once
 
 #include <algorithm>

@@ -1,0 +1,72 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These wrap Clang's `-Wthread-safety` attribute vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the
+// concurrency contracts of the library — which mutex guards which member,
+// which functions must (or must not) be called with a lock held — are
+// machine-checked instead of comment-only. The clang CI legs compile with
+// `-Wthread-safety -Wthread-safety-beta` promoted to errors (see
+// cmake/SglWarnings.cmake and DESIGN.md §7); GCC and MSVC see empty
+// macros and are unaffected.
+//
+// The annotated capability types live in common/mutex.hpp (`sgl::common::
+// Mutex`, `MutexLock`); raw `std::mutex` is deliberately not used outside
+// that wrapper because the analysis cannot see through libstdc++'s
+// unannotated types.
+#pragma once
+
+#if defined(__clang__) && !defined(SGL_NO_THREAD_SAFETY_ANNOTATIONS)
+#define SGL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SGL_THREAD_ANNOTATION__(x)
+#endif
+
+/// Marks a type as a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define SGL_CAPABILITY(x) SGL_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability.
+#define SGL_SCOPED_CAPABILITY SGL_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define SGL_GUARDED_BY(x) SGL_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by `x` (the pointer itself is
+/// not).
+#define SGL_PT_GUARDED_BY(x) SGL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and
+/// does not release them).
+#define SGL_REQUIRES(...) \
+  SGL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit).
+#define SGL_ACQUIRE(...) \
+  SGL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define SGL_RELEASE(...) \
+  SGL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `true_value`.
+#define SGL_TRY_ACQUIRE(true_value, ...) \
+  SGL_THREAD_ANNOTATION__(try_acquire_capability(true_value, __VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock guard for functions that acquire them internally).
+#define SGL_EXCLUDES(...) SGL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declares lock acquisition order (deadlock prevention).
+#define SGL_ACQUIRED_BEFORE(...) \
+  SGL_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define SGL_ACQUIRED_AFTER(...) \
+  SGL_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define SGL_RETURN_CAPABILITY(x) SGL_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define SGL_NO_THREAD_SAFETY_ANALYSIS \
+  SGL_THREAD_ANNOTATION__(no_thread_safety_analysis)

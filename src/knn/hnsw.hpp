@@ -58,8 +58,12 @@ class HnswIndex {
   };
 
   /// Epoch-marked visited set for one beam search. Each concurrent query
-  /// owns its own scratch, which is what makes search_layer (and therefore
-  /// batched knn_all queries) safe to run in parallel.
+  /// owns its own scratch — thread_local in the single-query entry point,
+  /// one instance per worker slot in knn_all — which is what makes
+  /// search_layer (and therefore batched knn_all queries) safe to run in
+  /// parallel. There is deliberately no mutex here: the concurrency
+  /// contract is exclusive ownership, exercised under TSan by the
+  /// `stress`-labeled hammer tests (DESIGN.md §7).
   struct SearchScratch {
     std::vector<Index> visit_mark;  // last epoch each node was visited in
     Index visit_epoch = 0;
@@ -112,7 +116,10 @@ class HnswIndex {
   // links_[node][level] = neighbor list.
   std::vector<std::vector<std::vector<Index>>> links_;
   Rng rng_;
-  SearchScratch insert_scratch_;  // serial construction only
+  // Mutated only during the (serial, single-threaded) construction phase;
+  // after the constructor returns the index is immutable and every member
+  // is safe to read concurrently.
+  SearchScratch insert_scratch_;
 };
 
 /// Convenience wrapper mirroring brute_force_knn. Construction is serial

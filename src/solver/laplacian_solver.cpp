@@ -204,10 +204,14 @@ void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
 void LaplacianPinvSolver::record_pcg_stats(Index columns, Index max_iters,
                                            Index total_iters,
                                            Index converged) const noexcept {
-  last_pcg_iterations_.store(max_iters, std::memory_order_relaxed);
-  stat_columns_.store(columns, std::memory_order_relaxed);
-  stat_total_iterations_.store(total_iters, std::memory_order_relaxed);
-  stat_converged_.store(converged, std::memory_order_relaxed);
+  // One locked write per solve: the snapshot readers hand out is always
+  // the four fields of a single solve, never a torn mix of two racing
+  // applies (the pre-lock relaxed-atomic version could interleave).
+  const common::MutexLock lock(stats_mutex_);
+  pcg_stats_.columns = columns;
+  pcg_stats_.max_iterations = max_iters;
+  pcg_stats_.total_iterations = total_iters;
+  pcg_stats_.converged_columns = converged;
 }
 
 Real LaplacianPinvSolver::effective_resistance(Index s, Index t) const {

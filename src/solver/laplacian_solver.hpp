@@ -10,13 +10,14 @@
 // of the admittance matrix.
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "graph/graph.hpp"
 #include "la/multi_vector.hpp"
 #include "solver/amg.hpp"
@@ -134,24 +135,25 @@ class LaplacianPinvSolver {
 
   /// PCG iterations spent in the most recent apply() or — max over the
   /// block's columns — apply_block() (0 on the Cholesky path, which
-  /// resets the counter). Under concurrent calls this reports one of the
-  /// racing solves.
-  [[nodiscard]] Index last_pcg_iterations() const noexcept {
-    return last_pcg_iterations_.load(std::memory_order_relaxed);
+  /// resets the counter). Under concurrent calls this reports whichever
+  /// solve recorded last; the value is always from ONE solve, never a
+  /// mix.
+  [[nodiscard]] Index last_pcg_iterations() const noexcept
+      SGL_EXCLUDES(stats_mutex_) {
+    const common::MutexLock lock(stats_mutex_);
+    return pcg_stats_.max_iterations;
   }
 
   /// Per-block iteration statistics of the most recent apply()/
   /// apply_block() on a PCG method — the iterative-path counterpart of
-  /// factor_stats(). All zero on the Cholesky path. Each field is
-  /// individually atomic; under concurrent applies the snapshot may mix
-  /// racing solves (a diagnostic, like last_pcg_iterations()).
-  [[nodiscard]] PcgBlockStats pcg_block_stats() const noexcept {
-    PcgBlockStats s;
-    s.columns = stat_columns_.load(std::memory_order_relaxed);
-    s.max_iterations = last_pcg_iterations_.load(std::memory_order_relaxed);
-    s.total_iterations = stat_total_iterations_.load(std::memory_order_relaxed);
-    s.converged_columns = stat_converged_.load(std::memory_order_relaxed);
-    return s;
+  /// factor_stats(). All zero on the Cholesky path. The whole struct is
+  /// written and read under one lock, so the snapshot is always
+  /// internally consistent (it describes exactly one solve, even under
+  /// concurrent applies — which one is unspecified).
+  [[nodiscard]] PcgBlockStats pcg_block_stats() const noexcept
+      SGL_EXCLUDES(stats_mutex_) {
+    const common::MutexLock lock(stats_mutex_);
+    return pcg_stats_;
   }
 
  private:
@@ -168,16 +170,19 @@ class LaplacianPinvSolver {
   std::unique_ptr<Preconditioner> preconditioner_;
   PcgOptions pcg_options_;
   /// Records one solve's statistics (block width, per-column iteration
-  /// counts) into the atomic diagnostic counters.
+  /// counts) into the guarded diagnostic snapshot. Once per apply()/
+  /// apply_block() call, so the lock is nowhere near a hot loop.
   void record_pcg_stats(Index columns, Index max_iters, Index total_iters,
-                        Index converged) const noexcept;
+                        Index converged) const noexcept
+      SGL_EXCLUDES(stats_mutex_);
 
-  // Atomics so concurrent apply() calls (multi-RHS solves) stay data-race
-  // free; relaxed ordering suffices for diagnostic counters.
-  mutable std::atomic<Index> last_pcg_iterations_{0};
-  mutable std::atomic<Index> stat_columns_{0};
-  mutable std::atomic<Index> stat_total_iterations_{0};
-  mutable std::atomic<Index> stat_converged_{0};
+  // Diagnostic counters shared by concurrent apply() calls (multi-RHS
+  // solves issue them from pool workers). Guarded by one mutex — not
+  // per-field relaxed atomics — so readers can never observe a snapshot
+  // torn across two racing solves; the thread-safety analysis enforces
+  // the locking discipline (DESIGN.md §7).
+  mutable common::Mutex stats_mutex_;
+  mutable PcgBlockStats pcg_stats_ SGL_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace sgl::solver

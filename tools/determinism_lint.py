@@ -1,0 +1,431 @@
+#!/usr/bin/env python3
+"""Determinism lint: machine-checks for the DESIGN.md determinism rules.
+
+Usage:
+    determinism_lint.py [--baseline tools/determinism_baseline.txt]
+                        [--update] [--list-rules] [PATH...]
+
+Walks the given paths (default: src/) and enforces the written rules of
+the repo's determinism contract (DESIGN.md §§1,4-7) as static checks —
+the properties the bit-equality test suite asserts at runtime, caught at
+review time instead:
+
+  nondeterministic-rng       std::rand / srand / std::random_device /
+                             time()-seeded randomness. All randomness
+                             must flow through sgl::Rng with an explicit
+                             seed (common/rng.hpp).
+  raw-threading              std::thread / std::jthread / std::async /
+                             #pragma omp outside src/common/parallel.*.
+                             All parallelism must go through the pool
+                             primitives, whose chunking is what makes
+                             results thread-count-invariant.
+  unordered-iteration        iteration over std::unordered_{map,set} in
+                             the numeric modules (la, solver, spectral,
+                             eig). Hash-order iteration feeding
+                             floating-point arithmetic breaks bitwise
+                             reproducibility across libraries/runs.
+  shared-mutation-in-parallel
+                             `x += ...` on a plain captured variable
+                             inside a parallel_for / parallel_for_slots
+                             body. Cross-iteration accumulation belongs
+                             in parallel_reduce (deterministic fixed
+                             chunks); in-place element updates (x[i] +=)
+                             are fine and not flagged.
+  reciprocal-multiply        `*= 1.0 / d`-style diagonal scaling in
+                             src/solver and src/la. Sweeps must DIVIDE:
+                             x/d and x*(1/d) differ in the last ulp, and
+                             the scalar/block paths must agree bitwise
+                             (DESIGN.md §4).
+
+Checks run on comment- and string-stripped source, so documentation may
+mention the banned constructs freely. A deliberate exception is waived
+in the code with a comment on the same or the preceding line:
+
+    // sgl-lint: allow(raw-threading)  <why this use is sound>
+
+The gate architecture mirrors tools/clang_tidy_gate.py: findings are
+normalized to (repo-relative file, rule) counts and the gate FAILS
+(exit 1) only when a pair appears more often than the committed baseline
+records. Regenerate the baseline after a deliberate change:
+
+    python3 tools/determinism_lint.py --update
+
+Baseline format: `count<TAB>file<TAB>rule` lines, sorted; `#` comments
+and blank lines ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import dataclasses
+import os
+import re
+import sys
+from typing import Callable
+
+Finding = tuple[int, str, str]  # (line, rule id, message)
+
+SOURCE_EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+
+WAIVER = re.compile(r"//\s*sgl-lint:\s*allow\(\s*([\w\s,-]+?)\s*\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving newlines
+    and column positions so line/offset arithmetic stays valid."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = None  # None | "str" | "chr"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                j = text.find("\n", i)
+                j = n if j == -1 else j
+                out.append(" " * (j - i))
+                i = j
+            elif c == "/" and nxt == "*":
+                j = text.find("*/", i + 2)
+                end = n if j == -1 else j + 2
+                out.append("".join(ch if ch == "\n" else " "
+                                   for ch in text[i:end]))
+                i = end
+            elif c == '"':
+                out.append('"')
+                i += 1
+                state = "str"
+            elif c == "'":
+                prev = out[-1] if out else ""
+                if prev.isalnum() or prev == "_":
+                    out.append(c)  # digit separator (1'000) — not a literal
+                    i += 1
+                else:
+                    out.append("'")
+                    i += 1
+                    state = "chr"
+            else:
+                out.append(c)
+                i += 1
+        else:
+            close = '"' if state == "str" else "'"
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+            elif c == close or c == "\n":  # lenient on unterminated
+                out.append(c)
+                i += 1
+                state = None
+            else:
+                out.append(" " if c != "\n" else "\n")
+                i += 1
+    return "".join(out)
+
+
+def _simple_pattern_check(pattern: str, message: str) -> Callable:
+    rx = re.compile(pattern)
+
+    def check(stripped: str, _rel: str) -> list[Finding]:
+        findings = []
+        for ln, line in enumerate(stripped.splitlines(), 1):
+            findings.extend((ln, "", message) for _ in rx.finditer(line))
+        return findings
+
+    return check
+
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*[&*]?\s*(\w+)")
+
+
+def _unordered_iteration_check(stripped: str, _rel: str) -> list[Finding]:
+    names = {m.group(1) for m in UNORDERED_DECL.finditer(stripped)}
+    findings: list[Finding] = []
+    for ln, line in enumerate(stripped.splitlines(), 1):
+        for name in names:
+            range_for = re.search(
+                r"\bfor\s*\([^;)]*:\s*(?:\w+\.)*" + name + r"\s*\)", line)
+            explicit = re.search(r"\b" + name + r"\s*\.\s*c?begin\s*\(", line)
+            if range_for or explicit:
+                findings.append((
+                    ln, "",
+                    f"iteration over unordered container '{name}' in a "
+                    "numeric module: hash order is unspecified; iterate a "
+                    "sorted copy or switch containers"))
+    return findings
+
+
+PARALLEL_CALL = re.compile(r"\bparallel_for(?:_slots)?\s*\(")
+# Local declarations inside the call region (incl. lambda parameters and
+# for-init declarations): a trailing '=', '(', '{', ':', ',' or ')' all
+# count, erring toward treating names as local (fewer false positives).
+LOCAL_DECL = re.compile(
+    r"\b(?:const\s+)?(?:Real|double|float|auto|Index|int|long|short|bool|"
+    r"(?:std::)?size_t|unsigned(?:\s+\w+)?|std::u?int\d+_t)\s*[&*]?\s+"
+    r"(\w+)\s*[=({:,)\[]")
+ACCUMULATE = re.compile(r"(?<![\w.>])([A-Za-z_]\w*)\s*\+=")
+
+
+def _matching_paren(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def _shared_mutation_check(stripped: str, _rel: str) -> list[Finding]:
+    findings: list[Finding] = []
+    seen: set[tuple[int, str]] = set()
+    for call in PARALLEL_CALL.finditer(stripped):
+        open_idx = stripped.index("(", call.start())
+        close_idx = _matching_paren(stripped, open_idx)
+        region = stripped[open_idx:close_idx]
+        local = set(m.group(1) for m in LOCAL_DECL.finditer(region))
+        base_line = stripped.count("\n", 0, open_idx) + 1
+        for m in ACCUMULATE.finditer(region):
+            name = m.group(1)
+            if name in local:
+                continue
+            ln = base_line + region.count("\n", 0, m.start())
+            if (ln, name) in seen:
+                continue
+            seen.add((ln, name))
+            findings.append((
+                ln, "",
+                f"'{name} +=' on a captured variable inside a parallel_for "
+                "body: cross-iteration accumulation must use "
+                "parallel_reduce (deterministic fixed-chunk combine)"))
+    return findings
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    id: str
+    summary: str
+    scope: str  # regex over the repo-relative posix path
+    check: Callable  # (stripped_text, rel_path) -> list[Finding]
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        id="nondeterministic-rng",
+        summary="std::rand/srand/random_device/time()-seeded randomness "
+                "(use sgl::Rng with an explicit seed)",
+        scope=r"^src/",
+        check=_simple_pattern_check(
+            r"std::rand\b|\bs?rand\s*\(|\brandom_device\b|\btime\s*\(",
+            "non-deterministic randomness source: seed an sgl::Rng "
+            "explicitly (common/rng.hpp)"),
+    ),
+    Rule(
+        id="raw-threading",
+        summary="std::thread/std::async/#pragma omp outside "
+                "src/common/parallel.*",
+        scope=r"^src/(?!common/parallel\.(?:hpp|cpp))",
+        check=_simple_pattern_check(
+            r"\bstd::(?:thread|jthread|async)\b|#\s*pragma\s+omp\b",
+            "raw threading primitive: route parallelism through "
+            "sgl::parallel (common/parallel.hpp) so chunking stays "
+            "thread-count-invariant"),
+    ),
+    Rule(
+        id="unordered-iteration",
+        summary="iteration over std::unordered_{map,set} in numeric "
+                "modules (la, solver, spectral, eig)",
+        scope=r"^src/(?:la|solver|spectral|eig)/",
+        check=_unordered_iteration_check,
+    ),
+    Rule(
+        id="shared-mutation-in-parallel",
+        summary="'x +=' on captured shared state inside parallel_for "
+                "bodies (use parallel_reduce)",
+        scope=r"^src/(?!common/parallel\.(?:hpp|cpp))",
+        check=_shared_mutation_check,
+    ),
+    Rule(
+        id="reciprocal-multiply",
+        summary="*= 1.0/d-style reciprocal scaling in src/solver and "
+                "src/la (divide instead; DESIGN.md §4)",
+        scope=r"^src/(?:solver|la)/",
+        check=_simple_pattern_check(
+            r"\*=\s*1(?:\.\d*)?\s*/|\*\s*\(\s*1(?:\.\d*)?\s*/",
+            "reciprocal-multiply scaling: scalar and block sweeps must "
+            "DIVIDE by the diagonal — x*(1/d) differs from x/d in the "
+            "last ulp (DESIGN.md §4)"),
+    ),
+)
+
+
+def waived_lines(text: str) -> dict[int, set[str]]:
+    """Maps line number -> rule ids waived on that line (by comment)."""
+    waivers: dict[int, set[str]] = {}
+    for ln, line in enumerate(text.splitlines(), 1):
+        m = WAIVER.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            waivers.setdefault(ln, set()).update(rules)
+    return waivers
+
+
+def lint_text(text: str, rel_path: str) -> list[Finding]:
+    """All unwaived findings for one file's contents. `rel_path` is the
+    repo-relative posix path used for rule scoping."""
+    stripped = strip_comments_and_strings(text)
+    waivers = waived_lines(text)
+
+    def is_waived(line: int, rule_id: str) -> bool:
+        return (rule_id in waivers.get(line, set())
+                or rule_id in waivers.get(line - 1, set()))
+
+    findings: list[Finding] = []
+    for rule in RULES:
+        if not re.search(rule.scope, rel_path):
+            continue
+        for line, _, message in rule.check(stripped, rel_path):
+            if not is_waived(line, rule.id):
+                findings.append((line, rule.id, message))
+    return sorted(findings)
+
+
+def iter_source_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs.sort()
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def normalize_path(path: str) -> str:
+    path = os.path.normpath(path)
+    if os.path.isabs(path):
+        try:
+            path = os.path.relpath(path, os.getcwd())
+        except ValueError:
+            pass
+    return path.replace(os.sep, "/")
+
+
+def load_baseline(path: str) -> collections.Counter:
+    counts: collections.Counter = collections.Counter()
+    if not os.path.exists(path):
+        return counts
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                continue
+            counts[(parts[1], parts[2])] = int(parts[0])
+    return counts
+
+
+def write_baseline(path: str, counts: collections.Counter) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# Determinism-lint finding baseline — maintained by\n")
+        fh.write("# tools/determinism_lint.py --update (see its "
+                 "docstring).\n")
+        fh.write("# The gate fails only on findings beyond these counts;\n")
+        fh.write("# an empty baseline means src/ is lint-clean.\n")
+        fh.write("# count\tfile\trule\n")
+        for (file, rule), count in sorted(counts.items()):
+            fh.write(f"{count}\t{file}\t{rule}\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--baseline", default="tools/determinism_baseline.txt",
+                        help="committed finding baseline (default "
+                             "%(default)s)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "findings instead of gating")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}\n    scope: {rule.scope}\n    "
+                  f"{rule.summary}")
+        return 0
+
+    paths = args.paths or ["src"]
+    per_file: dict[str, list[Finding]] = {}
+    counts: collections.Counter = collections.Counter()
+    for path in iter_source_files(paths):
+        rel = normalize_path(path)
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        findings = lint_text(text, rel)
+        if findings:
+            per_file[rel] = findings
+            for _, rule_id, _ in findings:
+                counts[(rel, rule_id)] += 1
+
+    if args.update:
+        write_baseline(args.baseline, counts)
+        print(f"determinism_lint: wrote {sum(counts.values())} finding(s) "
+              f"across {len(counts)} (file, rule) pair(s) to "
+              f"{args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = {
+        key: (count, baseline.get(key, 0))
+        for key, count in sorted(counts.items())
+        if count > baseline.get(key, 0)
+    }
+    fixed = {
+        key
+        for key, count in baseline.items()
+        if counts.get(key, 0) < count
+    }
+
+    print("### determinism lint")
+    print()
+    print(f"{sum(counts.values())} finding(s) now, "
+          f"{sum(baseline.values())} in the baseline.")
+    for rel in sorted(per_file):
+        for line, rule_id, message in per_file[rel]:
+            print(f"{rel}:{line}: [{rule_id}] {message}")
+    if new:
+        print()
+        print("| file | rule | now | baseline |")
+        print("|---|---|---:|---:|")
+        for (file, rule), (count, base) in new.items():
+            print(f"| `{file}` | `{rule}` | {count} | {base} |")
+        print()
+        print("**FAIL: new determinism-lint findings.** Fix them, waive a "
+              "deliberate exception with `// sgl-lint: allow(<rule>)` "
+              "plus a justification, or — if accepted — regenerate the "
+              "baseline (tools/determinism_lint.py --update).")
+        return 1
+    if fixed:
+        print()
+        print(f"{len(fixed)} (file, rule) pair(s) improved on the baseline "
+              "— consider ratcheting it down with --update.")
+    print()
+    print("**PASS: no new findings.**")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
