@@ -19,6 +19,52 @@ const measure::Measurements& mesh_measurements() {
   return data;
 }
 
+const measure::Measurements& mesh192_measurements() {
+  static const measure::Measurements data = [] {
+    const graph::Graph g = graph::make_grid2d(192, 192).graph;
+    measure::MeasurementOptions options;
+    options.num_measurements = 100;
+    return measure::generate_measurements(g, options);
+  }();
+  return data;
+}
+
+/// Shared body of the incremental-relearning A/B pair: steady-state
+/// step() cost on the 192² mesh (exact engine, single thread) after a
+/// warm-up, differing only in SglConfig::incremental. The acceptance
+/// ratio of DESIGN.md §8 — incremental ≥3× faster per step — is the
+/// quotient of these two benchmarks.
+void learner_step_benchmark(benchmark::State& state,
+                            solver::IncrementalMode mode) {
+  const measure::Measurements& data = mesh192_measurements();
+  core::SglConfig config;
+  config.incremental = mode;
+  config.embedding.engine = spectral::EmbeddingEngine::kExact;
+  config.num_threads = 1;
+  core::SglLearner learner(data.voltages, config);
+  for (int i = 0; i < 3; ++i) learner.step();  // past the cold start
+  for (auto _ : state) {
+    const core::SglIterationStats s = learner.step();
+    benchmark::DoNotOptimize(s.smax);
+  }
+  state.counters["edges"] =
+      static_cast<double>(learner.current_graph().num_edges());
+}
+
+void BM_LearnerStepIncremental(benchmark::State& state) {
+  learner_step_benchmark(state, solver::IncrementalMode::kAuto);
+}
+BENCHMARK(BM_LearnerStepIncremental)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+void BM_LearnerStepRefactor(benchmark::State& state) {
+  learner_step_benchmark(state, solver::IncrementalMode::kOff);
+}
+BENCHMARK(BM_LearnerStepRefactor)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
 void BM_SglFullRunRSweep(benchmark::State& state) {
   const measure::Measurements& data = mesh_measurements();
   core::SglConfig config;

@@ -5,24 +5,19 @@
 #include "common/parallel.hpp"
 
 namespace sgl::core {
+namespace {
 
-Real spectral_edge_scale_factor(const graph::Graph& g, const la::DenseMatrix& x,
-                                const la::DenseMatrix& y,
-                                const solver::LaplacianSolverOptions& solver,
-                                Index num_threads) {
-  SGL_EXPECTS(x.rows() == g.num_nodes() && y.rows() == g.num_nodes(),
-              "spectral_edge_scale_factor: measurement row count mismatch");
-  SGL_EXPECTS(x.cols() == y.cols() && x.cols() >= 1,
-              "spectral_edge_scale_factor: X and Y must pair up");
-
-  // The M solves are multi-RHS block applies of a shared factorization
-  // (eq. 22: x̃_i = L⁺ y_i), issued per fixed column chunk inside the
-  // deterministic reduction so only one n×chunk scratch block lives per
-  // worker (the solutions collapse to column norms immediately — a full
-  // n×M block would be dead weight). Chunk boundaries depend only on M,
-  // so the factor is bit-identical for every thread count.
-  const solver::LaplacianPinvSolver pinv(g, solver);
-  const Index n = g.num_nodes();
+/// Eq.-23 energy-ratio sweep against an already-built solver. The M
+/// solves are multi-RHS block applies of the shared factorization
+/// (eq. 22: x̃_i = L⁺ y_i), issued per fixed column chunk inside the
+/// deterministic reduction so only one n×chunk scratch block lives per
+/// worker (the solutions collapse to column norms immediately — a full
+/// n×M block would be dead weight). Chunk boundaries depend only on M,
+/// so the factor is bit-identical for every thread count.
+Real scale_factor_with(const solver::LaplacianPinvSolver& pinv,
+                       const la::DenseMatrix& x, const la::DenseMatrix& y,
+                       Index num_threads) {
+  const Index n = x.rows();
   const Index m = x.cols();
   const Real ratio_sum = parallel::parallel_reduce(
       0, m, num_threads, Real{0.0},
@@ -47,11 +42,47 @@ Real spectral_edge_scale_factor(const graph::Graph& g, const la::DenseMatrix& x,
   return std::sqrt(ratio_sum / static_cast<Real>(m));
 }
 
+void check_scale_inputs(const graph::Graph& g, const la::DenseMatrix& x,
+                        const la::DenseMatrix& y) {
+  SGL_EXPECTS(x.rows() == g.num_nodes() && y.rows() == g.num_nodes(),
+              "spectral_edge_scale_factor: measurement row count mismatch");
+  SGL_EXPECTS(x.cols() == y.cols() && x.cols() >= 1,
+              "spectral_edge_scale_factor: X and Y must pair up");
+}
+
+}  // namespace
+
+Real spectral_edge_scale_factor(const graph::Graph& g, const la::DenseMatrix& x,
+                                const la::DenseMatrix& y,
+                                const solver::LaplacianSolverOptions& solver,
+                                Index num_threads) {
+  check_scale_inputs(g, x, y);
+  const solver::LaplacianPinvSolver pinv(g, solver);
+  return scale_factor_with(pinv, x, y, num_threads);
+}
+
+Real spectral_edge_scale_factor(const graph::Graph& g, const la::DenseMatrix& x,
+                                const la::DenseMatrix& y,
+                                solver::SolverContext& context,
+                                Index num_threads) {
+  check_scale_inputs(g, x, y);
+  return scale_factor_with(context.acquire(g), x, y, num_threads);
+}
+
 Real apply_spectral_edge_scaling(graph::Graph& g, const la::DenseMatrix& x,
                                  const la::DenseMatrix& y,
                                  const solver::LaplacianSolverOptions& solver,
                                  Index num_threads) {
   const Real factor = spectral_edge_scale_factor(g, x, y, solver, num_threads);
+  if (factor > 0.0) g.scale_weights(factor);
+  return factor;
+}
+
+Real apply_spectral_edge_scaling(graph::Graph& g, const la::DenseMatrix& x,
+                                 const la::DenseMatrix& y,
+                                 solver::SolverContext& context,
+                                 Index num_threads) {
+  const Real factor = spectral_edge_scale_factor(g, x, y, context, num_threads);
   if (factor > 0.0) g.scale_weights(factor);
   return factor;
 }

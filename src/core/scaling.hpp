@@ -12,6 +12,7 @@
 #include "graph/graph.hpp"
 #include "la/dense_matrix.hpp"
 #include "solver/laplacian_solver.hpp"
+#include "solver/solver_context.hpp"
 
 namespace sgl::core {
 
@@ -28,5 +29,19 @@ namespace sgl::core {
 Real apply_spectral_edge_scaling(
     graph::Graph& g, const la::DenseMatrix& x, const la::DenseMatrix& y,
     const solver::LaplacianSolverOptions& solver = {}, Index num_threads = 0);
+
+/// Context-aware overloads (DESIGN.md §8): the M solves reuse
+/// `context.acquire(g)` — for the learner, the warm factorization the
+/// last iteration's embedding used — instead of building a fresh
+/// LaplacianPinvSolver for the one-shot scaling step.
+[[nodiscard]] Real spectral_edge_scale_factor(const graph::Graph& g,
+                                              const la::DenseMatrix& x,
+                                              const la::DenseMatrix& y,
+                                              solver::SolverContext& context,
+                                              Index num_threads = 0);
+Real apply_spectral_edge_scaling(graph::Graph& g, const la::DenseMatrix& x,
+                                 const la::DenseMatrix& y,
+                                 solver::SolverContext& context,
+                                 Index num_threads = 0);
 
 }  // namespace sgl::core

@@ -45,6 +45,15 @@ SglLearner::SglLearner(const la::DenseMatrix& x, SglConfig config)
   if (config_.embedding.sf.num_threads == 0)
     config_.embedding.sf.num_threads = config_.num_threads;
 
+  // The loop-wide solver context (DESIGN.md §8): every solver consumer of
+  // this learner goes through it. Created after the thread-knob merge so
+  // it inherits the effective solver options. In kOff it rebuilds on
+  // every acquire — the historical per-consumer behavior, bitwise.
+  solver::SolverContextOptions context_options;
+  context_options.mode = config_.incremental;
+  context_options.solver = config_.embedding.solver;
+  context_ = std::make_unique<solver::SolverContext>(context_options);
+
   // Step 1: candidate kNN graph and its maximum spanning tree.
   WallTimer knn_timer;
   knn::KnnGraphOptions knn_options = config_.knn;
@@ -91,7 +100,7 @@ SglIterationStats SglLearner::step() {
   // engine seam — exact, solver-free, or auto per config_.embedding.engine
   // (thread knobs were merged in the constructor).
   const spectral::Embedding embedding =
-      spectral::compute_embedding(learned_, config_.embedding);
+      spectral::compute_embedding(learned_, config_.embedding, context_.get());
   stats.eig_converged = embedding.eig_converged;
   stats.engine = embedding.engine_used;
   stats.smoother_sweeps = embedding.smoother_sweeps;
@@ -209,8 +218,12 @@ SglResult SglLearner::finalize(const la::DenseMatrix* y) const {
 
   if (y != nullptr && config_.edge_scaling) {
     const WallTimer timer;
+    // Routed through the learner's context: in the incremental modes the
+    // scaling solves reuse the warm factorization of the last iteration's
+    // embedding (updated in place for any edges added since); in kOff the
+    // context builds fresh, exactly as this call always did.
     result.scale_factor = apply_spectral_edge_scaling(
-        result.learned, x_, *y, config_.embedding.solver, config_.num_threads);
+        result.learned, x_, *y, *context_, config_.num_threads);
     result.learn_seconds += timer.seconds();
   }
   return result;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "knn/knn_graph.hpp"
 #include "la/dense_matrix.hpp"
 #include "solver/laplacian_solver.hpp"
+#include "solver/solver_context.hpp"
 #include "spectral/embedding.hpp"
 
 namespace sgl::core {
@@ -55,6 +57,17 @@ struct SglConfig {
   /// Before this struct existed the r/sigma2/lanczos/solver knobs were
   /// duplicated here and copied field-by-field each iteration.
   spectral::EmbeddingOptions embedding;
+  /// Incremental-relearning mode of the learner's SolverContext
+  /// (DESIGN.md §8). kOff (the default) rebuilds every solver from
+  /// scratch exactly as before this knob existed — bitwise-identical
+  /// results. kOn/kAuto keep ONE warm factorization across step() calls,
+  /// apply each added edge as a rank-1 update, and warm-start the exact
+  /// engine's Lanczos from the previous iteration's eigenvectors; kAuto
+  /// additionally renumerates on the context's accumulation thresholds.
+  /// Determinism is per mode: an incremental run is bitwise-reproducible
+  /// across thread counts, but may differ from a kOff run in floating
+  /// point. CLI: `sgl_learn --incremental {auto,on,off}`.
+  solver::IncrementalMode incremental = solver::IncrementalMode::kOff;
   /// Optional per-iteration observer (progress logging in benches).
   std::function<void(Index iteration, Real smax, Index edges_added)> observer;
 
@@ -158,6 +171,16 @@ class SglLearner {
   /// Drives step() to convergence (or max_iterations), then finalizes.
   [[nodiscard]] SglResult run(const la::DenseMatrix* y);
 
+  /// The learner's solver context (mode = SglConfig::incremental):
+  /// rebuild/update/refactorization counters for diagnostics, and the
+  /// warm solver for metric consumers that want to reuse it.
+  [[nodiscard]] const solver::SolverContext& solver_context() const noexcept {
+    return *context_;
+  }
+  [[nodiscard]] solver::SolverContext& solver_context() noexcept {
+    return *context_;
+  }
+
  private:
   struct Candidate {
     Index s = 0;
@@ -167,6 +190,12 @@ class SglLearner {
 
   SglConfig config_;
   const la::DenseMatrix& x_;
+  /// Warm solver state shared by every solver consumer of the loop
+  /// (embedding, finalize scaling; DESIGN.md §8). Mutable because
+  /// finalize() is const yet legitimately reuses/refreshes the cache —
+  /// the classic mutable-cache case; results are independent of the
+  /// cache state within a mode.
+  mutable std::unique_ptr<solver::SolverContext> context_;
   graph::Graph knn_;
   graph::Graph learned_;
   std::vector<Index> tree_edge_ids_;

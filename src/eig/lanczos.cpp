@@ -48,6 +48,7 @@ class BlockLanczos {
                                            : default_block_size(r),
                     m_cap_)),
         rng_(options.seed),
+        warm_(options.initial_block),
         v_(n_, m_cap_),
         av_(n_, m_cap_),
         t_(m_cap_, m_cap_),
@@ -60,10 +61,22 @@ class BlockLanczos {
   }
 
   EigenPairs run() {
-    // Random start block, centered and orthonormalized.
+    // Start block, centered and orthonormalized: warm columns first
+    // (LanczosOptions::initial_block — e.g. the previous iteration's
+    // eigenvectors, which put the converged subspace into the basis
+    // before the first operator apply), random draws for the rest. With
+    // no warm block this is the classical random start, bitwise.
+    const Index warm_cols =
+        (warm_.data != nullptr && warm_.rows == n_) ? std::min(warm_.cols, b_)
+                                                    : 0;
     for (Index j = 0; j < b_; ++j) {
       const std::span<Real> col = scratch_.col(j);
-      for (Real& x : col) x = rng_.normal();
+      if (j < warm_cols) {
+        const std::span<const Real> src = warm_.col(j);
+        std::copy(src.begin(), src.end(), col.begin());
+      } else {
+        for (Real& x : col) x = rng_.normal();
+      }
     }
     Index appended = append_block(scratch_.block(0, b_));
     SGL_ENSURES(appended > 0, "largest_operator_eigenpairs: empty start block");
@@ -270,6 +283,7 @@ class BlockLanczos {
   Index m_cap_;
   Index b_;
   Rng rng_;
+  la::ConstBlockView warm_;  // optional warm start columns (may be null)
   la::MultiVector v_;   // basis: centered, orthonormal columns [0, m_)
   la::MultiVector av_;  // operator images of the basis columns
   la::DenseMatrix t_;   // projected operator, leading m_ × m_ valid

@@ -22,6 +22,7 @@
 
 #include "la/dense_matrix.hpp"
 #include "la/linear_operator.hpp"
+#include "la/multi_vector.hpp"
 #include "la/vector_ops.hpp"
 #include "solver/laplacian_solver.hpp"
 
@@ -42,6 +43,14 @@ struct LanczosOptions {
   /// library default, 1 = serial). Results are bit-identical for every
   /// thread count.
   Index num_threads = 0;
+  /// Optional warm-start block (DESIGN.md §8): when non-null and row-
+  /// compatible, the first min(cols, block size) start columns are taken
+  /// from this view (e.g. the previous iteration's eigenvectors) instead
+  /// of random draws; remaining columns are drawn as usual. Warm columns
+  /// go through the same centering/orthonormalization as random ones, so
+  /// any block is safe to pass. A null view (the default) keeps the
+  /// classical random start bitwise.
+  la::ConstBlockView initial_block{};
 };
 
 /// Auto block size: multiplicities up to min(r, 8) are resolved

@@ -1,5 +1,6 @@
 #include "solver/laplacian_solver.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <span>
@@ -57,7 +58,14 @@ std::string laplacian_method_name_list() {
 
 LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,
                                          const LaplacianSolverOptions& options)
-    : n_(g.num_nodes()), pcg_options_(options.pcg) {
+    : LaplacianPinvSolver(g, options, {}) {}
+
+LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,
+                                         const LaplacianSolverOptions& options,
+                                         std::vector<Index> ordering_hint)
+    : n_(g.num_nodes()),
+      factor_num_threads_(options.num_threads),
+      pcg_options_(options.pcg) {
   SGL_EXPECTS(n_ >= 2, "LaplacianPinvSolver: need at least two nodes");
   SGL_EXPECTS(graph::is_connected(g),
               "LaplacianPinvSolver: graph must be connected");
@@ -80,8 +88,16 @@ LaplacianPinvSolver::LaplacianPinvSolver(const graph::Graph& g,
 
   switch (method_) {
     case LaplacianMethod::kCholesky:
-      cholesky_ = std::make_unique<CholeskySolver>(grounded_, options.ordering,
-                                                   options.num_threads);
+      if (!ordering_hint.empty()) {
+        SGL_EXPECTS(to_index(ordering_hint.size()) == n_ - 1,
+                    "LaplacianPinvSolver: ordering hint size mismatch "
+                    "(need a grounded-system permutation)");
+        cholesky_ = std::make_unique<CholeskySolver>(
+            grounded_, std::move(ordering_hint), options.num_threads);
+      } else {
+        cholesky_ = std::make_unique<CholeskySolver>(
+            grounded_, options.ordering, options.num_threads);
+      }
       break;
     case LaplacianMethod::kPcgJacobi:
       preconditioner_ = std::make_unique<JacobiPreconditioner>(grounded_);
@@ -148,7 +164,45 @@ la::Vector LaplacianPinvSolver::apply(const la::Vector& y) const {
   return x;
 }
 
+bool LaplacianPinvSolver::update_edge(Index s, Index t, Real w) {
+  SGL_EXPECTS(s >= 0 && s < n_ && t >= 0 && t < n_ && s != t,
+              "LaplacianPinvSolver::update_edge: bad edge");
+  if (!cholesky_) return false;  // no in-place path on the PCG methods
+  // Map graph nodes to grounded indices: the ground node drops out of the
+  // reduced system, so a ground-incident edge stamps only the other
+  // endpoint's diagonal (kInvalidIndex marks the dropped endpoint).
+  const auto reduced = [this](Index v) { return v > ground_ ? v - 1 : v; };
+  Index u = kInvalidIndex;
+  Index v = kInvalidIndex;
+  if (s == ground_) {
+    u = reduced(t);
+  } else if (t == ground_) {
+    u = reduced(s);
+  } else {
+    u = reduced(s);
+    v = reduced(t);
+  }
+  if (!cholesky_->edge_in_pattern(u, v)) return false;
+  cholesky_->update_edge(u, v, w);
+  return true;
+}
+
+void LaplacianPinvSolver::refactorize(const graph::Graph& g) {
+  SGL_EXPECTS(g.num_nodes() == n_,
+              "LaplacianPinvSolver::refactorize: node count mismatch");
+  grounded_ = grounded_laplacian(g, ground_);
+  if (cholesky_) cholesky_->refactorize(grounded_, factor_num_threads_);
+  // PCG methods: the preconditioner setup is kept on purpose — see the
+  // header contract.
+}
+
 void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
+                                      Index num_threads) const {
+  apply_block(y, x, pcg_options_, num_threads);
+}
+
+void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
+                                      const PcgOptions& pcg,
                                       Index num_threads) const {
   SGL_EXPECTS(y.rows == n_ && x.rows == n_,
               "LaplacianPinvSolver::apply_block: row count mismatch");
@@ -171,10 +225,23 @@ void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
     record_pcg_stats(0, 0, 0, 0);
   } else {
     // Block PCG: one SpMM and one Preconditioner::apply_block per
-    // iteration, per-column convergence with deflation. Zero initial
-    // guesses, exactly like apply_column's per-RHS solves.
+    // iteration, per-column convergence with deflation. The iterate
+    // starts at pcg.initial_guess when provided (warm start, DESIGN.md
+    // §8), otherwise at zero — exactly like apply_column's per-RHS
+    // solves.
     la::MultiVector xg(n_ - 1, y.cols);
-    PcgOptions options = pcg_options_;
+    if (pcg.initial_guess.data != nullptr) {
+      SGL_EXPECTS(pcg.initial_guess.rows == n_ - 1 &&
+                      pcg.initial_guess.cols == y.cols,
+                  "LaplacianPinvSolver::apply_block: initial_guess shape "
+                  "mismatch (need (n-1) x cols, grounded coordinates)");
+      for (Index j = 0; j < y.cols; ++j) {
+        const auto src = pcg.initial_guess.col(j);
+        const auto dst = xg.col(j);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    PcgOptions options = pcg;
     if (num_threads != 0) options.num_threads = num_threads;
     const PcgBlockResult res =
         pcg_solve_block(grounded_, bg.view(), xg.view(), *preconditioner_,
@@ -190,6 +257,17 @@ void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
           "LaplacianPinvSolver: PCG stalled on block column " +
           std::to_string(j) + " at relative residual " +
           std::to_string(c.relative_residual));
+    }
+    if (pcg.final_iterate.data != nullptr) {
+      SGL_EXPECTS(pcg.final_iterate.rows == n_ - 1 &&
+                      pcg.final_iterate.cols == y.cols,
+                  "LaplacianPinvSolver::apply_block: final_iterate shape "
+                  "mismatch (need (n-1) x cols, grounded coordinates)");
+      for (Index j = 0; j < y.cols; ++j) {
+        const auto src = xg.col(j);
+        const auto dst = pcg.final_iterate.col(j);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
     }
     bg = std::move(xg);
   }

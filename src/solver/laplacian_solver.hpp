@@ -85,6 +85,17 @@ class LaplacianPinvSolver {
   explicit LaplacianPinvSolver(const graph::Graph& g,
                                const LaplacianSolverOptions& options = {});
 
+  /// Same, but a non-empty `ordering_hint` (a permutation of the grounded
+  /// system returned by cholesky_permutation() on a previous solver of a
+  /// same-node-count graph) replaces the ordering heuristic on the
+  /// Cholesky path — the dominant rebuild cost on near-tree graphs, and a
+  /// permutation computed a few edges ago is still a good fill reducer
+  /// (DESIGN.md §8). An empty hint, or a non-Cholesky resolved method,
+  /// behaves exactly like the plain constructor.
+  LaplacianPinvSolver(const graph::Graph& g,
+                      const LaplacianSolverOptions& options,
+                      std::vector<Index> ordering_hint);
+
   /// x = L⁺ y. `y` is centered internally, so any vector may be passed;
   /// the component along the all-ones nullspace is ignored, exactly as the
   /// pseudo-inverse prescribes. Safe to call concurrently from multiple
@@ -110,6 +121,16 @@ class LaplacianPinvSolver {
   void apply_block(la::ConstBlockView y, la::BlockView x,
                    Index num_threads = 0) const;
 
+  /// apply_block with explicit per-call PCG options, the warm-start entry
+  /// point (DESIGN.md §8): on the PCG methods `pcg.initial_guess` seeds
+  /// the internal grounded iterate (an (n−1) × b block in grounded
+  /// coordinates) and `pcg.final_iterate` receives the converged grounded
+  /// iterate for the caller to feed back next time. Null views — the
+  /// default PcgOptions — reproduce the zero-guess solve bitwise; the
+  /// Cholesky path ignores both (a direct solve has no iterate).
+  void apply_block(la::ConstBlockView y, la::BlockView x,
+                   const PcgOptions& pcg, Index num_threads = 0) const;
+
   /// Convenience overload for measurement-matrix callers.
   [[nodiscard]] la::DenseMatrix apply_block(const la::DenseMatrix& y,
                                             Index num_threads = 0) const {
@@ -121,6 +142,33 @@ class LaplacianPinvSolver {
   /// Effective resistance between s and t: (e_s − e_t)ᵀ L⁺ (e_s − e_t).
   [[nodiscard]] Real effective_resistance(Index s, Index t) const;
 
+  // --- Incremental maintenance (DESIGN.md §8) ----------------------------
+
+  /// Applies the Laplacian stamp of graph edge (s, t) with weight delta
+  /// `w` directly to the warm factor (rank-1 update/downdate along the
+  /// elimination-tree path). Returns false — with the solver unchanged —
+  /// when there is no in-place path: the resolved method is not Cholesky,
+  /// or the stamp falls outside the analyzed factor pattern; the caller
+  /// rebuilds or renumerates instead. Throws NumericalError on a downdate
+  /// that would lose positive definiteness (factor unchanged). NOTE: only
+  /// the factor is updated; the cached reduced Laplacian goes stale,
+  /// which is harmless on the Cholesky path (solves never read it) and is
+  /// re-synced by the next refactorize(). Not thread-safe against
+  /// concurrent apply() calls — update between solve batches, as the
+  /// learner does.
+  bool update_edge(Index s, Index t, Real w);
+
+  /// Rebuilds the reduced Laplacian from the CURRENT state of `g` and
+  /// renumerates the warm factor with the kept symbolic analysis
+  /// (Cholesky: numeric-only phase, bit-identical to a fresh same-ordering
+  /// factorization; precondition — `g`'s grounded pattern is contained in
+  /// the analyzed pattern, e.g. only weights changed or every new edge
+  /// passed update_edge). On the PCG methods the preconditioner setup is
+  /// deliberately KEPT: with an unchanged pattern it remains a valid SPD
+  /// approximate inverse, trading a few extra iterations for the setup
+  /// cost. `g` must have the node count this solver was built for.
+  void refactorize(const graph::Graph& g);
+
   [[nodiscard]] Index num_nodes() const noexcept { return n_; }
 
   /// Method actually selected after kAuto resolution.
@@ -131,6 +179,15 @@ class LaplacianPinvSolver {
   /// no factor.
   [[nodiscard]] const FactorStats* factor_stats() const noexcept {
     return cholesky_ ? &cholesky_->stats() : nullptr;
+  }
+
+  /// The grounded-system fill-reducing permutation of the Cholesky factor
+  /// (empty on the PCG methods) — feed it to the ordering-hint constructor
+  /// to rebuild over a grown pattern without re-running the ordering
+  /// heuristic.
+  [[nodiscard]] const std::vector<Index>& cholesky_permutation() const {
+    static const std::vector<Index> kEmpty;
+    return cholesky_ ? cholesky_->permutation() : kEmpty;
   }
 
   /// PCG iterations spent in the most recent apply() or — max over the
@@ -163,6 +220,7 @@ class LaplacianPinvSolver {
 
   Index n_ = 0;
   Index ground_ = 0;  // grounded node (index 0 by convention)
+  Index factor_num_threads_ = 0;  // construction thread knob, for refactorize
   LaplacianMethod method_ = LaplacianMethod::kCholesky;
   la::CsrMatrix grounded_;  // (n−1)×(n−1) SPD reduced Laplacian
   std::vector<Index> live_rows_;  // the n−1 non-ground node indices

@@ -19,6 +19,17 @@ struct PcgOptions {
   /// iterates. Nested parallel regions (e.g. PCG inside a multi-RHS
   /// apply_block) degrade to serial automatically.
   Index num_threads = 0;
+  /// Warm-start seam (DESIGN.md §8), consumed by solvers that allocate
+  /// the iterate themselves (LaplacianPinvSolver::apply_block seeds its
+  /// internal grounded block from this (n−1) × b view instead of zeros).
+  /// pcg_solve / pcg_solve_block ignore it — their `x` argument IS the
+  /// initial guess. A null view (the default) keeps the zero-guess
+  /// behavior bitwise.
+  la::ConstBlockView initial_guess{};
+  /// Companion copy-out slot: when non-null, the final grounded iterate
+  /// is copied here before un-grounding, so the caller can feed it back
+  /// as the next solve's initial_guess.
+  la::BlockView final_iterate{};
 };
 
 struct PcgResult {

@@ -1,10 +1,13 @@
 #include "spectral/embedding.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 
 #include "common/enum_names.hpp"
 #include "common/parallel.hpp"
+#include "solver/solver_context.hpp"
 #include "spectral/sf_embedding.hpp"
 
 namespace sgl::spectral {
@@ -17,12 +20,37 @@ constexpr std::array<common::EnumName<EmbeddingEngine>, 3> kEngineNames{{
 }};
 
 Embedding compute_exact_embedding(const graph::Graph& g,
-                                  const EmbeddingOptions& options) {
+                                  const EmbeddingOptions& options,
+                                  solver::SolverContext* context) {
   const Index dims = std::min(options.r - 1, g.num_nodes() - 1);
 
-  const solver::LaplacianPinvSolver pinv(g, options.solver);
+  // The solver comes from the context when one is threaded through
+  // (warm/updated per its incremental mode); otherwise build fresh, as
+  // the plain overload always did.
+  std::optional<solver::LaplacianPinvSolver> local;
+  if (context == nullptr) local.emplace(g, options.solver);
+  const solver::LaplacianPinvSolver& pinv =
+      context != nullptr ? context->acquire(g) : *local;
+
+  eig::LanczosOptions lanczos = options.lanczos;
+  if (context != nullptr && context->incremental()) {
+    // Warm-start Lanczos from the previous iteration's eigenvectors: the
+    // converged subspace enters the basis before the first operator
+    // apply, and the solve refines it only to warm_refinement_tolerance
+    // (the ranking-accuracy regime) instead of the cold tolerance — the
+    // warm residual sits at the perturbation of the few new edges, and
+    // polishing it further is gap-limited cold-cost work (DESIGN.md §8).
+    const la::DenseMatrix& warm = context->warm_subspace();
+    if (warm.rows() == g.num_nodes() && warm.cols() > 0) {
+      lanczos.initial_block = la::view_of(warm);
+      lanczos.tolerance =
+          std::max(lanczos.tolerance, options.warm_refinement_tolerance);
+    }
+  }
   const eig::EigenPairs pairs =
-      eig::smallest_laplacian_eigenpairs(pinv, dims, options.lanczos);
+      eig::smallest_laplacian_eigenpairs(pinv, dims, lanczos);
+  if (context != nullptr && context->incremental())
+    context->store_warm_subspace(pairs.eigenvectors);
 
   Embedding out;
   out.eigenvalues = pairs.eigenvalues;
@@ -67,13 +95,19 @@ EmbeddingEngine resolve_embedding_engine(EmbeddingEngine engine,
 
 Embedding compute_embedding(const graph::Graph& g,
                             const EmbeddingOptions& options) {
+  return compute_embedding(g, options, nullptr);
+}
+
+Embedding compute_embedding(const graph::Graph& g,
+                            const EmbeddingOptions& options,
+                            solver::SolverContext* context) {
   SGL_EXPECTS(options.r >= 2, "compute_embedding: r must be at least 2");
   SGL_EXPECTS(options.sigma2 > 0.0, "compute_embedding: sigma2 must be positive");
   const EmbeddingEngine engine =
       resolve_embedding_engine(options.engine, g.num_nodes());
   if (engine == EmbeddingEngine::kSolverFree)
     return compute_sf_embedding(g, options);
-  return compute_exact_embedding(g, options);
+  return compute_exact_embedding(g, options, context);
 }
 
 }  // namespace sgl::spectral

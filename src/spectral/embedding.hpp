@@ -23,6 +23,10 @@
 #include "graph/graph.hpp"
 #include "la/dense_matrix.hpp"
 
+namespace sgl::solver {
+class SolverContext;
+}  // namespace sgl::solver
+
 namespace sgl::spectral {
 
 /// Which implementation computes the embedding.
@@ -85,6 +89,20 @@ struct EmbeddingOptions {
   eig::LanczosOptions lanczos;
   solver::LaplacianSolverOptions solver;
   SfEmbeddingOptions sf;
+  /// Residual tolerance of the exact-engine eigensolve when it is
+  /// warm-started from a SolverContext's stored eigenvector block
+  /// (incremental modes only; DESIGN.md §8). The warm subspace starts at
+  /// a relative residual around the last few edges' perturbation (~1e-2)
+  /// and the convergence rate is gap-limited, so polishing it to the cold
+  /// `lanczos.tolerance` (1e-9) re-pays nearly the full cold cost; the
+  /// learner only consumes the embedding through edge RANKINGS, which are
+  /// quantized by the tie-resolution grid and already stable at 1e-3 —
+  /// the same accuracy regime the paper's multilevel eigensolver targets.
+  /// Cold solves (first iteration, kOff, null context) always use
+  /// `lanczos.tolerance`. The effective tolerance is
+  /// max(lanczos.tolerance, warm_refinement_tolerance), so a caller that
+  /// asks for a LOOSER cold tolerance keeps it.
+  Real warm_refinement_tolerance = 1e-3;
 };
 
 /// Resolves kAuto against the graph size; kExact/kSolverFree pass through.
@@ -116,6 +134,18 @@ struct Embedding {
 /// Computes the embedding of a connected graph via the selected engine.
 [[nodiscard]] Embedding compute_embedding(const graph::Graph& g,
                                           const EmbeddingOptions& options = {});
+
+/// Context-aware overload (DESIGN.md §8): on the exact engine the
+/// LaplacianPinvSolver comes from `context->acquire(g)` — warm, updated
+/// in place, or rebuilt per the context's incremental mode — instead of a
+/// fresh construction, and in the incremental modes the Lanczos run is
+/// warm-started from the context's stored eigenvector block (the new
+/// block is stored back after the solve). A null context, or a context in
+/// kOff mode, reproduces the plain overload bitwise. The solver-free
+/// engine has no solver to share and ignores the context.
+[[nodiscard]] Embedding compute_embedding(const graph::Graph& g,
+                                          const EmbeddingOptions& options,
+                                          solver::SolverContext* context);
 
 /// ‖Urᵀ(e_s − e_t)‖² — the z_emb term of the sensitivity (eq. 13).
 [[nodiscard]] inline Real embedding_distance_squared(const la::DenseMatrix& u,

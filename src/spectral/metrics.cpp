@@ -1,6 +1,7 @@
 #include "spectral/metrics.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "common/rng.hpp"
 
@@ -39,7 +40,8 @@ Real mean_relative_error(const la::Vector& reference, const la::Vector& approx) 
 
 SpectrumComparison compare_spectra(const graph::Graph& reference,
                                    const graph::Graph& learned, Index k,
-                                   const EmbeddingOptions& options) {
+                                   const EmbeddingOptions& options,
+                                   const ComparisonSolvers& solvers) {
   SGL_EXPECTS(reference.num_nodes() == learned.num_nodes() || k >= 1,
               "compare_spectra: k must be positive");
   const eig::LanczosOptions& lanczos = options.lanczos;
@@ -59,8 +61,16 @@ SpectrumComparison compare_spectra(const graph::Graph& reference,
         learned.num_nodes(), kk, lanczos.block_size);
   }
 
-  const solver::LaplacianPinvSolver pinv_ref(reference, options.solver);
-  const solver::LaplacianPinvSolver pinv_learned(learned, options.solver);
+  // Caller-provided warm solvers are used as-is; missing sides build
+  // their own (the historical per-call construction).
+  std::optional<solver::LaplacianPinvSolver> local_ref;
+  if (solvers.reference == nullptr) local_ref.emplace(reference, options.solver);
+  std::optional<solver::LaplacianPinvSolver> local_learned;
+  if (solvers.learned == nullptr) local_learned.emplace(learned, options.solver);
+  const solver::LaplacianPinvSolver& pinv_ref =
+      solvers.reference != nullptr ? *solvers.reference : *local_ref;
+  const solver::LaplacianPinvSolver& pinv_learned =
+      solvers.learned != nullptr ? *solvers.learned : *local_learned;
   SpectrumComparison out;
   out.reference =
       eig::smallest_laplacian_eigenpairs(pinv_ref, kk, opt_ref).eigenvalues;
@@ -118,11 +128,17 @@ std::vector<std::pair<Index, Index>> sample_node_pairs_by_hops(
 ResistanceComparison compare_effective_resistances(
     const graph::Graph& reference, const graph::Graph& learned,
     const std::vector<std::pair<Index, Index>>& pairs,
-    const EmbeddingOptions& options) {
+    const EmbeddingOptions& options, const ComparisonSolvers& solvers) {
   SGL_EXPECTS(reference.num_nodes() == learned.num_nodes(),
               "compare_effective_resistances: node count mismatch");
-  const solver::LaplacianPinvSolver pinv_ref(reference, options.solver);
-  const solver::LaplacianPinvSolver pinv_learned(learned, options.solver);
+  std::optional<solver::LaplacianPinvSolver> local_ref;
+  if (solvers.reference == nullptr) local_ref.emplace(reference, options.solver);
+  std::optional<solver::LaplacianPinvSolver> local_learned;
+  if (solvers.learned == nullptr) local_learned.emplace(learned, options.solver);
+  const solver::LaplacianPinvSolver& pinv_ref =
+      solvers.reference != nullptr ? *solvers.reference : *local_ref;
+  const solver::LaplacianPinvSolver& pinv_learned =
+      solvers.learned != nullptr ? *solvers.learned : *local_learned;
 
   // All probe vectors e_s − e_t go through one multi-RHS block solve per
   // graph instead of a solve per pair.

@@ -30,9 +30,20 @@ struct SpectrumComparison {
 /// scatter statistics the paper plots ("True" vs "Appr." eigenvalues).
 /// Only options.lanczos/.solver are read (the comparison always runs the
 /// exact eigensolve path; r/sigma2/engine do not apply).
+/// Optional caller-provided solvers for the comparison routines below
+/// (DESIGN.md §8): either side may be null (that side builds its own
+/// solver from options.solver, the historical behavior). A non-null
+/// solver MUST belong to the matching graph in its CURRENT state — e.g.
+/// a SolverContext's warm solver right after acquire() on that graph.
+struct ComparisonSolvers {
+  const solver::LaplacianPinvSolver* reference = nullptr;
+  const solver::LaplacianPinvSolver* learned = nullptr;
+};
+
 [[nodiscard]] SpectrumComparison compare_spectra(
     const graph::Graph& reference, const graph::Graph& learned, Index k,
-    const EmbeddingOptions& options = {});
+    const EmbeddingOptions& options = {},
+    const ComparisonSolvers& solvers = {});
 
 /// Uniformly random distinct node pairs (s ≠ t).
 [[nodiscard]] std::vector<std::pair<Index, Index>> sample_node_pairs(
@@ -59,6 +70,7 @@ struct ResistanceComparison {
 [[nodiscard]] ResistanceComparison compare_effective_resistances(
     const graph::Graph& reference, const graph::Graph& learned,
     const std::vector<std::pair<Index, Index>>& pairs,
-    const EmbeddingOptions& options = {});
+    const EmbeddingOptions& options = {},
+    const ComparisonSolvers& solvers = {});
 
 }  // namespace sgl::spectral

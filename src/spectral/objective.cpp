@@ -1,6 +1,9 @@
 #include "spectral/objective.hpp"
 
 #include <cmath>
+#include <optional>
+
+#include "solver/solver_context.hpp"
 
 namespace sgl::spectral {
 
@@ -17,13 +20,26 @@ Real laplacian_quadratic_trace(const graph::Graph& g,
 ObjectiveBreakdown graphical_lasso_objective(const graph::Graph& g,
                                              const la::DenseMatrix& x,
                                              const ObjectiveOptions& options) {
+  return graphical_lasso_objective(g, x, options, nullptr);
+}
+
+ObjectiveBreakdown graphical_lasso_objective(const graph::Graph& g,
+                                             const la::DenseMatrix& x,
+                                             const ObjectiveOptions& options,
+                                             solver::SolverContext* context) {
   SGL_EXPECTS(x.cols() >= 1, "graphical_lasso_objective: empty measurements");
   SGL_EXPECTS(options.embedding.sigma2 > 0.0,
               "graphical_lasso_objective: sigma2 must be positive");
   const Index k = std::min(options.num_eigenvalues, g.num_nodes() - 1);
   const Real inv_sigma2 = 1.0 / options.embedding.sigma2;
 
-  const solver::LaplacianPinvSolver pinv(g, options.embedding.solver);
+  // Warm solver from the context when available (for the learner, the
+  // factorization this iteration's embedding already paid for); fresh
+  // construction otherwise.
+  std::optional<solver::LaplacianPinvSolver> local;
+  if (context == nullptr) local.emplace(g, options.embedding.solver);
+  const solver::LaplacianPinvSolver& pinv =
+      context != nullptr ? context->acquire(g) : *local;
   eig::LanczosOptions lanczos = options.embedding.lanczos;
   if (lanczos.max_subspace == 0) {
     // The 50-eigenvalue log det needs a roomier subspace than embedding.

@@ -31,6 +31,14 @@ struct ObjectiveBreakdown {
     const graph::Graph& g, const la::DenseMatrix& x,
     const ObjectiveOptions& options = {});
 
+/// Context-aware overload (DESIGN.md §8): the log-det eigensolve reuses
+/// `context->acquire(g)` — for the learner that is the SAME warm
+/// factorization the iteration's embedding just used — instead of
+/// building a fresh LaplacianPinvSolver. Null context ⇒ plain overload.
+[[nodiscard]] ObjectiveBreakdown graphical_lasso_objective(
+    const graph::Graph& g, const la::DenseMatrix& x,
+    const ObjectiveOptions& options, solver::SolverContext* context);
+
 /// Tr(XᵀLX) = Σ_{(s,t)∈E} w_st ‖X(s,:) − X(t,:)‖² — the Laplacian
 /// quadratic form of eq. (1) summed over measurement columns.
 [[nodiscard]] Real laplacian_quadratic_trace(const graph::Graph& g,

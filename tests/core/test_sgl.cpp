@@ -371,5 +371,90 @@ TEST(SglLearner, MismatchedXYShapesThrow) {
   EXPECT_THROW(learn_graph(m.voltages, y_bad), ContractViolation);
 }
 
+void expect_same_graph_bitwise(const graph::Graph& a, const graph::Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].s, b.edges()[i].s) << "edge " << i;
+    EXPECT_EQ(a.edges()[i].t, b.edges()[i].t) << "edge " << i;
+    EXPECT_EQ(a.edges()[i].weight, b.edges()[i].weight) << "edge " << i;
+  }
+}
+
+TEST(SglLearner, IncrementalRunBitIdenticalAcrossThreadCounts) {
+  // The per-mode determinism contract (DESIGN.md §8): an incremental run
+  // must reproduce itself bitwise for every thread count — the update
+  // path is serial and every bulk kernel is thread-count invariant.
+  const measure::Measurements m = grid_measurements(10, 10, 30);
+  SglConfig config;
+  config.incremental = solver::IncrementalMode::kAuto;
+  config.embedding.engine = spectral::EmbeddingEngine::kExact;
+  config.num_threads = 1;
+  const SglResult ref = learn_graph(m.voltages, m.currents, config);
+  for (const Index threads : {2, 4, 8}) {
+    config.num_threads = threads;
+    const SglResult r = learn_graph(m.voltages, m.currents, config);
+    expect_same_graph_bitwise(ref.learned, r.learned);
+    EXPECT_EQ(ref.scale_factor, r.scale_factor) << "threads=" << threads;
+  }
+}
+
+TEST(SglLearner, IncrementalOffIsDeterministicAndDefault) {
+  // kOff is the default mode and promises the historical float stream:
+  // two runs with an explicit kOff and a default config must agree
+  // bitwise.
+  const measure::Measurements m = grid_measurements(9, 9, 25);
+  SglConfig config;
+  config.embedding.engine = spectral::EmbeddingEngine::kExact;
+  const SglResult a = learn_graph(m.voltages, m.currents, config);
+  config.incremental = solver::IncrementalMode::kOff;
+  const SglResult b = learn_graph(m.voltages, m.currents, config);
+  expect_same_graph_bitwise(a.learned, b.learned);
+  EXPECT_EQ(a.scale_factor, b.scale_factor);
+}
+
+TEST(SglLearner, IncrementalModesLearnEquivalentGraphs) {
+  // Incremental runs may deviate from kOff in floating point (warm
+  // refinement and updated factors), but the learned structure must stay
+  // equivalent: same convergence, near-identical edge sets.
+  const measure::Measurements m = grid_measurements(12, 12, 30);
+  SglConfig config;
+  config.embedding.engine = spectral::EmbeddingEngine::kExact;
+  const SglResult off = learn_graph(m.voltages, m.currents, config);
+  config.incremental = solver::IncrementalMode::kAuto;
+  const SglResult on = learn_graph(m.voltages, m.currents, config);
+  EXPECT_EQ(off.converged, on.converged);
+  EXPECT_NEAR(static_cast<double>(on.learned.num_edges()),
+              static_cast<double>(off.learned.num_edges()),
+              0.01 * static_cast<double>(off.learned.num_edges()) + 2.0);
+}
+
+TEST(SglLearner, SolverContextCountersTrackTheRun) {
+  const measure::Measurements m = grid_measurements(10, 10, 30);
+  SglConfig config;
+  config.embedding.engine = spectral::EmbeddingEngine::kExact;
+  config.max_iterations = 4;
+  {
+    SglLearner learner(m.voltages, config);
+    for (int i = 0; i < 4 && !learner.converged(); ++i) learner.step();
+    const solver::SolverContextStats& cs = learner.solver_context().stats();
+    // kOff: every consumer rebuilds — embedding + objective per step.
+    EXPECT_GT(cs.acquisitions, 0);
+    EXPECT_EQ(cs.rebuilds, cs.acquisitions);
+    EXPECT_EQ(cs.updates_applied, 0);
+  }
+  config.incremental = solver::IncrementalMode::kAuto;
+  {
+    SglLearner learner(m.voltages, config);
+    for (int i = 0; i < 4 && !learner.converged(); ++i) learner.step();
+    const solver::SolverContextStats& cs = learner.solver_context().stats();
+    EXPECT_GT(cs.acquisitions, 0);
+    EXPECT_LE(cs.rebuilds, cs.acquisitions);
+    // On mesh workloads the appended kNN edges fall outside the near-tree
+    // factor pattern, so steps rebuild — but through the cached ordering.
+    EXPECT_GT(cs.ordering_reuses + cs.updates_applied, 0);
+  }
+}
+
 }  // namespace
 }  // namespace sgl::core

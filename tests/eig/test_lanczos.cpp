@@ -300,5 +300,43 @@ TEST(Lanczos, SubspaceCapHelpersSharedPolicy) {
   EXPECT_EQ(spectrum_subspace_cap(10, 5), 9);
 }
 
+TEST(Lanczos, WarmStartFromConvergedEigenvectorsConvergesInFewSteps) {
+  // Seeding the start block with the converged eigenvectors puts the
+  // whole target subspace into the basis before the first expansion, so
+  // a relaxed-tolerance rerun stops almost immediately — the warm-start
+  // contract the incremental learner relies on (DESIGN.md §8).
+  const graph::Graph g = graph::make_grid2d(9, 8).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs cold = smallest_laplacian_eigenpairs(pinv, 4);
+  ASSERT_TRUE(cold.converged);
+
+  LanczosOptions warm_options;
+  warm_options.tolerance = 1e-6;
+  warm_options.initial_block = la::view_of(cold.eigenvectors);
+  const EigenPairs warm = smallest_laplacian_eigenpairs(pinv, 4, warm_options);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.lanczos_steps, cold.lanczos_steps);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(warm.eigenvalues[i], cold.eigenvalues[i],
+                1e-6 * (1.0 + std::abs(cold.eigenvalues[i])));
+}
+
+TEST(Lanczos, NullInitialBlockReproducesDefaultRunBitwise) {
+  // A default (null) initial_block is not a semantic knob: the run must
+  // be THE standard run, float for float.
+  const graph::Graph g = graph::make_grid2d(6, 7).graph;
+  const solver::LaplacianPinvSolver pinv(g);
+  const EigenPairs a = smallest_laplacian_eigenpairs(pinv, 3);
+  LanczosOptions options;
+  options.initial_block = la::ConstBlockView{};
+  const EigenPairs b = smallest_laplacian_eigenpairs(pinv, 3, options);
+  ASSERT_EQ(a.eigenvalues.size(), b.eigenvalues.size());
+  for (std::size_t i = 0; i < a.eigenvalues.size(); ++i)
+    EXPECT_EQ(a.eigenvalues[i], b.eigenvalues[i]);
+  for (Index j = 0; j < 3; ++j)
+    for (Index i = 0; i < g.num_nodes(); ++i)
+      EXPECT_EQ(a.eigenvectors(i, j), b.eigenvectors(i, j));
+}
+
 }  // namespace
 }  // namespace sgl::eig

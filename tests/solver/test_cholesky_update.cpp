@@ -1,0 +1,295 @@
+// Rank-1 update/downdate and numeric-only refactorization (DESIGN.md §8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "solver/cholesky.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace sgl::solver {
+namespace {
+
+la::CsrMatrix random_spd(Index n, Real density, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Triplet> t;
+  la::Vector diag(static_cast<std::size_t>(n), 0.5);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i + 1; j < n; ++j)
+      if (rng.uniform() < density) {
+        const Real v = rng.uniform(0.1, 1.0);
+        t.push_back({i, j, -v});
+        t.push_back({j, i, -v});
+        diag[static_cast<std::size_t>(i)] += v;
+        diag[static_cast<std::size_t>(j)] += v;
+      }
+  for (Index i = 0; i < n; ++i)
+    t.push_back({i, i, diag[static_cast<std::size_t>(i)]});
+  return la::CsrMatrix::from_triplets(n, n, t);
+}
+
+/// a + w·(e_u − e_v)(e_u − e_v)ᵀ, or a + w·e_u e_uᵀ when v < 0 — the same
+/// Laplacian edge stamp update_edge applies, built from scratch.
+la::CsrMatrix stamped(const la::CsrMatrix& a, Index u, Index v, Real w) {
+  std::vector<la::Triplet> t;
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index p = a.row_ptr()[static_cast<std::size_t>(i)];
+         p < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++p)
+      t.push_back({i, a.col_idx()[static_cast<std::size_t>(p)],
+                   a.values()[static_cast<std::size_t>(p)]});
+  t.push_back({u, u, w});
+  if (v != kInvalidIndex) {
+    t.push_back({v, v, w});
+    t.push_back({u, v, -w});
+    t.push_back({v, u, -w});
+  }
+  return la::CsrMatrix::from_triplets(a.rows(), a.cols(), t);
+}
+
+la::Vector random_rhs(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.normal();
+  return b;
+}
+
+Real rel_diff(const la::Vector& x, const la::Vector& y) {
+  Real num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - y[i]) * (x[i] - y[i]);
+    den += y[i] * y[i];
+  }
+  return std::sqrt(num / den);
+}
+
+/// First off-diagonal structural nonzero (u, v) of `a` with u < v — an
+/// edge guaranteed to be inside any factorization's pattern.
+std::pair<Index, Index> existing_edge(const la::CsrMatrix& a) {
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index p = a.row_ptr()[static_cast<std::size_t>(i)];
+         p < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++p) {
+      const Index j = a.col_idx()[static_cast<std::size_t>(p)];
+      if (j > i) return {i, j};
+    }
+  return {kInvalidIndex, kInvalidIndex};
+}
+
+struct UpdateCase {
+  const char* name;
+  la::CsrMatrix matrix;
+};
+
+std::vector<UpdateCase> update_cases() {
+  std::vector<UpdateCase> cases;
+  cases.push_back(
+      {"mesh", grounded_laplacian(graph::make_grid2d(9, 11).graph)});
+  cases.push_back({"random_spd", random_spd(40, 0.15, 42)});
+  cases.push_back({"path", grounded_laplacian(graph::make_path(64))});
+  return cases;
+}
+
+class CholeskyUpdateSweep : public ::testing::TestWithParam<OrderingMethod> {};
+
+TEST_P(CholeskyUpdateSweep, UpdateMatchesFreshFactorization) {
+  for (const UpdateCase& c : update_cases()) {
+    SCOPED_TRACE(c.name);
+    const auto [u, v] = existing_edge(c.matrix);
+    ASSERT_NE(u, kInvalidIndex);
+    const Real w = 0.7;
+
+    CholeskySolver updated(c.matrix, GetParam());
+    ASSERT_TRUE(updated.edge_in_pattern(u, v));
+    updated.update_edge(u, v, w);
+    EXPECT_EQ(updated.stats().updates_applied, 1);
+
+    const la::CsrMatrix modified = stamped(c.matrix, u, v, w);
+    const CholeskySolver fresh(modified, GetParam());
+
+    const la::Vector b = random_rhs(c.matrix.rows(), 7);
+    const la::Vector x_upd = updated.solve(b);
+    const la::Vector x_fresh = fresh.solve(b);
+    EXPECT_LT(rel_diff(x_upd, x_fresh), 1e-9);
+
+    // The updated factor solves the MODIFIED system to solver accuracy.
+    const la::Vector ax = modified.multiply(x_upd);
+    for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST_P(CholeskyUpdateSweep, DowndateUndoesUpdate) {
+  for (const UpdateCase& c : update_cases()) {
+    SCOPED_TRACE(c.name);
+    const auto [u, v] = existing_edge(c.matrix);
+    const Real w = 1.3;
+
+    CholeskySolver solver(c.matrix, GetParam());
+    const la::Vector b = random_rhs(c.matrix.rows(), 21);
+    const la::Vector x_before = solver.solve(b);
+
+    solver.update_edge(u, v, w);
+    solver.update_edge(u, v, -w);
+    EXPECT_EQ(solver.stats().updates_applied, 2);
+
+    const la::Vector x_after = solver.solve(b);
+    EXPECT_LT(rel_diff(x_after, x_before), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, CholeskyUpdateSweep,
+                         ::testing::Values(OrderingMethod::kNatural,
+                                           OrderingMethod::kRcm,
+                                           OrderingMethod::kMinimumDegree,
+                                           OrderingMethod::kNestedDissection,
+                                           OrderingMethod::kAuto));
+
+TEST(CholeskyUpdate, DiagonalStampMatchesGroundedEdgeInsertion) {
+  // A graph edge incident to the GROUND node stamps only one diagonal
+  // entry of the grounded system: update_edge(u, kInvalidIndex, w).
+  graph::Graph g = graph::make_grid2d(6, 7).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  const Index far_node = g.num_nodes() - 1;  // not adjacent to node 0
+
+  CholeskySolver updated(a);
+  updated.update_edge(far_node - 1, kInvalidIndex, 2.5);  // grounded index
+
+  g.add_edge(0, far_node, 2.5);
+  const CholeskySolver fresh(grounded_laplacian(g));
+
+  const la::Vector b = random_rhs(a.rows(), 3);
+  EXPECT_LT(rel_diff(updated.solve(b), fresh.solve(b)), 1e-9);
+}
+
+TEST(CholeskyUpdate, SequentialUpdatesTrackTheLearnerPattern) {
+  // The learner's usage: one factorization, then a stream of single-edge
+  // insertions, solving in between.
+  const graph::Graph g = graph::make_grid2d(8, 8).graph;
+  la::CsrMatrix a = grounded_laplacian(g);
+  CholeskySolver solver(a);
+
+  Rng rng(99);
+  Index applied = 0;
+  for (Index trial = 0; trial < 12; ++trial) {
+    const Index u = rng.uniform_int(a.rows());
+    const Index v = rng.uniform_int(a.rows());
+    if (u == v) continue;
+    if (!solver.edge_in_pattern(u, v)) continue;
+    const Real w = rng.uniform(0.2, 1.5);
+    solver.update_edge(u, v, w);
+    ++applied;
+    a = stamped(a, u, v, w);
+
+    const la::Vector b = random_rhs(a.rows(), 100 + trial);
+    const la::Vector x = solver.solve(b);
+    const la::Vector ax = a.multiply(x);
+    for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+  EXPECT_GT(applied, 0);
+  EXPECT_EQ(solver.stats().updates_applied, applied);
+}
+
+TEST(CholeskyUpdate, DowndateToSingularThrowsAndPreservesFactor) {
+  // Removing a path edge disconnects the graph: the grounded system loses
+  // positive definiteness exactly when the edge weight reaches zero.
+  const graph::Graph path = graph::make_path(16);
+  const la::CsrMatrix a = grounded_laplacian(path);
+  CholeskySolver solver(a);
+
+  const la::Vector b = random_rhs(a.rows(), 5);
+  const la::Vector x_before = solver.solve(b);
+
+  // Edge (5, 6) of the path maps to grounded indices (4, 5), weight 1.
+  EXPECT_THROW(solver.update_edge(4, 5, -1.0), NumericalError);
+
+  // The two-pass downdate must leave the factor untouched on failure.
+  const la::Vector x_after = solver.solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_EQ(x_after[i], x_before[i]);
+  EXPECT_EQ(solver.stats().updates_applied, 0);
+}
+
+TEST(CholeskyUpdate, EdgeOutsidePatternIsReported) {
+  // Natural ordering of a path gives a bidiagonal factor: far-apart nodes
+  // share no pattern entry, so the stamp cannot be applied in place.
+  const la::CsrMatrix a = grounded_laplacian(graph::make_path(64));
+  const CholeskySolver solver(a, OrderingMethod::kNatural);
+  EXPECT_TRUE(solver.edge_in_pattern(10, 11));
+  EXPECT_FALSE(solver.edge_in_pattern(0, 62));
+  EXPECT_TRUE(solver.edge_in_pattern(30, kInvalidIndex));
+}
+
+TEST(CholeskyUpdate, RefactorizeMatchesFreshBitwise) {
+  // Weight-only changes keep the pattern, so the kept symbolic analysis
+  // plus a numeric renumeration must reproduce a fresh factorization of
+  // the new matrix BITWISE (same ordering decision, same level schedule).
+  const graph::Graph g = graph::make_grid2d(9, 11).graph;
+  const la::CsrMatrix a = grounded_laplacian(g);
+  graph::Graph scaled_g = g;
+  scaled_g.scale_weights(3.25);
+  const la::CsrMatrix scaled = grounded_laplacian(scaled_g);
+
+  for (const OrderingMethod ordering :
+       {OrderingMethod::kRcm, OrderingMethod::kMinimumDegree,
+        OrderingMethod::kNestedDissection}) {
+    CholeskySolver solver(a, ordering);
+    solver.refactorize(scaled);
+    EXPECT_EQ(solver.stats().refactorizations, 1);
+
+    const CholeskySolver fresh(scaled, ordering);
+    const la::Vector b = random_rhs(a.rows(), 17);
+    const la::Vector x_re = solver.solve(b);
+    const la::Vector x_fresh = fresh.solve(b);
+    for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(x_re[i], x_fresh[i]);
+  }
+}
+
+TEST(CholeskyUpdate, RefactorizeAfterUpdatesUsesCurrentMatrix) {
+  // kAuto's policy: apply rank-1 updates, then renumerate — the updated
+  // edges are inside the pattern, so refactorize's containment holds.
+  const la::CsrMatrix a = grounded_laplacian(graph::make_grid2d(7, 9).graph);
+  CholeskySolver solver(a);
+  const auto [u, v] = existing_edge(a);
+  solver.update_edge(u, v, 0.9);
+  const la::CsrMatrix modified = stamped(a, u, v, 0.9);
+  solver.refactorize(modified);
+
+  const CholeskySolver fresh(modified);
+  const la::Vector b = random_rhs(a.rows(), 8);
+  const la::Vector x_re = solver.solve(b);
+  const la::Vector x_fresh = fresh.solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(x_re[i], x_fresh[i]);
+}
+
+TEST(CholeskyUpdate, RefactorizeRejectsPatternGrowth) {
+  const la::CsrMatrix a = grounded_laplacian(graph::make_path(32));
+  CholeskySolver solver(a, OrderingMethod::kNatural);
+  // (0, 30) is far outside the bidiagonal pattern.
+  const la::CsrMatrix grown = stamped(a, 0, 30, 1.0);
+  EXPECT_THROW(solver.refactorize(grown), ContractViolation);
+}
+
+TEST(CholeskyUpdate, UpdatePreservesBlockScalarEquality) {
+  // The determinism contract extends to updated factors: block sweeps on
+  // an updated factor equal scalar solves bitwise.
+  const la::CsrMatrix a = grounded_laplacian(graph::make_grid2d(10, 10).graph);
+  CholeskySolver solver(a);
+  const auto [u, v] = existing_edge(a);
+  solver.update_edge(u, v, 0.45);
+
+  la::MultiVector block(a.rows(), 5);
+  Rng rng(31);
+  for (Index c = 0; c < 5; ++c)
+    for (Real& x : block.col(c)) x = rng.normal();
+  const la::MultiVector solved = solver.solve_block(block, 4);
+  for (Index c = 0; c < 5; ++c) {
+    la::Vector col(static_cast<std::size_t>(a.rows()));
+    for (Index i = 0; i < a.rows(); ++i)
+      col[static_cast<std::size_t>(i)] = block(i, c);
+    const la::Vector x = solver.solve(col);
+    for (Index i = 0; i < a.rows(); ++i)
+      EXPECT_EQ(solved(i, c), x[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace sgl::solver

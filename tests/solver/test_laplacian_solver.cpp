@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
@@ -432,6 +433,87 @@ TEST(LaplacianSolver, MethodNamesRoundTrip) {
   EXPECT_FALSE(parse_laplacian_method("lu").has_value());
   EXPECT_FALSE(parse_laplacian_method("").has_value());
   EXPECT_FALSE(parse_laplacian_method("Cholesky").has_value());
+}
+
+TEST(LaplacianSolver, ApplyBlockDefaultPcgOptionsMatchesPlainOverloadBitwise) {
+  // The warm-start overload with default (null-view) options must be THE
+  // same solve as the two-argument apply_block, float for float.
+  const graph::Graph g = graph::make_grid2d(8, 7).graph;
+  LaplacianSolverOptions options;
+  options.method = LaplacianMethod::kPcgJacobi;
+  const LaplacianPinvSolver pinv(g, options);
+  Rng rng(19);
+  la::DenseMatrix y(g.num_nodes(), 4);
+  for (Index j = 0; j < 4; ++j)
+    for (Real& v : y.col(j)) v = rng.normal();
+  const la::DenseMatrix x_plain = pinv.apply_block(y, 1);
+  la::DenseMatrix x_explicit(g.num_nodes(), 4);
+  pinv.apply_block(la::view_of(y), la::view_of(x_explicit), PcgOptions{}, 1);
+  for (Index j = 0; j < 4; ++j)
+    for (Index i = 0; i < g.num_nodes(); ++i)
+      EXPECT_EQ(x_plain(i, j), x_explicit(i, j));
+}
+
+TEST(LaplacianSolver, ApplyBlockWarmStartConvergesFasterToSameSolution) {
+  const graph::Graph g = graph::make_grid2d(12, 11).graph;
+  LaplacianSolverOptions options;
+  options.method = LaplacianMethod::kPcgJacobi;
+  const LaplacianPinvSolver pinv(g, options);
+  Rng rng(23);
+  la::DenseMatrix y(g.num_nodes(), 3);
+  for (Index j = 0; j < 3; ++j) {
+    la::Vector col(static_cast<std::size_t>(g.num_nodes()));
+    for (Real& v : col) v = rng.normal();
+    la::center(col);
+    for (Index i = 0; i < g.num_nodes(); ++i) y(i, j) = col[static_cast<std::size_t>(i)];
+  }
+
+  // Cold solve, capturing the grounded iterate through final_iterate.
+  la::DenseMatrix x_cold(g.num_nodes(), 3);
+  la::DenseMatrix iterate(g.num_nodes() - 1, 3);
+  PcgOptions cold;
+  cold.final_iterate = la::view_of(iterate);
+  pinv.apply_block(la::view_of(y), la::view_of(x_cold), cold, 1);
+  const Index cold_iterations = pinv.last_pcg_iterations();
+  EXPECT_GT(cold_iterations, 1);
+
+  // Warm solve of the SAME system seeded with the converged iterate: it
+  // must finish in a round or two and reproduce the cold solution.
+  la::DenseMatrix x_warm(g.num_nodes(), 3);
+  PcgOptions warm;
+  warm.initial_guess = la::view_of(std::as_const(iterate));
+  pinv.apply_block(la::view_of(y), la::view_of(x_warm), warm, 1);
+  EXPECT_LE(pinv.last_pcg_iterations(), 2);
+  for (Index j = 0; j < 3; ++j)
+    for (Index i = 0; i < g.num_nodes(); ++i)
+      EXPECT_NEAR(x_warm(i, j), x_cold(i, j), 1e-8);
+}
+
+TEST(LaplacianSolver, CholeskyPathIgnoresWarmStartViews) {
+  // A direct solve has no iterate: guess and copy-out slots are inert and
+  // the result equals the plain overload bitwise.
+  const graph::Graph g = graph::make_grid2d(6, 6).graph;
+  LaplacianSolverOptions options;
+  options.method = LaplacianMethod::kCholesky;
+  const LaplacianPinvSolver pinv(g, options);
+  Rng rng(29);
+  la::DenseMatrix y(g.num_nodes(), 2);
+  for (Index j = 0; j < 2; ++j)
+    for (Real& v : y.col(j)) v = rng.normal();
+  const la::DenseMatrix x_plain = pinv.apply_block(y, 1);
+
+  la::DenseMatrix guess(g.num_nodes() - 1, 2);
+  for (Index j = 0; j < 2; ++j)
+    for (Real& v : guess.col(j)) v = 123.0;  // garbage must not leak in
+  la::DenseMatrix sink(g.num_nodes() - 1, 2);
+  PcgOptions pcg;
+  pcg.initial_guess = la::view_of(std::as_const(guess));
+  pcg.final_iterate = la::view_of(sink);
+  la::DenseMatrix x_warm(g.num_nodes(), 2);
+  pinv.apply_block(la::view_of(y), la::view_of(x_warm), pcg, 1);
+  for (Index j = 0; j < 2; ++j)
+    for (Index i = 0; i < g.num_nodes(); ++i)
+      EXPECT_EQ(x_plain(i, j), x_warm(i, j));
 }
 
 TEST(LaplacianSolver, PcgIterationCountExposed) {

@@ -13,6 +13,12 @@ an improvement. Output is a Markdown table (suitable for
 $GITHUB_STEP_SUMMARY). Exit status is 0 unless --strict is given and at
 least one regression was found.
 
+The two artifacts must come from the same library_build_type (the
+`context` block Google Benchmark records): timings from a debug library
+are meaningless against a release library, so a mismatch is reported as
+a warning — and, under --strict, fails the comparison outright rather
+than gating on garbage ratios.
+
 --filter restricts the comparison to benchmark names matching the given
 regex (re.search semantics). CI uses it to run a BLOCKING pass over the
 solver families only (BM_Solve*/BM_Pcg*/BM_BlockPcg/BM_Embed*/BM_SfSgl*,
@@ -35,8 +41,9 @@ import re
 import sys
 
 
-def load_benchmarks(path: str, metric: str) -> dict[str, float]:
-    """Returns {benchmark name: metric value}, skipping aggregate rows."""
+def load_benchmarks(path: str, metric: str) -> tuple[dict[str, float], str]:
+    """Returns ({benchmark name: metric value}, library_build_type),
+    skipping aggregate rows."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     out: dict[str, float] = {}
@@ -49,7 +56,8 @@ def load_benchmarks(path: str, metric: str) -> dict[str, float]:
         if name is None or not isinstance(value, (int, float)):
             continue
         out[name] = float(value)
-    return out
+    build_type = str(doc.get("context", {}).get("library_build_type", ""))
+    return out, build_type
 
 
 def format_time(value: float, unit: str) -> str:
@@ -106,11 +114,15 @@ def main() -> int:
     baseline_path = args.baseline or args.baseline_file
 
     try:
-        base = load_benchmarks(baseline_path, args.metric)
-        curr = load_benchmarks(args.current, args.metric)
+        base, base_build = load_benchmarks(baseline_path, args.metric)
+        curr, curr_build = load_benchmarks(args.current, args.metric)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"bench_compare: cannot read input: {exc}", file=sys.stderr)
         return 0 if not args.strict else 1
+
+    build_mismatch = (
+        bool(base_build) and bool(curr_build) and base_build != curr_build
+    )
 
     if args.filter is not None:
         pattern = re.compile(args.filter)
@@ -174,6 +186,16 @@ def main() -> int:
         print(f"\nRemoved benchmarks (baseline only): {len(only_base)}")
         for name in only_base:
             print(f"- `{name}`")
+
+    if build_mismatch:
+        print(
+            f"\n**⚠️ library_build_type mismatch: baseline is "
+            f"`{base_build}`, current is `{curr_build}` — timings are not "
+            f"comparable. Recapture the baseline with a matching build.**"
+        )
+        if args.strict:
+            print("\n**FAIL (strict): build-type mismatch.**")
+            return 1
 
     if args.strict and not shared:
         # A blocking pass that matches nothing gates nothing: renamed

@@ -60,6 +60,11 @@ void usage() {
       "  --seed <int>    measurement RNG seed       (default 2021)\n"
       "  --engine <name> embedding engine: auto, exact, solver-free\n"
       "                  (default auto: solver-free on large graphs)\n"
+      "  --incremental <name> incremental relearning: auto, on, off\n"
+      "                  (default off: rebuild every solver from scratch,\n"
+      "                  byte-identical to historical output; on/auto keep\n"
+      "                  one warm factorization across iterations and apply\n"
+      "                  added edges as rank-1 updates)\n"
       "  --solver <name> Laplacian solver: auto, cholesky, pcg-jacobi,\n"
       "                  pcg-ic0, pcg-tree, pcg-amg  (default auto)\n"
       "  --ordering <name> factorization ordering: auto, amd, rcm, nd,\n"
@@ -76,7 +81,8 @@ int main(int argc, char** argv) {
   static constexpr const char* kValueOptions[] = {
       "voltages", "currents", "graph",   "measurements", "out",
       "k",        "r",        "beta",    "tol",          "noise",
-      "seed",     "threads",  "solver",  "ordering",     "engine"};
+      "seed",     "threads",  "solver",  "ordering",     "engine",
+      "incremental"};
   CliArgs args;
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
@@ -141,6 +147,15 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  const auto incremental =
+      solver::parse_incremental_mode(args.str("incremental", "off"));
+  if (!incremental) {
+    std::fprintf(stderr, "unknown --incremental '%s' (valid: %s)\n",
+                 args.str("incremental").c_str(),
+                 solver::incremental_mode_name_list().c_str());
+    usage();
+    return 2;
+  }
 
   try {
     la::DenseMatrix x;
@@ -192,6 +207,7 @@ int main(int argc, char** argv) {
     config.num_threads = static_cast<Index>(args.num("threads", 0));
     config.embedding.solver.method = *method;
     config.embedding.solver.ordering = *ordering;
+    config.incremental = *incremental;
     // The learner inherits this internally, but the --verbose stats
     // factorization below uses config.embedding.solver directly, so wire
     // the thread knob here too.
@@ -226,6 +242,20 @@ int main(int argc, char** argv) {
         }
         std::printf("\n");
       }
+      // Incremental-relearning counters of the learner's SolverContext:
+      // how often the warm solver was reused vs rebuilt, and how many
+      // added edges were absorbed as rank-1 updates (DESIGN.md §8).
+      {
+        const solver::SolverContext& ctx = learner.solver_context();
+        const solver::SolverContextStats& cs = ctx.stats();
+        std::printf(
+            "incremental: mode=%s acquisitions=%d rebuilds=%d "
+            "refactorizations=%d updates=%d pattern-misses=%d "
+            "ordering-reuses=%d\n",
+            solver::incremental_mode_name(ctx.mode()), cs.acquisitions,
+            cs.rebuilds, cs.refactorizations, cs.updates_applied,
+            cs.pattern_misses, cs.ordering_reuses);
+      }
       // Surface the solver the learned graph's Laplacian resolves to,
       // plus the factorization statistics of the refactored backbone.
       const solver::LaplacianPinvSolver pinv(result.learned,
@@ -237,9 +267,10 @@ int main(int argc, char** argv) {
       if (const solver::FactorStats* fs = pinv.factor_stats()) {
         std::printf(
             "factor: n=%d nnz=%d supernodes=%d levels=%d "
-            "(widest level %d) in %.4fs\n",
+            "(widest level %d) in %.4fs, updates=%d refactorizations=%d\n",
             fs->n, fs->factor_nnz, fs->num_supernodes, fs->num_levels,
-            fs->max_level_supernodes, fs->factor_seconds);
+            fs->max_level_supernodes, fs->factor_seconds, fs->updates_applied,
+            fs->refactorizations);
       } else {
         // Iterative path: drive one two-column probe block through the
         // block-PCG solve so the per-block iteration stats are populated.

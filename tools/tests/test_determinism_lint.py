@@ -126,6 +126,31 @@ class RuleFixtures(unittest.TestCase):
         self.assertEqual(lint_fixture("shared_mutation_waived.snippet",
                                       "src/spectral/fixture.cpp"), [])
 
+    def test_warm_start_accumulator_positive(self):
+        # The incremental-relearning bookkeeping shape (DESIGN.md §8):
+        # warm-start/update accumulators folded inside a parallel body
+        # must be flagged like any captured accumulator.
+        findings = lint_fixture("warm_start_accumulator_positive.snippet",
+                                "src/solver/fixture.cpp")
+        self.assertEqual(rule_counts(findings),
+                         {"shared-mutation-in-parallel": 2})
+
+    def test_warm_start_accumulator_waived(self):
+        # ... while the SERIAL accumulation SolverContext actually uses
+        # (appended-weight loop on the rank-1 update path) lints clean.
+        self.assertEqual(
+            lint_fixture("warm_start_accumulator_waived.snippet",
+                         "src/solver/fixture.cpp"), [])
+
+    def test_solver_context_sources_in_scope_and_clean(self):
+        # The real SolverContext sources sit in src/solver, so every
+        # numeric-module rule applies to them; they must lint clean.
+        repo_root = os.path.dirname(TOOLS_DIR)
+        for rel in ("src/solver/solver_context.hpp",
+                    "src/solver/solver_context.cpp"):
+            with open(os.path.join(repo_root, rel), encoding="utf-8") as fh:
+                self.assertEqual(dl.lint_text(fh.read(), rel), [], rel)
+
     def test_reciprocal_multiply_positive(self):
         findings = lint_fixture("reciprocal_multiply_positive.snippet",
                                 "src/solver/fixture.cpp")
