@@ -45,6 +45,28 @@ BENCHMARK(BM_HnswBuildAndQueryAll)
     ->Arg(8192)
     ->Unit(benchmark::kMillisecond);
 
+void BM_HnswBuildParallel(benchmark::State& state) {
+  // Index construction alone (no queries) at the bench's thread count.
+  // The generation-batched build produces the identical graph at every
+  // arg, so this measures pure scheduling/speedup; Arg(1) IS the serial
+  // baseline the ≥2×@4-threads acceptance gate compares against.
+  const Index threads = static_cast<Index>(state.range(0));
+  const la::DenseMatrix x = random_points(4096, 50, 3);
+  Index committed = 0;
+  for (auto _ : state) {
+    const knn::HnswIndex index(x, {}, threads);
+    committed = index.build_stats().committed_speculative;
+    benchmark::DoNotOptimize(index.entry_point());
+  }
+  state.counters["batched_inserts"] = static_cast<double>(committed);
+}
+BENCHMARK(BM_HnswBuildParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_KnnGraphBuild(benchmark::State& state) {
   // End-to-end Step 1 (neighbor search + symmetrize + connectivity).
   const Index n = static_cast<Index>(state.range(0));

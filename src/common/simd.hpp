@@ -1,0 +1,84 @@
+// SIMD-friendliness primitives shared by the dense hot-path kernels.
+//
+// Two small tools back the vectorization contract of DESIGN.md §9:
+//
+//   - SGL_RESTRICT marks pointers that the surrounding kernel guarantees
+//     not to alias, so the compiler can keep register-blocked tile
+//     accumulators live across the inner loop instead of reloading them
+//     per iteration (the 8-wide tiles in la::spmm and the factor panels
+//     only vectorize cleanly with the aliasing barrier removed).
+//   - AlignedAllocator<T, kCacheLineBytes> gives std::vector storage a
+//     64-byte alignment guarantee, so an 8-wide Real strip is one cache
+//     line and an aligned vector load instead of two split lines.
+//
+// Alignment and restrict qualifiers change neither values nor evaluation
+// order — every kernel keeps its fixed per-element accumulation order, so
+// the bitwise determinism contract is unaffected.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SGL_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define SGL_RESTRICT __restrict
+#else
+#define SGL_RESTRICT
+#endif
+
+// Read-prefetch hint for gather loops whose index stream is known ahead
+// of the data stream (the block-sweep strip gathers): a hint only — no
+// loads, stores, or faults — so values and evaluation order are
+// untouched and the determinism contract holds trivially.
+#if defined(__GNUC__) || defined(__clang__)
+#define SGL_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define SGL_PREFETCH(addr) ((void)0)
+#endif
+
+namespace sgl::common {
+
+/// One x86/ARM cache line; also the widest vector register (AVX-512) in
+/// bytes, so line-aligned storage is vector-aligned for every ISA tier.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17-style aligned allocator: storage from operator
+/// new(align_val_t), propagating the usual vector semantics. All
+/// instances are interchangeable (stateless), so vectors move freely
+/// across allocator copies.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not a power of 2");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  // NOLINTNEXTLINE(google-explicit-constructor): allocator rebind idiom.
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace sgl::common

@@ -10,7 +10,28 @@
 
 namespace sgl::knn {
 
-HnswIndex::HnswIndex(const la::DenseMatrix& points, const HnswOptions& options)
+namespace {
+
+/// Point count below which construction is plain live insertion:
+/// generation scheduling costs more than the searches it batches. The
+/// threshold depends only on N, so the graph is still a pure function of
+/// the inputs at every thread count.
+constexpr Index kSerialBuildPoints = 512;
+
+/// Generation size for a committed prefix of `committed` nodes: grows
+/// with the prefix (early searches are cheap and their graph snapshot
+/// would go stale over a wide batch; late ones are expensive and a
+/// recent-generation snapshot is already a good search surface), capped
+/// so a generation never searches a snapshot more than 256 commits old.
+[[nodiscard]] Index generation_size(Index committed) {
+  if (committed == 0) return 1;  // the entry point must exist first
+  return std::max<Index>(8, std::min<Index>(256, committed / 4));
+}
+
+}  // namespace
+
+HnswIndex::HnswIndex(const la::DenseMatrix& points, const HnswOptions& options,
+                     Index num_threads)
     : num_points_(points.rows()),
       dim_(points.cols()),
       data_(to_row_major(points)),
@@ -22,10 +43,18 @@ HnswIndex::HnswIndex(const la::DenseMatrix& points, const HnswOptions& options)
   SGL_EXPECTS(options.ef_construction >= options.max_connections,
               "HnswIndex: ef_construction below max_connections");
   level_multiplier_ = 1.0 / std::log(static_cast<Real>(options.max_connections));
+  // Level draws up front, in serial insertion order — one rng_ call per
+  // node, the exact call sequence of per-insert draws — so each node's
+  // level is a pure function of its index and the seed, independent of
+  // construction scheduling.
   node_level_.resize(static_cast<std::size_t>(num_points_));
+  for (Index i = 0; i < num_points_; ++i) {
+    node_level_[static_cast<std::size_t>(i)] = static_cast<Index>(
+        -std::log(std::max(rng_.uniform(), 1e-18)) * level_multiplier_);
+  }
   links_.resize(static_cast<std::size_t>(num_points_));
-  insert_scratch_ = make_search_scratch();
-  for (Index i = 0; i < num_points_; ++i) insert(i);
+  common::MutexLock lock(build_mutex_);
+  build_all(num_threads);
 }
 
 Index HnswIndex::greedy_closest(Index query, Index start, Index level) const {
@@ -121,10 +150,8 @@ std::vector<Index> HnswIndex::select_neighbors(
   return selected;
 }
 
-void HnswIndex::insert(Index node) {
-  const Index level = static_cast<Index>(
-      -std::log(std::max(rng_.uniform(), 1e-18)) * level_multiplier_);
-  node_level_[static_cast<std::size_t>(node)] = level;
+void HnswIndex::insert(Index node, SearchScratch& scratch) {
+  const Index level = node_level_[static_cast<std::size_t>(node)];
   links_[static_cast<std::size_t>(node)].assign(
       static_cast<std::size_t>(level) + 1, {});
 
@@ -142,7 +169,7 @@ void HnswIndex::insert(Index node) {
   // Phase 2: beam search + linking from min(level, max_level_) down to 0.
   for (Index l = std::min(level, max_level_); l >= 0; --l) {
     std::vector<SearchCandidate> candidates =
-        search_layer(node, current, options_.ef_construction, l, insert_scratch_);
+        search_layer(node, current, options_.ef_construction, l, scratch);
     const Index m_max =
         (l == 0) ? 2 * options_.max_connections : options_.max_connections;
     std::vector<Index> chosen =
@@ -169,6 +196,129 @@ void HnswIndex::insert(Index node) {
   if (level > max_level_) {
     max_level_ = level;
     entry_point_ = node;
+  }
+}
+
+void HnswIndex::speculate(Index node, Index snap_entry, Index snap_max,
+                          SearchScratch& scratch, Speculation& spec) const {
+  // The exact search phases of insert(), run against the frozen
+  // start-of-generation graph: generation members are absent from every
+  // frozen adjacency list, so the traversal only sees committed nodes
+  // and is independent of the worker count and of how the generation is
+  // sliced across workers.
+  const Index level = node_level_[static_cast<std::size_t>(node)];
+  Index current = snap_entry;
+  for (Index l = snap_max; l > level; --l)
+    current = greedy_closest(node, current, l);
+
+  const Index lmin = std::min(level, snap_max);
+  spec.layers.resize(static_cast<std::size_t>(lmin) + 1);
+  for (Index l = lmin; l >= 0; --l) {
+    spec.layers[static_cast<std::size_t>(l)] =
+        search_layer(node, current, options_.ef_construction, l, scratch);
+    const auto& candidates = spec.layers[static_cast<std::size_t>(l)];
+    if (!candidates.empty()) {
+      current = std::min_element(candidates.begin(), candidates.end())->node;
+    }
+  }
+  spec.has = true;
+}
+
+void HnswIndex::commit(Index node, Index snap_max, const Speculation& spec,
+                       SearchScratch& scratch) {
+  // Size-1 generations (and an empty graph) skip the batched search: a
+  // frozen-graph search with no earlier commits in the generation IS the
+  // live search, so the cheaper live insert produces the same links.
+  if (!spec.has) {
+    insert(node, scratch);
+    ++build_stats_.fallback_serial;
+    return;
+  }
+
+  // The link phase of insert() driven by the recorded candidates.
+  // Neighbor selection depends only on point distances, and backlink
+  // shrinking only on the live lists commits maintain serially — both
+  // pure functions of the commit order, which is the index order.
+  const Index level = node_level_[static_cast<std::size_t>(node)];
+  links_[static_cast<std::size_t>(node)].assign(
+      static_cast<std::size_t>(level) + 1, {});
+  for (Index l = std::min(level, snap_max); l >= 0; --l) {
+    const Index m_max =
+        (l == 0) ? 2 * options_.max_connections : options_.max_connections;
+    std::vector<Index> chosen = select_neighbors(
+        node, spec.layers[static_cast<std::size_t>(l)],
+        options_.max_connections);
+    links_[static_cast<std::size_t>(node)][static_cast<std::size_t>(l)] =
+        chosen;
+    for (const Index nb : chosen) {
+      auto& back =
+          links_[static_cast<std::size_t>(nb)][static_cast<std::size_t>(l)];
+      back.push_back(node);
+      if (to_index(back.size()) > m_max) {
+        std::vector<SearchCandidate> all;
+        all.reserve(back.size());
+        for (const Index x : back) all.push_back({distance(nb, x), x});
+        back = select_neighbors(nb, std::move(all), m_max);
+      }
+    }
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+  ++build_stats_.committed_speculative;
+}
+
+void HnswIndex::insert_batch(Index g0, Index g1, Index threads,
+                             std::vector<SearchScratch>& worker_scratch,
+                             std::vector<Speculation>& specs,
+                             SearchScratch& scratch) {
+  ++build_stats_.num_generations;
+  const Index snap_entry = entry_point_;
+  const Index snap_max = max_level_;
+
+  specs.assign(static_cast<std::size_t>(g1 - g0), Speculation{});
+  if (snap_entry != kInvalidIndex && g1 - g0 > 1) {
+    // Pool-parallel searches against the frozen graph. The orchestrator
+    // holds build_mutex_ and is blocked here, so workers read a
+    // quiescent structure (the post-construction query contract). With
+    // one thread this runs inline — same searches, same results.
+    parallel::parallel_for_slots(
+        g0, g1, threads, [&](Index lo, Index hi, Index slot) {
+          SearchScratch& ws = worker_scratch[static_cast<std::size_t>(slot)];
+          if (ws.visit_mark.empty()) ws = make_search_scratch();
+          for (Index node = lo; node < hi; ++node)
+            speculate(node, snap_entry, snap_max, ws,
+                      specs[static_cast<std::size_t>(node - g0)]);
+        });
+  }
+
+  // Serial commits in index order.
+  for (Index node = g0; node < g1; ++node)
+    commit(node, snap_max, specs[static_cast<std::size_t>(node - g0)],
+           scratch);
+}
+
+void HnswIndex::build_all(Index num_threads) {
+  SearchScratch scratch = make_search_scratch();
+  if (num_points_ < kSerialBuildPoints) {
+    // Small builds: plain live insertion. The threshold depends only on
+    // N, so every thread count takes the same path.
+    for (Index i = 0; i < num_points_; ++i) insert(i, scratch);
+    build_stats_.fallback_serial += num_points_;
+    return;
+  }
+
+  // The generation schedule is fixed by N alone; `threads` only decides
+  // how each generation's searches are executed, never what they see.
+  const Index threads = parallel::resolve_num_threads(num_threads);
+  std::vector<SearchScratch> worker_scratch(static_cast<std::size_t>(threads));
+  std::vector<Speculation> specs;
+  Index g0 = 0;
+  while (g0 < num_points_) {
+    const Index g1 = std::min(num_points_, g0 + generation_size(g0));
+    insert_batch(g0, g1, threads, worker_scratch, specs, scratch);
+    g0 = g1;
   }
 }
 
@@ -255,7 +405,7 @@ KnnResult HnswIndex::knn_all(Index k, Index num_threads) const {
 
 KnnResult hnsw_knn(const la::DenseMatrix& points, Index k,
                    const HnswOptions& options, Index num_threads) {
-  const HnswIndex index(points, options);
+  const HnswIndex index(points, options, num_threads);
   return index.knn_all(k, num_threads);
 }
 

@@ -5,12 +5,24 @@
 // of proximity graphs searched greedily from the top layer, with
 // beam-search insertion and the distance-diversified neighbor-selection
 // heuristic. Deterministic given the seed.
+//
+// Construction is generation-batched (DESIGN.md §9): points are
+// partitioned into generations by insertion order (a pure function of N
+// alone); a generation's candidate searches run on the pool against the
+// frozen previous-generation graph (per-worker scratch), then links are
+// committed serially in index order. Because the generation schedule,
+// the frozen-graph searches, and the commit order never depend on the
+// worker count, the constructed graph is bitwise-identical — edge for
+// edge — for every thread count, including 1. Level draws are a pure
+// function of the point index and the seed (precomputed in one pass).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "knn/brute_force.hpp"
 #include "la/dense_matrix.hpp"
 
@@ -26,10 +38,26 @@ struct HnswOptions {
   std::uint64_t seed = 42;
 };
 
+/// Construction-phase statistics (benchmarks, tests, --verbose).
+struct HnswBuildStats {
+  /// Insertion generations the build was partitioned into.
+  Index num_generations = 0;
+  /// Inserts whose candidate searches ran batched against the frozen
+  /// previous-generation graph (the pool-parallel path).
+  Index committed_speculative = 0;
+  /// Inserts performed live against the current graph (the whole build
+  /// below the batch threshold, plus size-1 generations, where a live
+  /// insert and a frozen-graph one coincide).
+  Index fallback_serial = 0;
+};
+
 class HnswIndex {
  public:
-  /// Builds the index over the rows of `points`.
-  HnswIndex(const la::DenseMatrix& points, const HnswOptions& options = {});
+  /// Builds the index over the rows of `points`. `num_threads` workers
+  /// run the generation-batched construction (0 = library default); the
+  /// graph is bitwise-identical for every value, including 1.
+  HnswIndex(const la::DenseMatrix& points, const HnswOptions& options = {},
+            Index num_threads = 1);
 
   /// k approximate nearest neighbors of the already-indexed point `query`
   /// (self excluded), sorted by increasing distance.
@@ -44,6 +72,21 @@ class HnswIndex {
 
   [[nodiscard]] Index num_points() const noexcept { return num_points_; }
   [[nodiscard]] Index max_level() const noexcept { return max_level_; }
+  [[nodiscard]] Index entry_point() const noexcept { return entry_point_; }
+  [[nodiscard]] const HnswBuildStats& build_stats() const noexcept {
+    return build_stats_;
+  }
+  /// Hierarchy level of an indexed node (a pure function of the node
+  /// index and the seed).
+  [[nodiscard]] Index level_of(Index node) const {
+    return node_level_[static_cast<std::size_t>(node)];
+  }
+  /// Adjacency list of `node` at `level` — the constructed graph's
+  /// edges, exposed for edge-for-edge determinism tests and tooling.
+  [[nodiscard]] const std::vector<Index>& links(Index node,
+                                                Index level) const {
+    return links_[static_cast<std::size_t>(node)][static_cast<std::size_t>(level)];
+  }
 
  private:
   struct SearchCandidate {
@@ -57,13 +100,15 @@ class HnswIndex {
     }
   };
 
-  /// Epoch-marked visited set for one beam search. Each concurrent query
-  /// owns its own scratch — thread_local in the single-query entry point,
-  /// one instance per worker slot in knn_all — which is what makes
-  /// search_layer (and therefore batched knn_all queries) safe to run in
-  /// parallel. There is deliberately no mutex here: the concurrency
-  /// contract is exclusive ownership, exercised under TSan by the
-  /// `stress`-labeled hammer tests (DESIGN.md §7).
+  /// Epoch-marked visited set for one beam search. Each concurrent
+  /// caller owns its own scratch — thread_local in the single-query
+  /// entry point, one instance per worker slot in knn_all and in the
+  /// parallel construction's speculation phase (there is no shared
+  /// insert scratch on the object; insertion takes its scratch as a
+  /// parameter, so it is reentrant) — which is what makes search_layer
+  /// safe to run in parallel. There is deliberately no mutex here: the
+  /// concurrency contract is exclusive ownership, exercised under TSan
+  /// by the `stress`-labeled hammer tests (DESIGN.md §7).
   struct SearchScratch {
     std::vector<Index> visit_mark;  // last epoch each node was visited in
     Index visit_epoch = 0;
@@ -103,7 +148,48 @@ class HnswIndex {
   [[nodiscard]] std::vector<Index> select_neighbors(
       Index query, std::vector<SearchCandidate> candidates, Index m) const;
 
-  void insert(Index node);
+  /// One batched insert: the candidate sets of the link phase, computed
+  /// against the frozen start-of-generation graph.
+  struct Speculation {
+    /// layers[l] = search_layer result for layer l (0..min(level, the
+    /// frozen max level)).
+    std::vector<std::vector<SearchCandidate>> layers;
+    bool has = false;  // batched search ran (graph was non-empty)
+  };
+
+  // --- Construction (DESIGN.md §9). --------------------------------------
+  // All graph mutation happens under build_mutex_, which the constructor
+  // holds for the whole build; the speculation phases read the frozen
+  // graph from pool workers WITHOUT the mutex (the orchestrator is
+  // blocked, so nothing mutates concurrently — the same lock-free-read
+  // contract the post-construction query path relies on). links_,
+  // entry_point_ and max_level_ are therefore deliberately NOT
+  // GUARDED_BY: annotating them would poison every unlocked reader.
+
+  /// Live-inserts `node` into the current graph (level already drawn in
+  /// node_level_).
+  void insert(Index node, SearchScratch& scratch) SGL_REQUIRES(build_mutex_);
+  /// Runs `node`'s candidate searches against the frozen graph into
+  /// `spec` (the generation-batched search phase).
+  void speculate(Index node, Index snap_entry, Index snap_max,
+                 SearchScratch& scratch, Speculation& spec) const;
+  /// Links one batched insert in serial index order from its recorded
+  /// candidates (neighbor selection, backlinks, shrink, entry update) —
+  /// the same link phase as insert(), minus the searches.
+  void commit(Index node, Index snap_max, const Speculation& spec,
+              SearchScratch& scratch) SGL_REQUIRES(build_mutex_);
+  /// One generation [g0, g1): pool-parallel frozen-graph searches, then
+  /// serial commits.
+  void insert_batch(Index g0, Index g1, Index threads,
+                    std::vector<SearchScratch>& worker_scratch,
+                    std::vector<Speculation>& specs, SearchScratch& scratch)
+      SGL_REQUIRES(build_mutex_);
+  /// Whole-index build: live serial insertion below the batch threshold,
+  /// otherwise the generation schedule — identical at every thread count
+  /// (generation sizes grow with the committed prefix, so early inserts,
+  /// whose searches are cheap, stay near-serial while the expensive tail
+  /// batches widely).
+  void build_all(Index num_threads) SGL_REQUIRES(build_mutex_);
 
   Index num_points_ = 0;
   Index dim_ = 0;
@@ -116,14 +202,16 @@ class HnswIndex {
   // links_[node][level] = neighbor list.
   std::vector<std::vector<std::vector<Index>>> links_;
   Rng rng_;
-  // Mutated only during the (serial, single-threaded) construction phase;
-  // after the constructor returns the index is immutable and every member
-  // is safe to read concurrently.
-  SearchScratch insert_scratch_;
+  /// Serializes graph mutation during construction. After the
+  /// constructor returns the index is immutable and every member is safe
+  /// to read concurrently without it.
+  common::Mutex build_mutex_;
+  HnswBuildStats build_stats_;
 };
 
-/// Convenience wrapper mirroring brute_force_knn. Construction is serial
-/// (deterministic given the seed); the batched queries use `num_threads`.
+/// Convenience wrapper mirroring brute_force_knn. Construction and the
+/// batched queries both use `num_threads`; the result is identical for
+/// any thread count.
 [[nodiscard]] KnnResult hnsw_knn(const la::DenseMatrix& points, Index k,
                                  const HnswOptions& options = {},
                                  Index num_threads = 0);

@@ -10,10 +10,19 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "la/vector_ops.hpp"
 
 namespace sgl::la {
+
+/// Backing storage of the dense block types (DenseMatrix, MultiVector)
+/// and the factor panels: a std::vector with 64-byte (cache-line /
+/// AVX-512) aligned data, so the row-major 8-wide strips the tiled
+/// kernels stream are single aligned vector loads (DESIGN.md §9).
+/// la::Vector deliberately stays a plain std::vector<Real> — the scalar
+/// paths gain nothing from alignment and the type is pervasive.
+using Storage = std::vector<Real, common::AlignedAllocator<Real>>;
 
 class DenseMatrix {
  public:
@@ -30,8 +39,7 @@ class DenseMatrix {
   /// Adopts existing column-major storage without initializing it (the
   /// MultiVector conversions use this to move buffers instead of
   /// zero-filling one that is immediately overwritten).
-  static DenseMatrix from_storage(Index rows, Index cols,
-                                  std::vector<Real> data) {
+  static DenseMatrix from_storage(Index rows, Index cols, Storage data) {
     SGL_EXPECTS(rows >= 0 && cols >= 0, "from_storage: negative dimension");
     SGL_EXPECTS(data.size() == static_cast<std::size_t>(rows) *
                                    static_cast<std::size_t>(cols),
@@ -157,13 +165,13 @@ class DenseMatrix {
   }
 
   /// Raw storage access (column-major, rows() * cols() entries).
-  [[nodiscard]] const std::vector<Real>& data() const noexcept { return data_; }
-  [[nodiscard]] std::vector<Real>& data() noexcept { return data_; }
+  [[nodiscard]] const Storage& data() const noexcept { return data_; }
+  [[nodiscard]] Storage& data() noexcept { return data_; }
 
  private:
   Index rows_ = 0;
   Index cols_ = 0;
-  std::vector<Real> data_;
+  Storage data_;
 };
 
 /// C = Aᵀ A (Gram matrix), used by small dense subproblems.

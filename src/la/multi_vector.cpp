@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace sgl::la {
 
@@ -39,8 +40,11 @@ void spmm(const CsrMatrix& a, ConstBlockView x, BlockView y,
   // kernel.
   constexpr Index kGroup = 8;
   const Index threads = a.rows() < kSerialRows ? 1 : num_threads;
-  std::vector<Real> x_rm(static_cast<std::size_t>(x.rows) * kGroup);
-  std::vector<Real> y_rm(static_cast<std::size_t>(y.rows) * kGroup);
+  // Cache-line-aligned packing buffers: an 8-wide Real strip is exactly
+  // one 64-byte line, so the kernel's strip loads are single aligned
+  // vector accesses (DESIGN.md §9).
+  Storage x_rm(static_cast<std::size_t>(x.rows) * kGroup);
+  Storage y_rm(static_cast<std::size_t>(y.rows) * kGroup);
 
   for (Index g0 = 0; g0 < b; g0 += kGroup) {
     const Index gw = std::min<Index>(kGroup, b - g0);
@@ -64,21 +68,26 @@ void spmm(const CsrMatrix& a, ConstBlockView x, BlockView y,
     // they spill to the stack and the kernel runs ~3× slower than the
     // per-column SpMV it must beat.
     const auto kernel_pass = [&]<int TILE>(Index j0, Index lo, Index hi) {
+      // The restrict qualifiers assert what the packing pass guarantees
+      // (x_rm and y_rm are distinct buffers), letting the accumulators
+      // stay in registers across the gather loop.
+      const Real* SGL_RESTRICT xp = x_rm.data();
+      Real* SGL_RESTRICT yp = y_rm.data();
       for (Index i = lo; i < hi; ++i) {
         const Index k_lo = row_ptr[static_cast<std::size_t>(i)];
         const Index k_hi = row_ptr[static_cast<std::size_t>(i) + 1];
         Real acc[TILE] = {};
         for (Index k = k_lo; k < k_hi; ++k) {
           const Real av = values[static_cast<std::size_t>(k)];
-          const Real* xr =
-              x_rm.data() +
+          const Real* SGL_RESTRICT xr =
+              xp +
               static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]) *
                   gs +
               static_cast<std::size_t>(j0);
           for (int jj = 0; jj < TILE; ++jj) acc[jj] += av * xr[jj];
         }
-        Real* yr = y_rm.data() + static_cast<std::size_t>(i) * gs +
-                   static_cast<std::size_t>(j0);
+        Real* SGL_RESTRICT yr =
+            yp + static_cast<std::size_t>(i) * gs + static_cast<std::size_t>(j0);
         for (int jj = 0; jj < TILE; ++jj) yr[jj] = acc[jj];
       }
     };

@@ -142,13 +142,13 @@ class MultiVector {
   [[nodiscard]] BlockView view() { return block(0, cols_); }
   [[nodiscard]] ConstBlockView view() const { return block(0, cols_); }
 
-  [[nodiscard]] const std::vector<Real>& data() const noexcept { return data_; }
-  [[nodiscard]] std::vector<Real>& data() noexcept { return data_; }
+  [[nodiscard]] const Storage& data() const noexcept { return data_; }
+  [[nodiscard]] Storage& data() noexcept { return data_; }
 
  private:
   Index rows_ = 0;
   Index cols_ = 0;
-  std::vector<Real> data_;  // column-major
+  Storage data_;  // column-major
 };
 
 /// Views over DenseMatrix storage (same layout), so the block kernels and

@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 
 namespace sgl::solver {
@@ -26,7 +27,8 @@ constexpr Real kDowndatePivotFloor = 1e-12;
 }  // namespace
 
 CholeskySolver::CholeskySolver(const la::CsrMatrix& a, OrderingMethod ordering,
-                               Index num_threads) {
+                               Index num_threads, FactorKernel kernel)
+    : kernel_(kernel) {
   SGL_EXPECTS(a.rows() == a.cols(), "CholeskySolver: matrix must be square");
   const WallTimer timer;
   n_ = a.rows();
@@ -43,7 +45,8 @@ CholeskySolver::CholeskySolver(const la::CsrMatrix& a, OrderingMethod ordering,
 }
 
 CholeskySolver::CholeskySolver(const la::CsrMatrix& a, std::vector<Index> perm,
-                               Index num_threads) {
+                               Index num_threads, FactorKernel kernel)
+    : kernel_(kernel) {
   SGL_EXPECTS(a.rows() == a.cols(), "CholeskySolver: matrix must be square");
   SGL_EXPECTS(to_index(perm.size()) == a.rows(),
               "CholeskySolver: permutation size mismatch");
@@ -203,6 +206,117 @@ void CholeskySolver::analyze(const la::CsrMatrix& pa) {
     level_supers_[static_cast<std::size_t>(
         level_next[static_cast<std::size_t>(level[static_cast<std::size_t>(s)])]++)] = s;
   }
+
+  build_panels();
+}
+
+void CholeskySolver::build_panels() {
+  // --- Fundamental panels (DESIGN.md §9). -------------------------------
+  // Within a chain block, columns j−1 and j merge when
+  // |pattern(j−1)| == |pattern(j)| + 1: since parent(j−1) = j, etree
+  // containment gives pattern(j−1) \ {j} ⊆ pattern(j), so equal counts
+  // force pattern(j−1) = {j} ∪ pattern(j). By induction every panel
+  // column's below-diagonal rows are exactly the pattern of the panel's
+  // last column — a dense block with zero fill. (Full chain blocks do
+  // NOT have this property: a tridiagonal chain coalesces into one block
+  // whose densification would be O(n²).)
+  const Index nsuper = to_index(super_ptr_.size()) - 1;
+  panel_ptr_.clear();
+  super_panel_ptr_.assign(static_cast<std::size_t>(nsuper) + 1, 0);
+  max_panel_entries_ = 0;
+  max_panel_rows_ = 0;
+  stats_.panel_columns = 0;
+  stats_.panel_max_width = 0;
+  const auto pat_len = [&](Index j) {
+    return l_col_ptr_[static_cast<std::size_t>(j) + 1] -
+           l_col_ptr_[static_cast<std::size_t>(j)];
+  };
+  const auto close_panel = [&](Index c0, Index c1) {
+    panel_ptr_.push_back(c0);
+    const Index nc = c1 - c0;
+    const Index rows = nc + pat_len(c1 - 1);
+    max_panel_rows_ = std::max(max_panel_rows_, rows);
+    max_panel_entries_ =
+        std::max(max_panel_entries_, static_cast<std::size_t>(rows) *
+                                         static_cast<std::size_t>(nc));
+    if (nc >= 2) stats_.panel_columns += nc;
+    stats_.panel_max_width = std::max(stats_.panel_max_width, nc);
+  };
+  for (Index s = 0; s < nsuper; ++s) {
+    super_panel_ptr_[static_cast<std::size_t>(s)] = to_index(panel_ptr_.size());
+    const Index lo = super_ptr_[static_cast<std::size_t>(s)];
+    const Index hi = super_ptr_[static_cast<std::size_t>(s) + 1];
+    Index c0 = lo;
+    for (Index j = lo + 1; j < hi; ++j) {
+      if (pat_len(j - 1) != pat_len(j) + 1) {
+        close_panel(c0, j);
+        c0 = j;
+      }
+    }
+    if (hi > lo) close_panel(c0, hi);
+  }
+  super_panel_ptr_[static_cast<std::size_t>(nsuper)] =
+      to_index(panel_ptr_.size());
+  stats_.num_panels = to_index(panel_ptr_.size());
+  panel_ptr_.push_back(n_);
+
+  // Column → owning panel (the external-update phase groups updaters by
+  // panel: a descendant's columns all update the same ancestor rows, so
+  // updaters always arrive as whole panels).
+  panel_of_.assign(static_cast<std::size_t>(n_), 0);
+  for (Index p = 0; p + 1 < to_index(panel_ptr_.size()); ++p) {
+    for (Index j = panel_ptr_[static_cast<std::size_t>(p)];
+         j < panel_ptr_[static_cast<std::size_t>(p) + 1]; ++j)
+      panel_of_[static_cast<std::size_t>(j)] = p;
+  }
+
+  // --- Per-panel descendant updaters (symbolic, built once). ------------
+  // Every updater k < c0 of a triangle row of panel p arrives as part of
+  // a whole descendant panel: all columns of k's panel share one row tail
+  // (the pattern of that panel's last column), so either every column
+  // updates p or none does. Collect each target's updater panels from the
+  // triangle rows' gather-list prefixes (epoch-mark dedupe), sort
+  // ascending — panel order is first-column order, i.e. the scalar path's
+  // ascending-updater order — and cache the tail split (m, mt) so neither
+  // the numeric phase nor the block sweeps recompute it.
+  const Index num_panels = stats_.num_panels;
+  panel_upd_ptr_.assign(static_cast<std::size_t>(num_panels) + 1, 0);
+  panel_upd_.clear();
+  std::vector<Index> mark(static_cast<std::size_t>(num_panels), -1);
+  std::vector<Index> updaters;
+  for (Index p = 0; p < num_panels; ++p) {
+    const Index c0 = panel_ptr_[static_cast<std::size_t>(p)];
+    const Index c1 = panel_ptr_[static_cast<std::size_t>(p) + 1];
+    updaters.clear();
+    for (Index j = c0; j < c1; ++j) {
+      for (Index q = r_row_ptr_[static_cast<std::size_t>(j)];
+           q < r_row_ptr_[static_cast<std::size_t>(j) + 1]; ++q) {
+        const Index k = r_col_idx_[static_cast<std::size_t>(q)];
+        if (k >= c0) break;  // ascending: the rest are in-panel updaters
+        const Index dp = panel_of_[static_cast<std::size_t>(k)];
+        if (mark[static_cast<std::size_t>(dp)] != p) {
+          mark[static_cast<std::size_t>(dp)] = p;
+          updaters.push_back(dp);
+        }
+      }
+    }
+    std::sort(updaters.begin(), updaters.end());
+    for (const Index dp : updaters) {
+      const Index k0 = panel_ptr_[static_cast<std::size_t>(dp)];
+      const Index k1 = panel_ptr_[static_cast<std::size_t>(dp) + 1];
+      const Index* kl_begin =
+          l_row_idx_.data() + l_col_ptr_[static_cast<std::size_t>(k1 - 1)];
+      const Index* kl_end =
+          l_row_idx_.data() + l_col_ptr_[static_cast<std::size_t>(k1)];
+      const Index m =
+          to_index(kl_end - std::lower_bound(kl_begin, kl_end, c0));
+      const Index* rows = kl_end - m;
+      const Index mt = to_index(std::lower_bound(rows, rows + m, c1) - rows);
+      panel_upd_.push_back({k0, k1 - k0, m, mt});
+    }
+    panel_upd_ptr_[static_cast<std::size_t>(p) + 1] =
+        to_index(panel_upd_.size());
+  }
 }
 
 void CholeskySolver::factor_column(const la::CsrMatrix& pa, Index j, Real* w) {
@@ -258,22 +372,51 @@ void CholeskySolver::run_numeric_phase(const la::CsrMatrix& pa,
 
   const Index threads =
       n_ < kSerialCols ? 1 : parallel::resolve_num_threads(num_threads);
-  // One dense scratch column per worker slot; each task leaves its
-  // scratch zeroed outside the column being factored.
-  std::vector<la::Vector> scratch(static_cast<std::size_t>(threads),
-                                  la::Vector(un, 0.0));
+  // One workspace per worker slot; each task leaves its scratch zeroed /
+  // reset, so any slot can pick up any supernode.
+  std::vector<PanelWorkspace> scratch(static_cast<std::size_t>(threads));
+  const bool panels = kernel_ == FactorKernel::kSupernodal;
+  for (auto& ws : scratch) {
+    ws.column.assign(un, 0.0);
+    if (panels) {
+      ws.panel.assign(max_panel_entries_, 0.0);
+      // Two coefficient slabs: the paired-column external kernel keeps
+      // d·tail coefficients for both target columns of a pair.
+      ws.cvec.assign(static_cast<std::size_t>(stats_.panel_max_width) * 2, 0.0);
+      ws.map.assign(un, 0);
+      ws.lrow.assign(static_cast<std::size_t>(max_panel_rows_), 0);
+      ws.tails.assign(static_cast<std::size_t>(stats_.panel_max_width),
+                      nullptr);
+    }
+  }
 
   const Index num_levels = to_index(level_ptr_.size()) - 1;
   for (Index l = 0; l < num_levels; ++l) {
     const Index lo = level_ptr_[static_cast<std::size_t>(l)];
     const Index hi = level_ptr_[static_cast<std::size_t>(l) + 1];
     const auto run_supers = [&](Index slo, Index shi, Index slot) {
-      Real* w = scratch[static_cast<std::size_t>(slot)].data();
+      PanelWorkspace& ws = scratch[static_cast<std::size_t>(slot)];
       for (Index si = slo; si < shi; ++si) {
         const Index s = level_supers_[static_cast<std::size_t>(si)];
-        for (Index j = super_ptr_[static_cast<std::size_t>(s)];
-             j < super_ptr_[static_cast<std::size_t>(s) + 1]; ++j) {
-          factor_column(pa, j, w);
+        if (!panels) {
+          for (Index j = super_ptr_[static_cast<std::size_t>(s)];
+               j < super_ptr_[static_cast<std::size_t>(s) + 1]; ++j) {
+            factor_column(pa, j, ws.column.data());
+          }
+          continue;
+        }
+        // Panels of the block in ascending column order; width-1 panels
+        // run the scalar column kernel (a 1-wide "dense" panel is just a
+        // CSC column — the batched gather would only add copies).
+        for (Index p = super_panel_ptr_[static_cast<std::size_t>(s)];
+             p < super_panel_ptr_[static_cast<std::size_t>(s) + 1]; ++p) {
+          if (panel_ptr_[static_cast<std::size_t>(p) + 1] -
+                  panel_ptr_[static_cast<std::size_t>(p)] == 1) {
+            factor_column(pa, panel_ptr_[static_cast<std::size_t>(p)],
+                          ws.column.data());
+          } else {
+            factor_panel(pa, p, ws);
+          }
         }
       }
     };
@@ -282,6 +425,275 @@ void CholeskySolver::run_numeric_phase(const la::CsrMatrix& pa,
     } else {
       parallel::parallel_for_slots(lo, hi, threads, run_supers);
     }
+  }
+}
+
+void CholeskySolver::factor_panel(const la::CsrMatrix& pa, Index p,
+                                  PanelWorkspace& ws) {
+  const Index c0 = panel_ptr_[static_cast<std::size_t>(p)];
+  const Index c1 = panel_ptr_[static_cast<std::size_t>(p) + 1];
+  const Index nc = c1 - c0;
+  // Panel rows: the nc triangle rows c0..c1−1, then the shared below-
+  // diagonal row set = pattern of the LAST column (ascending, already
+  // materialized as that column's CSC row list).
+  const Index below_begin = l_col_ptr_[static_cast<std::size_t>(c1 - 1)];
+  const Index nb = l_col_ptr_[static_cast<std::size_t>(c1)] - below_begin;
+  const Index* below = l_row_idx_.data() + below_begin;
+  const Index total_rows = nc + nb;
+  // COLUMN-major panel (stride = total_rows): every update, the in-panel
+  // factorization, and the CSC scatter walk one column at a time, so the
+  // hot loops touch a single contiguous ≤ total_rows·8-byte span (L1)
+  // instead of striding a cache line per element across the panel.
+  const std::size_t str = static_cast<std::size_t>(total_rows);
+  Real* SGL_RESTRICT panel = ws.panel.data();
+
+  // Zero the slots this panel uses, map the below rows, and scatter A's
+  // columns (rows ≥ the column index — the same per-element init as the
+  // scalar path; entries land in CSR order).
+  std::fill(panel, panel + static_cast<std::size_t>(nc) * str, 0.0);
+  for (Index m = 0; m < nb; ++m)
+    ws.map[static_cast<std::size_t>(below[m])] = nc + m;
+  const auto local_row = [&](Index i) {
+    return i < c1 ? i - c0 : ws.map[static_cast<std::size_t>(i)];
+  };
+  const auto& rp = pa.row_ptr();
+  const auto& ci = pa.col_idx();
+  const auto& vv = pa.values();
+  for (Index j = c0; j < c1; ++j) {
+    for (Index q = rp[static_cast<std::size_t>(j)];
+         q < rp[static_cast<std::size_t>(j) + 1]; ++q) {
+      const Index i = ci[static_cast<std::size_t>(q)];
+      if (i < j) continue;
+      panel[static_cast<std::size_t>(j - c0) * str +
+            static_cast<std::size_t>(local_row(i))] +=
+          vv[static_cast<std::size_t>(q)];
+    }
+  }
+
+  // --- External updates, one descendant panel at a time. ----------------
+  // The updater panels (ascending — the scalar path's ascending-updater
+  // order) and their tail splits come precomputed from the symbolic
+  // phase (panel_upd_). For one descendant panel D (columns [k0, k0+w)):
+  // the entries of every column of D with row ≥ c0 are the LAST m entries
+  // of that column (row lists ascending, shared tail), with shared row
+  // list R. Its update touches exactly rows R × columns
+  // {R[p] − c0 : R[p] < c1}:
+  //   L(R[q], c0+jj) −= Σ_kk L(R[q], k0+kk) · (d_{k0+kk} · L(R[p], k0+kk))
+  // — the scalar per-element terms, ascending kk inside D and ascending
+  // D outside, with the scalar's c = d_k·l_jk association. The column
+  // tails are read in place from factor storage (contiguous, no gather);
+  // only the m panel-row slots are mapped, once per descendant.
+  Index* SGL_RESTRICT lrow = ws.lrow.data();
+  const Real** tails = ws.tails.data();
+  Real* SGL_RESTRICT cvec = ws.cvec.data();
+  for (Index di = panel_upd_ptr_[static_cast<std::size_t>(p)];
+       di < panel_upd_ptr_[static_cast<std::size_t>(p) + 1]; ++di) {
+    const PanelUpdater& rec = panel_upd_[static_cast<std::size_t>(di)];
+    const Index k0 = rec.k0;
+    const Index w = rec.w;
+    const Index m = rec.m;
+    const Index mt = rec.mt;
+    const Index* SGL_RESTRICT rows =
+        l_row_idx_.data() + l_col_ptr_[static_cast<std::size_t>(k0 + w)] - m;
+    // Local panel-row slots of the shared tail, resolved once per
+    // descendant; the kernels index inside one panel column with them.
+    for (Index q = 0; q < m; ++q) lrow[q] = local_row(rows[q]);
+    for (Index kk = 0; kk < w; ++kk) {
+      tails[kk] = l_values_.data() +
+                  l_col_ptr_[static_cast<std::size_t>(k0 + kk) + 1] - m;
+    }
+
+    if (w == 1) {
+      // Width-1 descendant: one term per element, applied to target
+      // columns in pairs so each tail value loads once for two columns —
+      // distinct panel slots per column, so no element's single term
+      // changes. Both streams are small contiguous ranges.
+      const Real* SGL_RESTRICT tail = tails[0];
+      const Real dk = d_[static_cast<std::size_t>(k0)];
+      Index pcol = 0;
+      for (; pcol + 1 < mt; pcol += 2) {
+        Real* SGL_RESTRICT col_a =
+            panel + static_cast<std::size_t>(rows[pcol] - c0) * str;
+        Real* SGL_RESTRICT col_b =
+            panel + static_cast<std::size_t>(rows[pcol + 1] - c0) * str;
+        const Real ca = dk * tail[pcol];
+        const Real cb = dk * tail[pcol + 1];
+        col_a[static_cast<std::size_t>(lrow[pcol])] -= tail[pcol] * ca;
+        for (Index q = pcol + 1; q < m; ++q) {
+          const Real tq = tail[q];
+          const std::size_t slot = static_cast<std::size_t>(lrow[q]);
+          col_a[slot] -= tq * ca;
+          col_b[slot] -= tq * cb;
+        }
+      }
+      for (; pcol < mt; ++pcol) {
+        Real* SGL_RESTRICT col =
+            panel + static_cast<std::size_t>(rows[pcol] - c0) * str;
+        const Real c = dk * tail[pcol];
+        for (Index q = pcol; q < m; ++q)
+          col[static_cast<std::size_t>(lrow[q])] -= tail[q] * c;
+      }
+      continue;
+    }
+
+    // Target columns in PAIRS: one pass over the shared tail rows feeds
+    // two columns, halving the tail re-streaming (each tk[t] load does
+    // two multiplies). Every element still gets its own accumulator with
+    // terms subtracted in ascending kk — pairing touches only distinct
+    // panel slots (distinct columns), so no element's term sequence or
+    // association changes: bitwise identical to the one-column pass.
+    Real* SGL_RESTRICT cvec2 = cvec + stats_.panel_max_width;
+    Index pcol = 0;
+    for (; pcol + 1 < mt; pcol += 2) {
+      Real* SGL_RESTRICT base_a =
+          panel + static_cast<std::size_t>(rows[pcol] - c0) * str;
+      Real* SGL_RESTRICT base_b =
+          panel + static_cast<std::size_t>(rows[pcol + 1] - c0) * str;
+      for (Index kk = 0; kk < w; ++kk) {
+        const Real dk = d_[static_cast<std::size_t>(k0 + kk)];
+        cvec[kk] = dk * tails[kk][pcol];
+        cvec2[kk] = dk * tails[kk][pcol + 1];
+      }
+      // The pair's joint row range starts at pcol+1; the first column's
+      // lone leading element (q == pcol) is finished scalar first.
+      {
+        Real acc = base_a[static_cast<std::size_t>(lrow[pcol])];
+        for (Index kk = 0; kk < w; ++kk) acc -= tails[kk][pcol] * cvec[kk];
+        base_a[static_cast<std::size_t>(lrow[pcol])] = acc;
+      }
+      const auto pair_pass = [&]<int T>(Index q0) {
+        Real acc_a[T];
+        Real acc_b[T];
+        for (int t = 0; t < T; ++t) {
+          const std::size_t slot = static_cast<std::size_t>(lrow[q0 + t]);
+          acc_a[t] = base_a[slot];
+          acc_b[t] = base_b[slot];
+        }
+        for (Index kk = 0; kk < w; ++kk) {
+          const Real* SGL_RESTRICT tk = tails[kk] + q0;
+          const Real ca = cvec[kk];
+          const Real cb = cvec2[kk];
+          for (int t = 0; t < T; ++t) {
+            const Real tv = tk[t];
+            acc_a[t] -= tv * ca;
+            acc_b[t] -= tv * cb;
+          }
+        }
+        for (int t = 0; t < T; ++t) {
+          const std::size_t slot = static_cast<std::size_t>(lrow[q0 + t]);
+          base_a[slot] = acc_a[t];
+          base_b[slot] = acc_b[t];
+        }
+      };
+      Index q0 = pcol + 1;
+      while (q0 < m) {
+        const Index left = m - q0;
+        if (left >= 8) {
+          pair_pass.operator()<8>(q0);
+          q0 += 8;
+        } else if (left >= 4) {
+          pair_pass.operator()<4>(q0);
+          q0 += 4;
+        } else if (left >= 2) {
+          pair_pass.operator()<2>(q0);
+          q0 += 2;
+        } else {
+          pair_pass.operator()<1>(q0);
+          q0 += 1;
+        }
+      }
+    }
+    for (; pcol < mt; ++pcol) {
+      Real* SGL_RESTRICT pcol_base =
+          panel + static_cast<std::size_t>(rows[pcol] - c0) * str;
+      for (Index kk = 0; kk < w; ++kk)
+        cvec[kk] = d_[static_cast<std::size_t>(k0 + kk)] * tails[kk][pcol];
+      // Register-blocked rank-w update of column jj over rows q ≥ pcol,
+      // tiled with compile-time widths (the la::spmm idiom). The tail
+      // reads stream contiguously; the panel slots are gathered through
+      // lrow. Per element, terms are subtracted in ascending kk.
+      const auto kernel_pass = [&]<int T>(Index q0) {
+        Real acc[T];
+        for (int t = 0; t < T; ++t)
+          acc[t] = pcol_base[static_cast<std::size_t>(lrow[q0 + t])];
+        for (Index kk = 0; kk < w; ++kk) {
+          const Real* SGL_RESTRICT tk = tails[kk] + q0;
+          const Real c = cvec[kk];
+          for (int t = 0; t < T; ++t) acc[t] -= tk[t] * c;
+        }
+        for (int t = 0; t < T; ++t)
+          pcol_base[static_cast<std::size_t>(lrow[q0 + t])] = acc[t];
+      };
+      Index q0 = pcol;
+      while (q0 < m) {
+        const Index left = m - q0;
+        if (left >= 8) {
+          kernel_pass.operator()<8>(q0);
+          q0 += 8;
+        } else if (left >= 4) {
+          kernel_pass.operator()<4>(q0);
+          q0 += 4;
+        } else if (left >= 2) {
+          kernel_pass.operator()<2>(q0);
+          q0 += 2;
+        } else {
+          kernel_pass.operator()<1>(q0);
+          q0 += 1;
+        }
+      }
+    }
+  }
+
+  // --- Right-looking in-panel factorization. ----------------------------
+  // Finalizing column kk then pushing its rank-1 update onto the trailing
+  // columns subtracts, for every element, its in-panel terms in ascending
+  // k — after all external terms, which is exactly the scalar left-
+  // looking order (external updaters are all < c0 < in-panel updaters).
+  for (Index kk = 0; kk < nc; ++kk) {
+    Real* SGL_RESTRICT colk = panel + static_cast<std::size_t>(kk) * str;
+    const Real dj = colk[static_cast<std::size_t>(kk)];
+    if (!(dj > 0.0)) {
+      // Same failure point and message as the scalar path. Scatter the
+      // finished columns first so the partially-written factor matches
+      // the scalar path's partial state exactly.
+      for (Index jj = 0; jj < kk; ++jj) {
+        const Index j = c0 + jj;
+        Real* dst = l_values_.data() + l_col_ptr_[static_cast<std::size_t>(j)];
+        const Real* src = panel + static_cast<std::size_t>(jj) * str;
+        for (Index r = jj + 1; r < total_rows; ++r)
+          *dst++ = src[static_cast<std::size_t>(r)];
+      }
+      throw NumericalError(
+          "CholeskySolver: non-positive pivot at column " +
+          std::to_string(perm_[static_cast<std::size_t>(c0 + kk)]) +
+          " — matrix is not positive definite");
+    }
+    d_[static_cast<std::size_t>(c0 + kk)] = dj;
+    for (Index r = kk + 1; r < total_rows; ++r)
+      colk[static_cast<std::size_t>(r)] /= dj;
+    for (Index jj = kk + 1; jj < nc; ++jj)
+      cvec[jj] = dj * colk[static_cast<std::size_t>(jj)];
+    // Rank-1 trailing update, column at a time: both the multiplier
+    // stream (column kk) and the target column are contiguous. Each
+    // element takes exactly one term per kk, so the per-element order
+    // over ascending kk — and the association — is the scalar's.
+    for (Index jj = kk + 1; jj < nc; ++jj) {
+      Real* SGL_RESTRICT colj = panel + static_cast<std::size_t>(jj) * str;
+      const Real c = cvec[jj];
+      for (Index r = jj; r < total_rows; ++r)
+        colj[static_cast<std::size_t>(r)] -= colk[static_cast<std::size_t>(r)] * c;
+    }
+  }
+
+  // Scatter the finished panel into the CSC factor (column patterns are
+  // triangle rows then the shared below rows — both ascending, matching
+  // the CSC row order, so each column is one contiguous copy).
+  for (Index jj = 0; jj < nc; ++jj) {
+    const Index j = c0 + jj;
+    Real* dst = l_values_.data() + l_col_ptr_[static_cast<std::size_t>(j)];
+    const Real* src = panel + static_cast<std::size_t>(jj) * str;
+    for (Index r = jj + 1; r < total_rows; ++r)
+      *dst++ = src[static_cast<std::size_t>(r)];
   }
 }
 
@@ -518,16 +930,26 @@ la::Vector CholeskySolver::solve(const la::Vector& b) const {
 
 template <int TILE>
 void CholeskySolver::solve_block_tile(la::BlockView x, Index col0,
-                                      Index num_threads,
-                                      std::vector<Real>& w) const {
+                                      Index num_threads, la::Storage& w) const {
   constexpr std::size_t sb = static_cast<std::size_t>(TILE);
+  // How many gather entries ahead of the FMA stream to issue strip
+  // prefetches. The index stream is available well before the data is
+  // needed, so a short fixed distance hides most of the L2 latency of
+  // the scattered strip loads without thrashing L1.
+  constexpr Index kPrefetchAhead = 8;
   const Index threads =
       n_ < kSerialCols ? 1 : parallel::resolve_num_threads(num_threads);
+  const bool panels = kernel_ == FactorKernel::kSupernodal;
+  // Last valid slot of the gather index arrays (r_col_idx_ and
+  // l_row_idx_ are both factor_nnz long): prefetch indices are clamped
+  // here so lookahead never reads past the arrays.
+  const Index qmax =
+      l_row_idx_.empty() ? 0 : to_index(l_row_idx_.size()) - 1;
 
-  // Row-major scratch: the TILE right-hand-side values of one (permuted)
-  // row sit contiguously, so every gathered factor entry touches one
-  // strip; the compile-time tile width keeps the strip updates in
-  // registers and vectorized.
+  // Row-major scratch (64-byte aligned la::Storage): the TILE right-hand-
+  // side values of one (permuted) row sit contiguously, so every gathered
+  // factor entry touches one strip; the compile-time tile width keeps the
+  // strip updates in registers and vectorized.
   w.resize(static_cast<std::size_t>(n_) * sb);
   parallel::parallel_for(0, n_, threads, [&](Index i) {
     Real* dst = w.data() + static_cast<std::size_t>(i) * sb;
@@ -535,10 +957,17 @@ void CholeskySolver::solve_block_tile(la::BlockView x, Index col0,
     for (int c = 0; c < TILE; ++c) dst[c] = x.at(src, col0 + c);
   });
 
-  // Both sweeps gather per output row/column in the same fixed order as
-  // the scalar path, so scheduling never changes a bit. Within a level the
-  // blocks touch disjoint rows; across levels the level loop is the
-  // barrier.
+  // Both sweeps apply, for every output element, the same terms in the
+  // same fixed order as the scalar path, so scheduling never changes a
+  // bit. Within a level the blocks touch disjoint rows; across levels
+  // the level loop is the barrier. Under the supernodal kernel the
+  // sweeps route through the panels (DESIGN.md §9): each gather list
+  // splits at the panel boundary into a scattered external part —
+  // software-prefetched kPrefetchAhead entries ahead — and a dense
+  // in-panel segment whose strips are CONTIGUOUS in the scratch, so the
+  // segment streams pointer-incremented cache lines with no index
+  // loads. Per element the terms still arrive in the scalar order on a
+  // single register accumulator chain — bitwise identical.
   const Index num_levels = to_index(level_ptr_.size()) - 1;
   // Forward: L Y = B, levels ascending, block columns ascending.
   for (Index l = 0; l < num_levels; ++l) {
@@ -547,9 +976,59 @@ void CholeskySolver::solve_block_tile(la::BlockView x, Index col0,
     const auto sweep = [&](Index slo, Index shi, Index /*slot*/) {
       for (Index si = slo; si < shi; ++si) {
         const Index s = level_supers_[static_cast<std::size_t>(si)];
+        if (panels) {
+          for (Index p = super_panel_ptr_[static_cast<std::size_t>(s)];
+               p < super_panel_ptr_[static_cast<std::size_t>(s) + 1]; ++p) {
+            const Index c0 = panel_ptr_[static_cast<std::size_t>(p)];
+            const Index c1 = panel_ptr_[static_cast<std::size_t>(p) + 1];
+            for (Index i = c0; i < c1; ++i) {
+              Real* SGL_RESTRICT wi =
+                  w.data() + static_cast<std::size_t>(i) * sb;
+              Real acc[TILE];
+              for (int c = 0; c < TILE; ++c) acc[c] = wi[c];
+              // Row i's ascending gather list ends with its dense
+              // in-panel segment (columns c0..i−1 — the fundamental-
+              // panel pattern), so the scattered external gathers stop
+              // at qsplit and the tail streams contiguous strips with
+              // no index loads. Same terms, same order, same single
+              // accumulator chain as the scalar path — bitwise equal.
+              const Index dense = i - c0;
+              const Index qsplit =
+                  r_row_ptr_[static_cast<std::size_t>(i) + 1] - dense;
+              for (Index q = r_row_ptr_[static_cast<std::size_t>(i)];
+                   q < qsplit; ++q) {
+                const Index qq =
+                    q + kPrefetchAhead < qmax ? q + kPrefetchAhead : qmax;
+                SGL_PREFETCH(
+                    w.data() +
+                    static_cast<std::size_t>(
+                        r_col_idx_[static_cast<std::size_t>(qq)]) *
+                        sb);
+                const Real v = r_values_[static_cast<std::size_t>(q)];
+                const Real* wk =
+                    w.data() +
+                    static_cast<std::size_t>(
+                        r_col_idx_[static_cast<std::size_t>(q)]) *
+                        sb;
+                for (int c = 0; c < TILE; ++c) acc[c] -= v * wk[c];
+              }
+              const Real* SGL_RESTRICT rv =
+                  r_values_.data() + static_cast<std::size_t>(qsplit);
+              const Real* SGL_RESTRICT ws =
+                  w.data() + static_cast<std::size_t>(c0) * sb;
+              for (Index t = 0; t < dense; ++t) {
+                const Real v = rv[t];
+                const Real* wk = ws + static_cast<std::size_t>(t) * sb;
+                for (int c = 0; c < TILE; ++c) acc[c] -= v * wk[c];
+              }
+              for (int c = 0; c < TILE; ++c) wi[c] = acc[c];
+            }
+          }
+          continue;
+        }
         for (Index i = super_ptr_[static_cast<std::size_t>(s)];
              i < super_ptr_[static_cast<std::size_t>(s) + 1]; ++i) {
-          Real* wi = w.data() + static_cast<std::size_t>(i) * sb;
+          Real* SGL_RESTRICT wi = w.data() + static_cast<std::size_t>(i) * sb;
           for (Index q = r_row_ptr_[static_cast<std::size_t>(i)];
                q < r_row_ptr_[static_cast<std::size_t>(i) + 1]; ++q) {
             const Real v = r_values_[static_cast<std::size_t>(q)];
@@ -584,9 +1063,62 @@ void CholeskySolver::solve_block_tile(la::BlockView x, Index col0,
     const auto sweep = [&](Index slo, Index shi, Index /*slot*/) {
       for (Index si = slo; si < shi; ++si) {
         const Index s = level_supers_[static_cast<std::size_t>(si)];
+        if (panels) {
+          // Panels descending; inside one, columns descending. A
+          // column's CSC gather splits at the panel boundary: the dense
+          // triangle prefix (rows j+1..c1−1, just-finalized CONTIGUOUS
+          // strips — streamed with no index loads) and the shared below
+          // tail (scattered gathers, prefetched ahead). The term
+          // sequence per column is the CSC gather order — triangle rows
+          // ascending, then below rows ascending — exactly the
+          // scalar's, on the same accumulator chain.
+          for (Index p = super_panel_ptr_[static_cast<std::size_t>(s) + 1] - 1;
+               p >= super_panel_ptr_[static_cast<std::size_t>(s)]; --p) {
+            const Index c0 = panel_ptr_[static_cast<std::size_t>(p)];
+            const Index c1 = panel_ptr_[static_cast<std::size_t>(p) + 1];
+            for (Index j = c1 - 1; j >= c0; --j) {
+              Real* SGL_RESTRICT wj =
+                  w.data() + static_cast<std::size_t>(j) * sb;
+              Real acc[TILE];
+              for (int c = 0; c < TILE; ++c) acc[c] = wj[c];
+              const Real* SGL_RESTRICT lv =
+                  l_values_.data() +
+                  static_cast<std::size_t>(
+                      l_col_ptr_[static_cast<std::size_t>(j)]);
+              const Index tri = c1 - 1 - j;
+              const Real* SGL_RESTRICT wt =
+                  w.data() + static_cast<std::size_t>(j + 1) * sb;
+              for (Index r = 0; r < tri; ++r) {
+                const Real v = lv[r];
+                for (int c = 0; c < TILE; ++c)
+                  acc[c] -= v * wt[static_cast<std::size_t>(r) * sb + c];
+              }
+              const Index qb = l_col_ptr_[static_cast<std::size_t>(j)] + tri;
+              const Index qe = l_col_ptr_[static_cast<std::size_t>(j) + 1];
+              for (Index q = qb; q < qe; ++q) {
+                const Index qq =
+                    q + kPrefetchAhead < qmax ? q + kPrefetchAhead : qmax;
+                SGL_PREFETCH(
+                    w.data() +
+                    static_cast<std::size_t>(
+                        l_row_idx_[static_cast<std::size_t>(qq)]) *
+                        sb);
+                const Real v = l_values_[static_cast<std::size_t>(q)];
+                const Real* wi =
+                    w.data() +
+                    static_cast<std::size_t>(
+                        l_row_idx_[static_cast<std::size_t>(q)]) *
+                        sb;
+                for (int c = 0; c < TILE; ++c) acc[c] -= v * wi[c];
+              }
+              for (int c = 0; c < TILE; ++c) wj[c] = acc[c];
+            }
+          }
+          continue;
+        }
         for (Index j = super_ptr_[static_cast<std::size_t>(s) + 1] - 1;
              j >= super_ptr_[static_cast<std::size_t>(s)]; --j) {
-          Real* wj = w.data() + static_cast<std::size_t>(j) * sb;
+          Real* SGL_RESTRICT wj = w.data() + static_cast<std::size_t>(j) * sb;
           for (Index p = l_col_ptr_[static_cast<std::size_t>(j)];
                p < l_col_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
             const Real v = l_values_[static_cast<std::size_t>(p)];
@@ -619,7 +1151,7 @@ void CholeskySolver::solve_in_place_block(la::BlockView x,
   // Tile dispatch (8, then 4/2/1 tails — the spmm group pattern): each
   // tile streams the factor once per sweep with a compile-time-width
   // inner loop. Columns never interact, so tiling cannot change a bit.
-  std::vector<Real> w;
+  la::Storage w;
   Index g0 = 0;
   while (g0 < x.cols) {
     const Index left = x.cols - g0;

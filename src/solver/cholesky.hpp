@@ -12,31 +12,63 @@
 //     becomes one block), and level sets over the block tree — blocks in
 //     the same level set share no ancestor/descendant relation and can be
 //     factored or swept concurrently.
-//   - Numeric factorization is left-looking per column, parallel across
-//     the blocks of each level on the common/parallel pool. Each column's
-//     updates are applied in ascending updater order, so the factor is
-//     bit-identical for every thread count.
+//   - Symbolic analysis additionally refines each chain block into
+//     *fundamental panels*: maximal runs of consecutive columns with
+//     pattern(j) = {j+1} ∪ pattern(j+1). A panel's columns share one
+//     below-diagonal row set and a dense diagonal triangle, so the panel
+//     packs into a contiguous row-major dense block with ZERO fill —
+//     every panel slot is a structural factor entry (plus one diagonal
+//     accumulator slot per column).
+//   - Numeric factorization comes in two bit-identical kernels
+//     (FactorKernel): the retained scalar reference (left-looking one
+//     column at a time, the PR 4 path) and the default supernodal
+//     dense-panel kernel (DESIGN.md §9), which applies external updates
+//     per DESCENDANT PANEL in ascending order — each descendant's columns
+//     share one contiguous CSC row tail, so the update is a small dense
+//     outer-product block restricted to exactly the touched rows ×
+//     columns, streamed through register-blocked GEMM-style microkernels
+//     (compile-time tile widths 8/4/2/1, the la::spmm idiom) straight
+//     from factor storage — then factors the panel right-looking. Both
+//     kernels subtract every per-element term in ascending updater order
+//     with identical operand association, so the factor is bit-identical
+//     across kernels and for every thread count.
 //   - Triangular solves come in a scalar flavour (solve / solve_in_place,
 //     the per-column reference path) and a block flavour (solve_block /
 //     solve_in_place_block) that streams the factor's nonzeros ONCE per
-//     block of b right-hand sides with level-parallel sweeps. Both
-//     flavours gather every output element in the same fixed order, so
-//     the block result equals the scalar result bitwise, column by
-//     column, for every thread count.
+//     block of b right-hand sides with level-parallel sweeps. Under the
+//     supernodal kernel the forward sweep streams the retained dense
+//     panels via precomputed contiguous gather runs instead of per-entry
+//     CSC indirections. All flavours gather every output element in the
+//     same fixed order, so the block result equals the scalar result
+//     bitwise, column by column, for every thread count.
 //
 // On the ultra-sparse graphs SGL produces (spanning tree + εN extra
 // edges) the factor is essentially linear in N; on 2D meshes nested
 // dissection keeps fill near O(N log N).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "la/dense_matrix.hpp"
 #include "la/multi_vector.hpp"
 #include "la/sparse.hpp"
 #include "la/vector_ops.hpp"
 #include "solver/ordering.hpp"
 
 namespace sgl::solver {
+
+/// Numeric-phase kernel selector (both produce bit-identical factors).
+enum class FactorKernel {
+  /// Left-looking one column at a time over CSC scratch — the PR 4
+  /// reference path, retained for bitwise cross-checks and as the
+  /// fallback semantics specification.
+  kScalar,
+  /// Dense-panel supernodal kernel (DESIGN.md §9): batched GEMM-style
+  /// microkernel external updates + right-looking in-panel
+  /// factorization over contiguous row-major panels. The default.
+  kSupernodal,
+};
 
 /// Factorization statistics (benchmarks, regression tests, --verbose).
 struct FactorStats {
@@ -56,6 +88,14 @@ struct FactorStats {
   /// Numeric-only renumerations (refactorize() with kept symbolic
   /// analysis) since construction.
   Index refactorizations = 0;
+  /// Fundamental dense panels (width ≥ 1; a refinement of the chain
+  /// blocks — every column belongs to exactly one panel).
+  Index num_panels = 0;
+  /// Columns living in panels of width ≥ 2 (the dense-kernel coverage;
+  /// the rest run the width-1 panel path, equivalent to a CSC column).
+  Index panel_columns = 0;
+  /// Widest panel (dense triangle size of the best supernode).
+  Index panel_max_width = 0;
 };
 
 /// Historical name from when the struct lived inside the scalar solver.
@@ -67,10 +107,11 @@ class CholeskySolver {
   /// P a Pᵀ = L D Lᵀ. Throws NumericalError if a pivot is ≤ 0 (matrix not
   /// positive definite). `num_threads` workers factor the level sets
   /// (0 = library default, 1 = serial); the factor is bit-identical for
-  /// every value.
+  /// every value and for both kernels.
   explicit CholeskySolver(const la::CsrMatrix& a,
                           OrderingMethod ordering = OrderingMethod::kAuto,
-                          Index num_threads = 0);
+                          Index num_threads = 0,
+                          FactorKernel kernel = FactorKernel::kSupernodal);
 
   /// Factors `a` with a caller-provided fill-reducing permutation instead
   /// of running an ordering heuristic (DESIGN.md §8: a SolverContext
@@ -79,7 +120,8 @@ class CholeskySolver {
   /// permutation computed a few edges ago is still a good fill reducer).
   /// `perm[new] = old`; any permutation is valid (fill may differ).
   CholeskySolver(const la::CsrMatrix& a, std::vector<Index> perm,
-                 Index num_threads = 0);
+                 Index num_threads = 0,
+                 FactorKernel kernel = FactorKernel::kSupernodal);
 
   /// Solves a x = b (scalar reference path).
   [[nodiscard]] la::Vector solve(const la::Vector& b) const;
@@ -154,9 +196,32 @@ class CholeskySolver {
 
  private:
   void analyze(const la::CsrMatrix& pa);
+  /// Refines the chain blocks into fundamental panels, sizes the panel
+  /// storage, and precomputes the per-panel descendant-updater lists
+  /// shared by the numeric phase and the block sweeps (from analyze()).
+  void build_panels();
   void factorize(const la::CsrMatrix& pa, Index num_threads);
   /// Level-parallel left-looking numeric phase (needs r_val_pos_ alive).
+  /// Dispatches per supernode to the scalar or panel kernel.
   void run_numeric_phase(const la::CsrMatrix& pa, Index num_threads);
+  /// Scratch one worker slot owns across its supernodes of a level.
+  /// Sized once per numeric phase; every panel leaves map reset so the
+  /// next panel on the slot starts clean.
+  struct PanelWorkspace {
+    la::Storage column;              // dense n-scratch (width-1 path)
+    la::Storage panel;               // dense panel under construction
+    la::Storage cvec;                // update scalars d_k·L(j,k)
+    std::vector<Index> map;          // global row → panel-local below slot
+    std::vector<Index> lrow;         // descendant tail row → panel slot
+    std::vector<const Real*> tails;  // descendant tail column pointers
+  };
+  /// Factors panel p (columns [c0, c1), width ≥ 2) in ws.panel —
+  /// descendant-panel outer-product updates through the register-tiled
+  /// microkernel, then a right-looking in-panel factorization — and
+  /// scatters the finished columns into l_values_ / d_. Bit-identical to
+  /// calling factor_column on each column in turn (same per-element
+  /// update order, association, and pivot checks).
+  void factor_panel(const la::CsrMatrix& pa, Index p, PanelWorkspace& ws);
   /// (Re)builds r_val_pos_ — the row-mirror → CSC position map released
   /// after each numeric phase — from the symbolic structures.
   void rebuild_row_positions();
@@ -179,7 +244,7 @@ class CholeskySolver {
   /// constant so the b-wide updates vectorize (same trick as la::spmm).
   template <int TILE>
   void solve_block_tile(la::BlockView x, Index col0, Index num_threads,
-                        std::vector<Real>& w) const;
+                        la::Storage& w) const;
 
   Index n_ = 0;
   std::vector<Index> perm_;      // perm_[new] = old
@@ -205,11 +270,39 @@ class CholeskySolver {
   std::vector<Index> super_ptr_;
   std::vector<Index> level_ptr_;
   std::vector<Index> level_supers_;
+  // Fundamental panels (DESIGN.md §9): panel p = columns
+  // [panel_ptr_[p], panel_ptr_[p+1]), a refinement of the chain blocks —
+  // supernode s owns panels [super_panel_ptr_[s], super_panel_ptr_[s+1]).
+  // Every column of a panel shares the below-diagonal row set of the
+  // panel's LAST column (= pattern of that column), so the panel packs
+  // into a dense row-major block with zero fill.
+  std::vector<Index> panel_ptr_;
+  std::vector<Index> super_panel_ptr_;
+  std::vector<Index> panel_of_;        // column → owning panel id
+  std::size_t max_panel_entries_ = 0;  // rows × width of the biggest panel
+  Index max_panel_rows_ = 0;
+  // Per-panel descendant updaters, hoisted to the symbolic phase: panel p
+  // is updated by the descendant panels panel_upd_[panel_upd_ptr_[p] ..
+  // panel_upd_ptr_[p+1]), ascending. For one record, the updater columns
+  // are [k0, k0+w); the last m entries of each of those CSC columns are
+  // the shared ascending row tail, of which the first mt rows land inside
+  // p (as update columns) and all m inside p's row set. Consumed by both
+  // the numeric phase (factor_panel) and the panel-structured block
+  // sweeps, so neither recollects or sorts updaters at run time.
+  struct PanelUpdater {
+    Index k0;  // first updater column
+    Index w;   // updater panel width
+    Index m;   // shared tail length at/after the target's first column
+    Index mt;  // tail rows inside the target panel (update columns)
+  };
+  std::vector<PanelUpdater> panel_upd_;
+  std::vector<Index> panel_upd_ptr_;  // per panel, into panel_upd_
   // CSC position p → row-mirror position q, so update_edge can refresh
   // r_values_ alongside l_values_. Built lazily by the first update (one
   // Index per factor nonzero; solve-only instances never pay for it).
   std::vector<Index> csc_to_row_;
   la::Vector d_;  // diagonal of D
+  FactorKernel kernel_ = FactorKernel::kSupernodal;
   FactorStats stats_;
 };
 

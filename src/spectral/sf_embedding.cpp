@@ -155,7 +155,7 @@ Embedding compute_sf_embedding(const graph::Graph& g,
 
   // U = X · Y_dims, columns scaled by 1/√(θ + 1/σ²) as in the exact path.
   // The first dims columns of Y are a storage prefix (column-major).
-  std::vector<Real> y_store(
+  la::Storage y_store(
       ritz.eigenvectors.data().begin(),
       ritz.eigenvectors.data().begin() +
           static_cast<std::size_t>(t) * static_cast<std::size_t>(dims));

@@ -154,6 +154,66 @@ TEST(Hnsw, KnnAllHandlesAllDuplicatePoints) {
   }
 }
 
+TEST(Hnsw, ParallelBuildMatchesSerialEdgeForEdge) {
+  // The generation-parallel build must produce the EXACT serial graph —
+  // entry point, max level, per-node levels, and every adjacency list in
+  // order — for every thread count (DESIGN.md §9). N is above the serial
+  // build threshold so the generation machinery actually engages.
+  const la::DenseMatrix x = random_points(1200, 8, 31);
+  const HnswIndex serial(x, {}, 1);
+  for (const Index threads : {2, 4, 8}) {
+    const HnswIndex parallel(x, {}, threads);
+    EXPECT_EQ(parallel.entry_point(), serial.entry_point())
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.max_level(), serial.max_level())
+        << "threads=" << threads;
+    for (Index node = 0; node < 1200; ++node) {
+      ASSERT_EQ(parallel.level_of(node), serial.level_of(node))
+          << "node=" << node << " threads=" << threads;
+      for (Index level = 0; level <= serial.level_of(node); ++level) {
+        EXPECT_EQ(parallel.links(node, level), serial.links(node, level))
+            << "node=" << node << " level=" << level
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Hnsw, ParallelBuildActuallySpeculates) {
+  // Guard against the parallel path silently degrading to per-node
+  // serial fallbacks: on a non-trivial build most speculations must
+  // survive validation and commit.
+  const la::DenseMatrix x = random_points(1024, 6, 41);
+  const HnswIndex index(x, {}, 4);
+  const HnswBuildStats& stats = index.build_stats();
+  EXPECT_GT(stats.num_generations, 0);
+  EXPECT_GT(stats.committed_speculative, 0);
+  EXPECT_GT(stats.committed_speculative, stats.fallback_serial);
+}
+
+TEST(Hnsw, ParallelBuildQueriesMatchSerialBuild) {
+  // End-to-end: the full hnsw_knn pipeline (parallel build + parallel
+  // queries) returns the serial pipeline's bytes.
+  const la::DenseMatrix x = random_points(800, 10, 53);
+  const KnnResult serial = hnsw_knn(x, 5, {}, 1);
+  const KnnResult parallel = hnsw_knn(x, 5, {}, 4);
+  EXPECT_EQ(parallel.neighbor, serial.neighbor);
+  EXPECT_EQ(parallel.distance_squared, serial.distance_squared);
+}
+
+TEST(Hnsw, SmallBuildIgnoresThreadCount) {
+  // Below the serial threshold the build is serial regardless of the
+  // requested workers; the graph must still be the canonical one.
+  const la::DenseMatrix x = random_points(96, 4, 67);
+  const HnswIndex serial(x, {}, 1);
+  const HnswIndex parallel(x, {}, 8);
+  EXPECT_EQ(parallel.entry_point(), serial.entry_point());
+  EXPECT_EQ(parallel.max_level(), serial.max_level());
+  for (Index node = 0; node < 96; ++node)
+    for (Index level = 0; level <= serial.level_of(node); ++level)
+      EXPECT_EQ(parallel.links(node, level), serial.links(node, level));
+}
+
 TEST(Hnsw, ClusterStructurePreserved) {
   // Two well-separated Gaussian blobs: every neighbor must stay within the
   // query's own blob.

@@ -112,6 +112,40 @@ TEST(Stress, ConcurrentHnswQueriesMatchSerial) {
   });
 }
 
+TEST(Stress, ParallelHnswBuildUnderOversubscriptionThenQueries) {
+  // Generation-parallel construction with far more requested workers
+  // than cores: speculation workers read the frozen graph while the
+  // orchestrator waits, then the committed graph is hammered with
+  // concurrent queries. Under TSan this exercises the build's
+  // speculation/commit boundary; everywhere it asserts the graph is the
+  // serial one edge for edge.
+  const la::DenseMatrix points = random_points(900, 6, 29);
+  const knn::HnswIndex serial(points, {}, 1);
+  const knn::KnnResult reference = serial.knn_all(4, 1);
+
+  for (int round = 0; round < 3; ++round) {
+    const knn::HnswIndex index(points, {}, kOversubscribedThreads);
+    ASSERT_EQ(index.entry_point(), serial.entry_point()) << "round " << round;
+    ASSERT_EQ(index.max_level(), serial.max_level()) << "round " << round;
+    for (Index node = 0; node < 900; ++node)
+      for (Index level = 0; level <= serial.level_of(node); ++level)
+        ASSERT_EQ(index.links(node, level), serial.links(node, level))
+            << "node " << node << " level " << level << " round " << round;
+
+    parallel::parallel_for(0, 8, kOversubscribedThreads, [&](Index task) {
+      if (task % 2 == 0) {
+        const knn::KnnResult got = index.knn_all(4);
+        ASSERT_EQ(got.neighbor, reference.neighbor);
+        ASSERT_EQ(got.distance_squared, reference.distance_squared);
+      } else {
+        const Index q = (task * 53) % index.num_points();
+        const auto got = index.search_point(q, 4);
+        ASSERT_EQ(to_index(got.size()), 4);
+      }
+    });
+  }
+}
+
 class StressSolverHammer
     : public ::testing::TestWithParam<solver::LaplacianMethod> {};
 

@@ -151,6 +151,36 @@ class RuleFixtures(unittest.TestCase):
             with open(os.path.join(repo_root, rel), encoding="utf-8") as fh:
                 self.assertEqual(dl.lint_text(fh.read(), rel), [], rel)
 
+    def test_panel_accumulation_positive(self):
+        # The supernodal dense-panel shapes (DESIGN.md §9) gone wrong: a
+        # reciprocal pivot scale and a captured cross-panel accumulator
+        # inside the level-parallel body.
+        findings = lint_fixture("panel_accumulation_positive.snippet",
+                                "src/solver/fixture.cpp")
+        self.assertEqual(rule_counts(findings),
+                         {"reciprocal-multiply": 1,
+                          "shared-mutation-in-parallel": 1})
+
+    def test_panel_accumulation_waived(self):
+        # ... while the dividing pivot scale and element-wise panel
+        # updates the kernels actually use lint clean.
+        self.assertEqual(
+            lint_fixture("panel_accumulation_waived.snippet",
+                         "src/solver/fixture.cpp"), [])
+
+    def test_panel_and_hnsw_sources_in_scope_and_clean(self):
+        # The PR-9 hot-path sources (panel factorization kernels, the
+        # generation-batched HNSW build, and the SIMD helpers) must lint
+        # clean under every rule that applies to their module.
+        repo_root = os.path.dirname(TOOLS_DIR)
+        for rel in ("src/solver/cholesky.hpp",
+                    "src/solver/cholesky.cpp",
+                    "src/knn/hnsw.hpp",
+                    "src/knn/hnsw.cpp",
+                    "src/common/simd.hpp"):
+            with open(os.path.join(repo_root, rel), encoding="utf-8") as fh:
+                self.assertEqual(dl.lint_text(fh.read(), rel), [], rel)
+
     def test_reciprocal_multiply_positive(self):
         findings = lint_fixture("reciprocal_multiply_positive.snippet",
                                 "src/solver/fixture.cpp")
