@@ -1,0 +1,164 @@
+// serve_client — driving the serving layer, two ways.
+//
+// Default (no arguments): hosts a ServeEngine IN PROCESS and walks the
+// JSON protocol through it — learn a graph from synthetic measurements,
+// query effective resistances (single and batched), run a solve, and
+// read the stats counters. No daemon needed; this is the quickest way
+// to see the request/response schema.
+//
+// With --socket PATH: connects to a running `sgl_serve` daemon and
+// sends the same script over the unix socket. With --stdin as well,
+// forwards stdin lines instead (a netcat-style manual client):
+//
+//   tools/sgl_serve --socket /tmp/sgl.sock &
+//   examples/sgl_serve_client --socket /tmp/sgl.sock
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "sgl.hpp"
+
+namespace {
+
+using namespace sgl;
+
+const std::vector<std::string>& script() {
+  static const std::vector<std::string> kScript = {
+      R"({"op":"learn_synthetic","graph":"grid2d","nx":12,"ny":12,"measurements":40,"id":1})",
+      R"({"op":"info","id":2})",
+      R"({"op":"resistance","s":0,"t":143,"id":3})",
+      R"({"op":"resistance_batch","pairs":[[0,1],[0,12],[5,77],[140,3]],"id":4})",
+      R"({"op":"embedding","id":5})",
+      R"({"op":"resistance","s":0,"t":0,"id":6})",  // typed kBadRequest
+      R"({"op":"stats","id":7})",
+  };
+  return kScript;
+}
+
+int run_in_process() {
+  serve::ServeOptions options;
+  options.batch_width = 8;
+  serve::ServeEngine engine(options);
+  for (const std::string& line : script()) {
+    std::printf(">> %s\n", line.c_str());
+    const serve::ProtocolResult result = serve::handle_request(engine, line);
+    std::printf("<< %s\n\n", result.response.c_str());
+  }
+  return 0;
+}
+
+#ifdef __unix__
+int connect_to(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "serve_client: socket path too long\n");
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("serve_client: socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::perror("serve_client: connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_line(int fd, const std::string& line) {
+  const std::string payload = line + "\n";
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int run_over_socket(const std::string& path, bool from_stdin) {
+  const int fd = connect_to(path);
+  if (fd < 0) return 1;
+  std::string buffer;
+  std::string response;
+  if (from_stdin) {
+    char line[1 << 16];
+    while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+      std::string request(line);
+      while (!request.empty() &&
+             (request.back() == '\n' || request.back() == '\r')) {
+        request.pop_back();
+      }
+      if (request.empty()) continue;
+      if (!send_line(fd, request) || !recv_line(fd, buffer, response)) break;
+      std::printf("%s\n", response.c_str());
+      std::fflush(stdout);
+    }
+  } else {
+    for (const std::string& request : script()) {
+      std::printf(">> %s\n", request.c_str());
+      if (!send_line(fd, request) || !recv_line(fd, buffer, response)) {
+        std::fprintf(stderr, "serve_client: connection lost\n");
+        ::close(fd);
+        return 1;
+      }
+      std::printf("<< %s\n\n", response.c_str());
+    }
+  }
+  ::close(fd);
+  return 0;
+}
+#endif  // __unix__
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool from_stdin = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stdin") == 0) {
+      from_stdin = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: sgl_serve_client [--socket PATH [--stdin]]\n");
+      return 2;
+    }
+  }
+  if (socket_path.empty()) return run_in_process();
+#ifdef __unix__
+  return run_over_socket(socket_path, from_stdin);
+#else
+  std::fprintf(stderr, "serve_client: socket mode needs a unix platform\n");
+  return 2;
+#endif
+}

@@ -1,7 +1,15 @@
-// Contract checking in the spirit of the C++ Core Guidelines (I.6 / E.12):
+// Contract checking in the spirit of the C++ Core Guidelines (I.6 / E.12),
+// plus the library's typed error surface.
+//
 // SGL_EXPECTS guards public-API preconditions and always throws on
 // violation; SGL_ASSERT guards internal invariants and compiles out in
 // NDEBUG builds.
+//
+// Every exception the library throws derives from SglError and carries a
+// stable ErrorCode. Boundary layers (the sgl_serve daemon, language
+// bindings) map exceptions to wire-level error responses by switching on
+// code() — never by parsing what() strings, which exist for humans and may
+// change wording freely.
 #pragma once
 
 #include <sstream>
@@ -10,17 +18,100 @@
 
 namespace sgl {
 
-/// Exception thrown on precondition violations of public API entry points.
-class ContractViolation : public std::invalid_argument {
+/// Stable machine-readable error identity. Values are append-only: codes
+/// are part of the serving wire protocol (README "Serving", DESIGN.md
+/// §10), so existing entries never change meaning or name.
+enum class ErrorCode {
+  kOk = 0,
+  /// A public-API precondition was violated (SGL_EXPECTS/SGL_ENSURES).
+  kInvalidArgument,
+  /// A serve request was malformed or referenced out-of-range entities.
+  kBadRequest,
+  /// A serve request line was not valid JSON / not a JSON object.
+  kParseError,
+  /// A serve request named an operation the engine does not implement.
+  kUnknownOperation,
+  /// A query arrived before any graph was loaded or learned.
+  kNoActiveGraph,
+  /// The graph of a request is disconnected (no pseudo-inverse semantics).
+  kGraphNotConnected,
+  /// LDLᵀ hit a non-positive pivot — the matrix is not positive definite.
+  kNonPositivePivot,
+  /// A preconditioner/factorization setup failed past its retry budget.
+  kFactorizationFailed,
+  /// PCG stalled before reaching its residual tolerance.
+  kPcgStalled,
+  /// An eigensolver did not converge within its subspace/iteration cap.
+  kEigNotConverged,
+  /// A numerical routine failed for a reason without a dedicated code.
+  kNumericalBreakdown,
+  /// Catch-all for unexpected internal failures at a serving boundary.
+  kInternal,
+};
+
+/// Stable kebab-case wire name of a code ("non-positive-pivot", ...).
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kParseError: return "parse-error";
+    case ErrorCode::kUnknownOperation: return "unknown-operation";
+    case ErrorCode::kNoActiveGraph: return "no-active-graph";
+    case ErrorCode::kGraphNotConnected: return "graph-not-connected";
+    case ErrorCode::kNonPositivePivot: return "non-positive-pivot";
+    case ErrorCode::kFactorizationFailed: return "factorization-failed";
+    case ErrorCode::kPcgStalled: return "pcg-stalled";
+    case ErrorCode::kEigNotConverged: return "eig-not-converged";
+    case ErrorCode::kNumericalBreakdown: return "numerical-breakdown";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+/// Code + human-readable message, the value boundary layers serialize.
+struct Status {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+
+  [[nodiscard]] bool ok() const noexcept { return code == ErrorCode::kOk; }
+  [[nodiscard]] const char* code_name() const noexcept {
+    return error_code_name(code);
+  }
+};
+
+/// Base of every exception this library throws: a runtime_error whose
+/// what() is the human-readable message, plus the stable ErrorCode that
+/// boundary layers branch on.
+class SglError : public std::runtime_error {
  public:
-  using std::invalid_argument::invalid_argument;
+  SglError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] Status status() const { return {code_, what()}; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Exception thrown on precondition violations of public API entry points.
+class ContractViolation : public SglError {
+ public:
+  explicit ContractViolation(const std::string& message,
+                             ErrorCode code = ErrorCode::kInvalidArgument)
+      : SglError(code, message) {}
 };
 
 /// Exception thrown when a numerical routine cannot proceed (singular
-/// factorization, non-convergence past hard iteration caps, ...).
-class NumericalError : public std::runtime_error {
+/// factorization, non-convergence past hard iteration caps, ...). Throw
+/// sites pass the specific code (kNonPositivePivot, kPcgStalled, ...);
+/// the default covers ad-hoc breakdowns without a dedicated code.
+class NumericalError : public SglError {
  public:
-  using std::runtime_error::runtime_error;
+  explicit NumericalError(const std::string& message,
+                          ErrorCode code = ErrorCode::kNumericalBreakdown)
+      : SglError(code, message) {}
 };
 
 namespace detail {
@@ -53,20 +144,6 @@ namespace detail {
                                       __LINE__, (msg));                     \
     }                                                                       \
   } while (false)
-
-/// Suppresses -Wdeprecated-declarations around intentional uses of
-/// deprecated compat aliases (e.g. the merge step that honors an old-name
-/// knob a caller may still set). Builds with -Werror need this to keep
-/// the aliases usable during their one-release grace period.
-#if defined(__GNUC__) || defined(__clang__)
-#define SGL_SUPPRESS_DEPRECATED_BEGIN                            \
-  _Pragma("GCC diagnostic push")                                 \
-  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
-#define SGL_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
-#else
-#define SGL_SUPPRESS_DEPRECATED_BEGIN
-#define SGL_SUPPRESS_DEPRECATED_END
-#endif
 
 /// Internal invariant; checked only in debug builds.
 #ifdef NDEBUG

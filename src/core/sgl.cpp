@@ -20,14 +20,6 @@ SglLearner::SglLearner(const la::DenseMatrix& x, SglConfig config)
   SGL_EXPECTS(config_.k >= 1 && config_.k < x.rows(),
               "SglLearner: need 1 <= k < N");
 
-  // Merge the deprecated scalar aliases (sentinel 0 = unset) into the
-  // embedding options. The struct aliases (lanczos()/solver()) reference
-  // the embedding fields directly, so only the scalars need merging.
-  SGL_SUPPRESS_DEPRECATED_BEGIN
-  if (config_.r != 0) config_.embedding.r = config_.r;
-  if (config_.sigma2 != 0.0) config_.embedding.sigma2 = config_.sigma2;
-  SGL_SUPPRESS_DEPRECATED_END
-
   SGL_EXPECTS(config_.embedding.r >= 2, "SglLearner: r must be at least 2");
   SGL_EXPECTS(config_.embedding.sigma2 > 0.0,
               "SglLearner: sigma2 must be positive");

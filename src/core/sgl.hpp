@@ -70,35 +70,6 @@ struct SglConfig {
   solver::IncrementalMode incremental = solver::IncrementalMode::kOff;
   /// Optional per-iteration observer (progress logging in benches).
   std::function<void(Index iteration, Real smax, Index edges_added)> observer;
-
-  // --- Deprecated compat aliases (kept for one release) --------------------
-  // The scalar knobs moved into `embedding`. The sentinel 0 means "unset";
-  // a nonzero value set through the old name overrides the embedding field
-  // when the learner starts.
-  SGL_SUPPRESS_DEPRECATED_BEGIN
-  [[deprecated("use SglConfig::embedding.r")]] Index r = 0;
-  [[deprecated("use SglConfig::embedding.sigma2")]] Real sigma2 = 0.0;
-  // The special members are defaulted inside the suppression region: their
-  // synthesized bodies touch the deprecated initializers above, which
-  // would otherwise warn at every `SglConfig config;` in client code.
-  SglConfig() = default;
-  SglConfig(const SglConfig&) = default;
-  SglConfig(SglConfig&&) = default;
-  SglConfig& operator=(const SglConfig&) = default;
-  SglConfig& operator=(SglConfig&&) = default;
-  ~SglConfig() = default;
-  SGL_SUPPRESS_DEPRECATED_END
-  // The struct knobs are reachable through deprecated reference accessors
-  // (`config.lanczos().seed = …`); they alias embedding.lanczos/.solver
-  // directly, so no merge step is needed.
-  [[deprecated("use SglConfig::embedding.lanczos")]]
-  [[nodiscard]] eig::LanczosOptions& lanczos() noexcept {
-    return embedding.lanczos;
-  }
-  [[deprecated("use SglConfig::embedding.solver")]]
-  [[nodiscard]] solver::LaplacianSolverOptions& solver() noexcept {
-    return embedding.solver;
-  }
 };
 
 struct SglIterationStats {

@@ -100,7 +100,8 @@ void tql2(la::Vector& d, la::Vector& e, la::DenseMatrix& z) {
       }
       if (m != l) {
         if (iterations++ == 50) {
-          throw NumericalError("tql2: QL iteration failed to converge");
+          throw NumericalError("tql2: QL iteration failed to converge",
+                               ErrorCode::kEigNotConverged);
         }
         Real g = (d[static_cast<std::size_t>(l + 1)] -
                   d[static_cast<std::size_t>(l)]) /

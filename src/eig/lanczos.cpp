@@ -306,7 +306,8 @@ EigenPairs smallest_laplacian_eigenpairs(const solver::LaplacianPinvSolver& pinv
   if (require_converged && !op_pairs.converged) {
     throw NumericalError(
         "smallest_laplacian_eigenpairs: block Lanczos did not converge within "
-        "the subspace cap; raise max_subspace");
+        "the subspace cap; raise max_subspace",
+        ErrorCode::kEigNotConverged);
   }
 
   // Map operator eigenvalues θ (descending) to Laplacian eigenvalues

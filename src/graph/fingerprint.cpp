@@ -1,0 +1,51 @@
+#include "graph/fingerprint.hpp"
+
+#include <bit>
+
+namespace sgl::graph {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t endpoint_fingerprint(const Graph& g, std::size_t count) {
+  SGL_EXPECTS(count <= g.edges().size(),
+              "endpoint_fingerprint: count exceeds edge list");
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Edge& e = g.edges()[i];
+    fnv_mix(h, static_cast<std::uint64_t>(e.s));
+    fnv_mix(h, static_cast<std::uint64_t>(e.t));
+  }
+  return h;
+}
+
+std::uint64_t weight_fingerprint(const Graph& g, std::size_t count) {
+  SGL_EXPECTS(count <= g.edges().size(),
+              "weight_fingerprint: count exceeds edge list");
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Edge& e = g.edges()[i];
+    fnv_mix(h, static_cast<std::uint64_t>(e.s));
+    fnv_mix(h, static_cast<std::uint64_t>(e.t));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(e.weight));
+  }
+  return h;
+}
+
+GraphKey graph_key(const Graph& g) {
+  const std::size_t count = g.edges().size();
+  return {g.num_nodes(), g.num_edges(), endpoint_fingerprint(g, count),
+          weight_fingerprint(g, count)};
+}
+
+}  // namespace sgl::graph

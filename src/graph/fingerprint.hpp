@@ -1,0 +1,44 @@
+// FNV-1a graph fingerprints (DESIGN.md §8, §10).
+//
+// Two 64-bit digests over a graph's (append-only) edge list identify a
+// graph without storing it: the endpoint fingerprint hashes the edge
+// pattern, the weight fingerprint additionally hashes every weight's bit
+// pattern (numeric identity — two graphs with equal weight fingerprints
+// produce bitwise-identical Laplacians). SolverContext uses prefix
+// fingerprints to recognize "edges appended" / "weights rescaled"; the
+// serving tier keys its factorization LRU on the full-graph GraphKey.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace sgl::graph {
+
+/// FNV-1a over the endpoints of the first `count` edges (pattern
+/// identity). `count` must not exceed g.num_edges().
+[[nodiscard]] std::uint64_t endpoint_fingerprint(const Graph& g,
+                                                 std::size_t count);
+
+/// FNV-1a over endpoints AND weight bit patterns of the first `count`
+/// edges (numeric identity).
+[[nodiscard]] std::uint64_t weight_fingerprint(const Graph& g,
+                                               std::size_t count);
+
+/// Full identity of one graph state: node/edge counts plus both digests.
+/// Totally ordered so deterministic containers (std::map) can key on it.
+struct GraphKey {
+  Index num_nodes = 0;
+  Index num_edges = 0;
+  std::uint64_t endpoints = 0;
+  std::uint64_t weights = 0;
+
+  friend auto operator<=>(const GraphKey&, const GraphKey&) = default;
+};
+
+/// Key of the CURRENT state of `g` (fingerprints over all edges).
+[[nodiscard]] GraphKey graph_key(const Graph& g);
+
+}  // namespace sgl::graph

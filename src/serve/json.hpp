@@ -1,0 +1,116 @@
+// Minimal JSON value / parser / serializer for the serving wire protocol
+// (DESIGN.md §10). Self-contained on purpose: the container bakes no JSON
+// library, and the protocol needs only the scalar/array/object subset.
+//
+// Determinism contract: objects preserve member insertion order (they are
+// stored as ordered member vectors, never hash maps), and numbers
+// serialize via std::to_chars shortest round-trip — so a given JsonValue
+// always serializes to the same bytes, and two bitwise-equal doubles
+// always print identically. That is what makes "batched responses are
+// byte-identical to serially-served responses" a checkable guarantee.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace sgl::serve {
+
+/// One JSON value: null, bool, number (double), string, array, or object.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  /// Ordered member list — insertion order is serialization order.
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;
+  // NOLINTBEGIN(google-explicit-constructor): value types convert freely,
+  // mirroring JSON's untyped literals.
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  /// Any arithmetic type (Index, std::size_t, Real, …) is a number.
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonValue(T v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  JsonValue(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const {
+    SGL_EXPECTS(is_bool(), "JsonValue: not a bool");
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    SGL_EXPECTS(is_number(), "JsonValue: not a number");
+    return number_;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    SGL_EXPECTS(is_string(), "JsonValue: not a string");
+    return string_;
+  }
+  [[nodiscard]] const Array& as_array() const {
+    SGL_EXPECTS(is_array(), "JsonValue: not an array");
+    return array_;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    SGL_EXPECTS(is_object(), "JsonValue: not an object");
+    return object_;
+  }
+  [[nodiscard]] Object& as_object() {
+    SGL_EXPECTS(is_object(), "JsonValue: not an object");
+    return object_;
+  }
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Appends (or overwrites) an object member, keeping insertion order.
+  void set(std::string key, JsonValue value);
+
+  /// Appends an array element.
+  void push_back(JsonValue value);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (the whole string must be consumed, modulo
+/// trailing whitespace). Throws SglError with ErrorCode::kParseError on
+/// malformed input.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+/// Serializes compactly (no whitespace). Numbers use std::to_chars
+/// shortest round-trip (integral values without an exponent/point), so
+/// parse(serialize(v)) reproduces every double bit-for-bit.
+[[nodiscard]] std::string json_serialize(const JsonValue& value);
+
+}  // namespace sgl::serve

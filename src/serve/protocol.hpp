@@ -1,0 +1,47 @@
+// Newline-delimited JSON request/response protocol over a ServeEngine
+// (DESIGN.md §10). One request line in, one response line out; the
+// transport (tools/sgl_serve's unix socket, a test harness, a pipe) only
+// moves lines.
+//
+// Request:  {"op": "<name>", ...op fields..., "id": <echoed back>}
+// Success:  {"ok": true, "op": "<name>", ["id": ...,] ...payload...}
+// Failure:  {"ok": false, ["op": ...,] ["id": ...,]
+//            "error": {"code": "<stable ErrorCode name>", "message": ...}}
+//
+// Every failure carries the machine-readable ErrorCode wire name
+// (common/contracts.hpp) — clients branch on `error.code`, never on
+// message text. Ops: load_graph, learn, learn_synthetic, activate,
+// solve, resistance, resistance_batch, embedding, stats, info, shutdown.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/fingerprint.hpp"
+#include "serve/json.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace sgl::serve {
+
+struct ProtocolResult {
+  /// One JSON document, no trailing newline (the transport appends it).
+  std::string response;
+  /// True after a `shutdown` request: the server should stop accepting.
+  bool shutdown = false;
+};
+
+/// Handles one request line against `engine`. Never throws: every error
+/// — parse failure, unknown op, engine-side SglError — becomes an
+/// {"ok": false, "error": {...}} response with a stable code.
+[[nodiscard]] ProtocolResult handle_request(ServeEngine& engine,
+                                            std::string_view line);
+
+/// GraphKey ⇄ JSON. The two 64-bit fingerprints are hex STRINGS on the
+/// wire (doubles only carry 53 bits), so keys round-trip exactly.
+[[nodiscard]] JsonValue graph_key_to_json(const graph::GraphKey& key);
+
+/// Inverse of graph_key_to_json; throws SglError(kBadRequest) on
+/// malformed keys.
+[[nodiscard]] graph::GraphKey graph_key_from_json(const JsonValue& value);
+
+}  // namespace sgl::serve

@@ -353,8 +353,9 @@ void CholeskySolver::factor_column(const la::CsrMatrix& pa, Index j, Real* w) {
   if (!(dj > 0.0)) {
     throw NumericalError(
         "CholeskySolver: non-positive pivot at column " +
-        std::to_string(perm_[static_cast<std::size_t>(j)]) +
-        " — matrix is not positive definite");
+            std::to_string(perm_[static_cast<std::size_t>(j)]) +
+            " — matrix is not positive definite",
+        ErrorCode::kNonPositivePivot);
   }
   d_[static_cast<std::size_t>(j)] = dj;
   for (Index p = l_col_ptr_[static_cast<std::size_t>(j)];
@@ -665,8 +666,9 @@ void CholeskySolver::factor_panel(const la::CsrMatrix& pa, Index p,
       }
       throw NumericalError(
           "CholeskySolver: non-positive pivot at column " +
-          std::to_string(perm_[static_cast<std::size_t>(c0 + kk)]) +
-          " — matrix is not positive definite");
+              std::to_string(perm_[static_cast<std::size_t>(c0 + kk)]) +
+              " — matrix is not positive definite",
+          ErrorCode::kNonPositivePivot);
     }
     d_[static_cast<std::size_t>(c0 + kk)] = dj;
     for (Index r = kk + 1; r < total_rows; ++r)
@@ -842,8 +844,9 @@ void CholeskySolver::update_edge(Index u, Index v, Real w) {
     if (!rank1_pass(j0, sigma, /*commit=*/false, work, touched)) {
       throw NumericalError(
           "CholeskySolver::update_edge: downdate at edge (" +
-          std::to_string(u) + ", " + std::to_string(v) +
-          ") makes the matrix non-positive-definite — factor unchanged");
+              std::to_string(u) + ", " + std::to_string(v) +
+              ") makes the matrix non-positive-definite — factor unchanged",
+          ErrorCode::kNonPositivePivot);
     }
   }
   scatter();

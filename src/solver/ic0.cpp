@@ -87,7 +87,8 @@ Ic0Preconditioner::Ic0Preconditioner(const la::CsrMatrix& a) {
     shift_ = (shift_ == 0.0) ? 1e-3 * max_diag : 2.0 * shift_;
   }
   throw NumericalError(
-      "Ic0Preconditioner: factorization failed even with diagonal shifts");
+      "Ic0Preconditioner: factorization failed even with diagonal shifts",
+      ErrorCode::kFactorizationFailed);
 }
 
 void Ic0Preconditioner::apply(const la::Vector& r, la::Vector& z) const {

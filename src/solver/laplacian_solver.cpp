@@ -141,7 +141,8 @@ void LaplacianPinvSolver::apply_column(std::span<const Real> y,
     if (!res.converged) {
       throw NumericalError(
           "LaplacianPinvSolver: PCG stalled at relative residual " +
-          std::to_string(res.relative_residual));
+              std::to_string(res.relative_residual),
+          ErrorCode::kPcgStalled);
     }
   }
 
@@ -255,8 +256,9 @@ void LaplacianPinvSolver::apply_block(la::ConstBlockView y, la::BlockView x,
       const PcgResult& c = res.columns[static_cast<std::size_t>(j)];
       throw NumericalError(
           "LaplacianPinvSolver: PCG stalled on block column " +
-          std::to_string(j) + " at relative residual " +
-          std::to_string(c.relative_residual));
+              std::to_string(j) + " at relative residual " +
+              std::to_string(c.relative_residual),
+          ErrorCode::kPcgStalled);
     }
     if (pcg.final_iterate.data != nullptr) {
       SGL_EXPECTS(pcg.final_iterate.rows == n_ - 1 &&

@@ -1,11 +1,11 @@
 #include "solver/solver_context.hpp"
 
 #include <array>
-#include <bit>
 #include <cmath>
 #include <utility>
 
 #include "common/enum_names.hpp"
+#include "graph/fingerprint.hpp"
 
 namespace sgl::solver {
 namespace {
@@ -16,38 +16,10 @@ constexpr std::array<common::EnumName<IncrementalMode>, 3> kModeNames{{
     {IncrementalMode::kOff, "off"},
 }};
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void fnv_mix(std::uint64_t& h, std::uint64_t v) {
-  for (int byte = 0; byte < 8; ++byte) {
-    h ^= (v >> (8 * byte)) & 0xffULL;
-    h *= kFnvPrime;
-  }
-}
-
-/// FNV-1a over the endpoints of the first `count` edges (pattern identity).
-std::uint64_t endpoint_fingerprint(const graph::Graph& g, std::size_t count) {
-  std::uint64_t h = kFnvOffset;
-  for (std::size_t i = 0; i < count; ++i) {
-    const graph::Edge& e = g.edges()[i];
-    fnv_mix(h, static_cast<std::uint64_t>(e.s));
-    fnv_mix(h, static_cast<std::uint64_t>(e.t));
-  }
-  return h;
-}
-
-/// FNV-1a over endpoints AND weight bit patterns (numeric identity).
-std::uint64_t weight_fingerprint(const graph::Graph& g, std::size_t count) {
-  std::uint64_t h = kFnvOffset;
-  for (std::size_t i = 0; i < count; ++i) {
-    const graph::Edge& e = g.edges()[i];
-    fnv_mix(h, static_cast<std::uint64_t>(e.s));
-    fnv_mix(h, static_cast<std::uint64_t>(e.t));
-    fnv_mix(h, std::bit_cast<std::uint64_t>(e.weight));
-  }
-  return h;
-}
+// Prefix fingerprints come from graph/fingerprint.hpp (shared with the
+// serving tier's factorization LRU, which keys on the same digests).
+using graph::endpoint_fingerprint;
+using graph::weight_fingerprint;
 
 Real total_weight_mass(const graph::Graph& g) {
   Real mass = 0.0;

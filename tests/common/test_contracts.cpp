@@ -1,4 +1,4 @@
-// Unit tests for contract macros and error types.
+// Unit tests for contract macros and the typed error surface.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -32,12 +32,15 @@ TEST(Contracts, MessageContainsExpressionAndNote) {
   }
 }
 
-TEST(Contracts, ContractViolationIsInvalidArgument) {
+TEST(Contracts, ContractViolationCarriesInvalidArgumentCode) {
+  // Every library exception is an SglError with a stable code; boundary
+  // layers catch the base and branch on code(), never on what() text.
   try {
     SGL_EXPECTS(false, "x");
     FAIL() << "expected throw";
-  } catch (const std::invalid_argument&) {
-    SUCCEED();
+  } catch (const SglError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    EXPECT_STREQ(e.status().code_name(), "invalid-argument");
   }
 }
 
@@ -47,6 +50,39 @@ TEST(Contracts, NumericalErrorIsRuntimeError) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "pivot failure");
   }
+}
+
+TEST(Contracts, NumericalErrorDefaultsToNumericalBreakdown) {
+  const NumericalError e("ad-hoc breakdown");
+  EXPECT_EQ(e.code(), ErrorCode::kNumericalBreakdown);
+}
+
+TEST(Contracts, ExplicitCodesRoundTripThroughStatus) {
+  const NumericalError e("stalled", ErrorCode::kPcgStalled);
+  const Status s = e.status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, ErrorCode::kPcgStalled);
+  EXPECT_EQ(s.message, "stalled");
+  EXPECT_STREQ(s.code_name(), "pcg-stalled");
+}
+
+TEST(Contracts, ErrorCodeNamesAreStableWireIdentifiers) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadRequest), "bad-request");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNoActiveGraph), "no-active-graph");
+  EXPECT_STREQ(error_code_name(ErrorCode::kGraphNotConnected),
+               "graph-not-connected");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNonPositivePivot),
+               "non-positive-pivot");
+  EXPECT_STREQ(error_code_name(ErrorCode::kEigNotConverged),
+               "eig-not-converged");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+TEST(Contracts, StatusDefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_STREQ(s.code_name(), "ok");
 }
 
 }  // namespace

@@ -129,30 +129,5 @@ TEST(EngineCrossValidation, SolverFreeRunIsReproducibleAtFixedSeed) {
   EXPECT_EQ(a.final_smax, b.final_smax);
 }
 
-TEST(EngineCrossValidation, DeprecatedConfigAliasesStillSteerTheLearner) {
-  // The pre-redesign scalar knobs must keep working for one release: a
-  // value set through the old name overrides the embedding field.
-  const graph::Graph truth = graph::make_grid2d(10, 10).graph;
-  measure::MeasurementOptions mopt;
-  mopt.num_measurements = 30;
-  const measure::Measurements data = measure::generate_measurements(truth, mopt);
-
-  SglConfig modern;
-  modern.embedding.r = 3;
-  const SglResult expected = learn_graph(data.voltages, data.currents, modern);
-
-  SglConfig legacy;
-  SGL_SUPPRESS_DEPRECATED_BEGIN
-  legacy.r = 3;
-  legacy.sigma2 = modern.embedding.sigma2;
-  legacy.lanczos().seed = modern.embedding.lanczos.seed;
-  legacy.solver().method = modern.embedding.solver.method;
-  SGL_SUPPRESS_DEPRECATED_END
-  const SglResult got = learn_graph(data.voltages, data.currents, legacy);
-
-  EXPECT_EQ(edge_set(expected.learned), edge_set(got.learned));
-  EXPECT_EQ(expected.iterations, got.iterations);
-}
-
 }  // namespace
 }  // namespace sgl::core

@@ -1,0 +1,253 @@
+// ServeEngine semantics: batched answers are bitwise the serial answers,
+// one coalesced batch runs ONE apply_block (the ServeStats receipt), the
+// factorization LRU evicts and refills correctly, and every failure
+// carries a stable ErrorCode — clients never parse message text.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "graph/generators.hpp"
+#include "measure/measurements.hpp"
+#include "serve/serve_engine.hpp"
+#include "solver/laplacian_solver.hpp"
+
+namespace sgl::serve {
+namespace {
+
+graph::Graph grid(Index nx, Index ny) {
+  return graph::make_grid2d(nx, ny).graph;
+}
+
+ErrorCode code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const SglError& e) {
+    return e.code();
+  }
+  return ErrorCode::kOk;
+}
+
+TEST(ServeEngine, QueriesWithoutGraphAreTypedNoActiveGraph) {
+  ServeEngine engine;
+  EXPECT_FALSE(engine.has_active_graph());
+  EXPECT_EQ(code_of([&] { (void)engine.solve({1.0, -1.0}); }),
+            ErrorCode::kNoActiveGraph);
+  EXPECT_EQ(code_of([&] { (void)engine.effective_resistance(0, 1); }),
+            ErrorCode::kNoActiveGraph);
+  EXPECT_EQ(code_of([&] { (void)engine.embedding(); }),
+            ErrorCode::kNoActiveGraph);
+  EXPECT_EQ(code_of([&] { (void)engine.active_key(); }),
+            ErrorCode::kNoActiveGraph);
+  EXPECT_EQ(engine.stats().errors, 3);  // accessors don't count as requests
+}
+
+TEST(ServeEngine, DisconnectedGraphIsTypedGraphNotConnected) {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  ServeEngine engine;
+  EXPECT_EQ(code_of([&] { (void)engine.load_graph(std::move(g)); }),
+            ErrorCode::kGraphNotConnected);
+  EXPECT_EQ(code_of([&] { (void)engine.load_graph(graph::Graph(0)); }),
+            ErrorCode::kBadRequest);
+  EXPECT_FALSE(engine.has_active_graph());
+}
+
+TEST(ServeEngine, SolveMatchesDirectSolverBitwise) {
+  const graph::Graph g = grid(9, 7);
+  const solver::LaplacianPinvSolver reference(g);
+
+  ServeEngine engine;
+  (void)engine.load_graph(g);
+  la::Vector rhs(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  rhs[0] = 2.0;
+  rhs[17] = -1.5;
+  rhs[62] = -0.5;
+  const la::Vector expected = reference.apply(rhs);
+  const la::Vector got = engine.solve(rhs);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "entry " << i;
+  }
+}
+
+TEST(ServeEngine, BatchedResistanceIsBitwiseSerialAndOneApplyBlock) {
+  const graph::Graph g = grid(12, 12);
+
+  // Serial reference: width-1 engine answers one request per block.
+  ServeOptions serial_options;
+  serial_options.batch_width = 1;
+  ServeEngine serial(serial_options);
+  (void)serial.load_graph(g);
+
+  ServeEngine batched;  // default width 16
+  (void)batched.load_graph(g);
+
+  std::vector<std::pair<Index, Index>> pairs;
+  for (Index i = 0; i < 16; ++i) pairs.emplace_back(i, 143 - i);
+
+  const std::vector<Real> block = batched.effective_resistance_batch(pairs);
+  ASSERT_EQ(block.size(), pairs.size());
+  for (std::size_t j = 0; j < pairs.size(); ++j) {
+    const Real one =
+        serial.effective_resistance(pairs[j].first, pairs[j].second);
+    EXPECT_EQ(block[j], one) << "pair " << j;
+  }
+
+  // The receipt: 16 queries, ONE apply_block of width 16.
+  const ServeStats stats = batched.stats();
+  EXPECT_EQ(stats.requests, 16);
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.batched_columns, 16);
+  EXPECT_EQ(stats.max_batch_width, 16);
+
+  // The serial engine ran one single-column batch per query.
+  const ServeStats serial_stats = serial.stats();
+  EXPECT_EQ(serial_stats.requests, 16);
+  EXPECT_EQ(serial_stats.batches, 16);
+  EXPECT_EQ(serial_stats.max_batch_width, 1);
+}
+
+TEST(ServeEngine, InvalidRequestsAreTypedBadRequest) {
+  ServeEngine engine;
+  (void)engine.load_graph(grid(4, 4));
+  EXPECT_EQ(code_of([&] { (void)engine.effective_resistance(3, 3); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of([&] { (void)engine.effective_resistance(0, 99); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of([&] { (void)engine.solve(la::Vector(7, 0.0)); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of([&] {
+              (void)engine.effective_resistance_batch({{0, 1}, {2, -1}});
+            }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(code_of([&] { engine.activate(graph::GraphKey{}); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(engine.stats().errors, 5);
+}
+
+TEST(ServeEngine, LruEvictsAndRefillsDeterministically) {
+  ServeOptions options;
+  options.cache_capacity = 2;
+  options.batch_width = 1;
+  ServeEngine engine(options);
+
+  const graph::GraphKey k1 = engine.load_graph(grid(5, 5));
+  const Real r1 = engine.effective_resistance(0, 24);  // miss 1
+  const graph::GraphKey k2 = engine.load_graph(grid(6, 5));
+  (void)engine.effective_resistance(0, 29);  // miss 2
+  const graph::GraphKey k3 = engine.load_graph(grid(7, 5));
+  (void)engine.effective_resistance(0, 34);  // miss 3, evicts k1
+
+  ASSERT_NE(k1, k2);
+  ASSERT_NE(k2, k3);
+
+  engine.activate(k1);
+  EXPECT_EQ(engine.active_key(), k1);
+  const Real r1_refill = engine.effective_resistance(0, 24);  // miss 4, evicts k2
+  // Re-factorizing the same graph with the same options is bit-identical.
+  EXPECT_EQ(r1_refill, r1);
+  const Real r1_hit = engine.effective_resistance(0, 24);  // hit
+  EXPECT_EQ(r1_hit, r1);
+
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 4);
+  EXPECT_EQ(stats.cache_evictions, 2);
+  EXPECT_EQ(stats.cache_hits, 1);
+}
+
+TEST(ServeEngine, KeyPinnedQueriesBypassTheActiveGraph) {
+  ServeOptions options;
+  options.batch_width = 1;
+  ServeEngine engine(options);
+  const graph::GraphKey small = engine.load_graph(grid(5, 5));
+  const graph::GraphKey big = engine.load_graph(grid(9, 9));  // now active
+
+  // Pinning to `small` answers against the 25-node graph even though the
+  // 81-node graph is active — and does not change the active graph.
+  const Real pinned = engine.effective_resistance(0, 24, small);
+  EXPECT_GT(pinned, 0.0);
+  EXPECT_EQ(engine.active_key(), big);
+
+  ServeEngine reference(options);
+  (void)reference.load_graph(grid(5, 5));
+  EXPECT_EQ(pinned, reference.effective_resistance(0, 24));
+
+  // Unknown keys are a typed bad request.
+  EXPECT_EQ(code_of([&] {
+              (void)engine.effective_resistance(0, 1, graph::GraphKey{});
+            }),
+            ErrorCode::kBadRequest);
+}
+
+TEST(ServeEngine, ReloadingSameGraphIsACacheHit) {
+  ServeEngine engine;
+  const graph::GraphKey first = engine.load_graph(grid(6, 6));
+  (void)engine.effective_resistance(0, 35);
+  const graph::GraphKey second = engine.load_graph(grid(6, 6));
+  EXPECT_EQ(first, second);
+  (void)engine.effective_resistance(0, 35);
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+}
+
+TEST(ServeEngine, LearnActivatesLearnedGraphAndServesQueries) {
+  const graph::Graph truth = grid(8, 8);
+  measure::MeasurementOptions mopt;
+  mopt.num_measurements = 40;
+  const measure::Measurements data =
+      measure::generate_measurements(truth, mopt);
+
+  ServeEngine engine;
+  core::SglConfig config;
+  const LearnSummary summary =
+      engine.learn(data.voltages, &data.currents, config);
+  EXPECT_EQ(summary.num_nodes, truth.num_nodes());
+  EXPECT_GT(summary.num_edges, 0);
+  EXPECT_TRUE(summary.converged || summary.exhausted);
+  EXPECT_TRUE(engine.has_active_graph());
+  EXPECT_EQ(engine.active_key(), summary.key);
+  EXPECT_EQ(engine.active_num_nodes(), truth.num_nodes());
+
+  const Real r = engine.effective_resistance(0, 63);
+  EXPECT_GT(r, 0.0);
+  EXPECT_EQ(engine.stats().learns, 1);
+}
+
+TEST(ServeEngine, EmbeddingIsCachedPerGraphKey) {
+  ServeEngine engine;
+  (void)engine.load_graph(grid(8, 8));
+  const spectral::Embedding first = engine.embedding();
+  const spectral::Embedding second = engine.embedding();
+  EXPECT_EQ(engine.stats().embeddings, 1);  // second call was the cache
+  ASSERT_EQ(first.eigenvalues.size(), second.eigenvalues.size());
+  for (std::size_t i = 0; i < first.eigenvalues.size(); ++i) {
+    EXPECT_EQ(first.eigenvalues[i], second.eigenvalues[i]);
+  }
+  // A different active graph recomputes.
+  (void)engine.load_graph(grid(9, 9));
+  (void)engine.embedding();
+  EXPECT_EQ(engine.stats().embeddings, 2);
+}
+
+TEST(ServeEngine, PcgStallSurfacesTypedPcgStalled) {
+  ServeOptions options;
+  options.solver.method = solver::LaplacianMethod::kPcgJacobi;
+  options.solver.pcg.max_iterations = 1;
+  options.solver.pcg.rel_tolerance = 1e-14;
+  ServeEngine engine(options);
+  (void)engine.load_graph(grid(16, 16));
+  EXPECT_EQ(code_of([&] { (void)engine.effective_resistance(0, 255); }),
+            ErrorCode::kPcgStalled);
+  EXPECT_EQ(code_of([&] {
+              (void)engine.effective_resistance_batch({{0, 1}, {2, 3}});
+            }),
+            ErrorCode::kPcgStalled);
+}
+
+}  // namespace
+}  // namespace sgl::serve

@@ -1,0 +1,112 @@
+// The wire format under the serving layer: parse/serialize round trips,
+// the byte-determinism guarantees the protocol's bitwise-equality story
+// rests on, and typed kParseError failures for malformed documents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "serve/json.hpp"
+
+namespace sgl::serve {
+namespace {
+
+ErrorCode parse_error_code(const std::string& text) {
+  try {
+    (void)json_parse(text);
+  } catch (const SglError& e) {
+    return e.code();
+  }
+  return ErrorCode::kOk;
+}
+
+TEST(ServeJson, ParsesScalarsArraysAndObjects) {
+  const JsonValue v = json_parse(
+      R"({"op":"solve","n":3,"flag":true,"none":null,"rhs":[1.5,-2,0]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("op")->as_string(), "solve");
+  EXPECT_EQ(v.find("n")->as_number(), 3.0);
+  EXPECT_TRUE(v.find("flag")->as_bool());
+  EXPECT_TRUE(v.find("none")->is_null());
+  ASSERT_EQ(v.find("rhs")->as_array().size(), 3U);
+  EXPECT_EQ(v.find("rhs")->as_array()[1].as_number(), -2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ServeJson, ObjectsPreserveInsertionOrder) {
+  JsonValue v = JsonValue(JsonValue::Object{});
+  v.set("zebra", 1);
+  v.set("apple", 2);
+  v.set("mango", 3);
+  EXPECT_EQ(json_serialize(v), R"({"zebra":1,"apple":2,"mango":3})");
+  v.set("apple", 9);  // overwrite keeps the original position
+  EXPECT_EQ(json_serialize(v), R"({"zebra":1,"apple":9,"mango":3})");
+}
+
+TEST(ServeJson, DoublesRoundTripBitwise) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           -2.3754478032856077,
+                           1e-308,
+                           6.02214076e23,
+                           -0.0,
+                           std::nextafter(1.0, 2.0)};
+  for (const double x : values) {
+    JsonValue v = JsonValue(JsonValue::Object{});
+    v.set("x", x);
+    const std::string wire = json_serialize(v);
+    const double back = json_parse(wire).find("x")->as_number();
+    EXPECT_EQ(std::signbit(back), std::signbit(x)) << wire;
+    EXPECT_EQ(back, x) << wire;
+    // Determinism: serializing again produces identical bytes.
+    EXPECT_EQ(json_serialize(json_parse(wire)), wire);
+  }
+}
+
+TEST(ServeJson, IntegralValuesSerializeWithoutExponent) {
+  JsonValue v = JsonValue(JsonValue::Object{});
+  v.set("n", Index{144});
+  v.set("big", 9007199254740991.0);  // 2^53 − 1
+  v.set("neg", -42);
+  EXPECT_EQ(json_serialize(v), R"({"n":144,"big":9007199254740991,"neg":-42})");
+}
+
+TEST(ServeJson, StringEscapesRoundTrip) {
+  JsonValue v = JsonValue(JsonValue::Object{});
+  v.set("s", std::string("tab\there \"quoted\" back\\slash\nnewline"));
+  const std::string wire = json_serialize(v);
+  EXPECT_EQ(json_parse(wire).find("s")->as_string(),
+            "tab\there \"quoted\" back\\slash\nnewline");
+}
+
+TEST(ServeJson, UnicodeEscapesDecodeToUtf8) {
+  const JsonValue v = json_parse(R"({"s":"L⁺ solve"})");
+  EXPECT_EQ(v.find("s")->as_string(), "L⁺ solve");  // superscript plus
+}
+
+TEST(ServeJson, MalformedInputThrowsTypedParseError) {
+  EXPECT_EQ(parse_error_code("{"), ErrorCode::kParseError);
+  EXPECT_EQ(parse_error_code(""), ErrorCode::kParseError);
+  EXPECT_EQ(parse_error_code("{\"a\":}"), ErrorCode::kParseError);
+  EXPECT_EQ(parse_error_code("[1,2"), ErrorCode::kParseError);
+  EXPECT_EQ(parse_error_code("tru"), ErrorCode::kParseError);
+  EXPECT_EQ(parse_error_code("{} trailing"), ErrorCode::kParseError);
+  EXPECT_EQ(parse_error_code("1e999"), ErrorCode::kParseError);  // overflow
+  EXPECT_EQ(parse_error_code("nan"), ErrorCode::kParseError);
+  EXPECT_EQ(parse_error_code("\"unterminated"), ErrorCode::kParseError);
+  // Valid documents for contrast.
+  EXPECT_EQ(parse_error_code("[]"), ErrorCode::kOk);
+  EXPECT_EQ(parse_error_code("  {\"a\": [1, {\"b\": null}]} "),
+            ErrorCode::kOk);
+}
+
+TEST(ServeJson, NestingDepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_EQ(parse_error_code(deep), ErrorCode::kParseError);
+}
+
+}  // namespace
+}  // namespace sgl::serve

@@ -1,0 +1,183 @@
+// The NDJSON protocol layer: request routing, the typed-error envelope
+// (stable ErrorCode names on the wire, never message parsing), graph-key
+// round trips, and byte-identical responses between a batched and a
+// serial engine for the same requests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/contracts.hpp"
+#include "graph/generators.hpp"
+#include "serve/protocol.hpp"
+
+namespace sgl::serve {
+namespace {
+
+std::string error_code_of(const std::string& response) {
+  const JsonValue v = json_parse(response);
+  if (v.find("ok") == nullptr || v.find("ok")->as_bool()) return "";
+  return v.find("error")->find("code")->as_string();
+}
+
+TEST(ServeProtocol, GraphKeyRoundTripsThroughJson) {
+  const graph::Graph g = graph::make_grid2d(13, 9).graph;
+  const graph::GraphKey key = graph::graph_key(g);
+  const graph::GraphKey back = graph_key_from_json(graph_key_to_json(key));
+  EXPECT_EQ(back, key);  // exact, including both 64-bit fingerprints
+}
+
+TEST(ServeProtocol, LoadGraphThenResistance) {
+  ServeEngine engine;
+  const ProtocolResult loaded = handle_request(
+      engine,
+      R"({"op":"load_graph","num_nodes":3,"edges":[[0,1],[1,2,2.0]],"id":7})");
+  const JsonValue v = json_parse(loaded.response);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_EQ(v.find("op")->as_string(), "load_graph");
+  EXPECT_EQ(v.find("id")->as_number(), 7.0);
+  EXPECT_EQ(v.find("num_edges")->as_number(), 2.0);
+
+  const ProtocolResult r =
+      handle_request(engine, R"({"op":"resistance","s":0,"t":2})");
+  const JsonValue rv = json_parse(r.response);
+  ASSERT_TRUE(rv.find("ok")->as_bool());
+  // Series resistors: 1/1 + 1/2 = 1.5 (path graph 0—1—2), up to solver
+  // rounding.
+  EXPECT_NEAR(rv.find("value")->as_number(), 1.5, 1e-12);
+}
+
+TEST(ServeProtocol, ErrorsCarryStableCodesAndEchoId) {
+  ServeEngine engine;
+  EXPECT_EQ(error_code_of(handle_request(engine, "not json").response),
+            "parse-error");
+  EXPECT_EQ(error_code_of(handle_request(engine, R"({"no_op":1})").response),
+            "bad-request");
+  EXPECT_EQ(
+      error_code_of(handle_request(engine, R"({"op":"frobnicate"})").response),
+      "unknown-operation");
+  EXPECT_EQ(
+      error_code_of(
+          handle_request(engine, R"({"op":"resistance","s":0,"t":1})").response),
+      "no-active-graph");
+  const ProtocolResult disconnected = handle_request(
+      engine,
+      R"({"op":"load_graph","num_nodes":4,"edges":[[0,1],[2,3]],"id":"x9"})");
+  EXPECT_EQ(error_code_of(disconnected.response), "graph-not-connected");
+  EXPECT_EQ(json_parse(disconnected.response).find("id")->as_string(), "x9");
+}
+
+TEST(ServeProtocol, BadRequestFieldsAreTyped) {
+  ServeEngine engine;
+  EXPECT_EQ(error_code_of(
+                handle_request(engine, R"({"op":"resistance","s":0})").response),
+            "bad-request");  // missing t
+  EXPECT_EQ(
+      error_code_of(
+          handle_request(engine, R"({"op":"resistance","s":0.5,"t":1})")
+              .response),
+      "bad-request");  // non-integral node id
+  EXPECT_EQ(error_code_of(
+                handle_request(
+                    engine,
+                    R"({"op":"load_graph","num_nodes":2,"edges":[[0,1,-1]]})")
+                    .response),
+            "bad-request");  // non-positive weight
+  EXPECT_EQ(
+      error_code_of(
+          handle_request(engine, R"({"op":"activate","key":{"num_nodes":1}})")
+              .response),
+      "bad-request");  // malformed key
+}
+
+TEST(ServeProtocol, LearnSyntheticSolveAndStats) {
+  ServeEngine engine;
+  const ProtocolResult learned = handle_request(
+      engine,
+      R"({"op":"learn_synthetic","graph":"grid2d","nx":8,"ny":8,"measurements":40})");
+  const JsonValue lv = json_parse(learned.response);
+  ASSERT_TRUE(lv.find("ok")->as_bool()) << learned.response;
+  EXPECT_EQ(lv.find("num_nodes")->as_number(), 64.0);
+
+  // Solve with a centered two-spike right-hand side.
+  std::string solve_req = R"({"op":"solve","rhs":[1)";
+  for (int i = 1; i < 63; ++i) solve_req += ",0";
+  solve_req += R"(,-1]})";
+  const ProtocolResult solved = handle_request(engine, solve_req);
+  const JsonValue sv = json_parse(solved.response);
+  ASSERT_TRUE(sv.find("ok")->as_bool()) << solved.response;
+  EXPECT_EQ(sv.find("x")->as_array().size(), 64U);
+
+  const ProtocolResult stats =
+      handle_request(engine, R"({"op":"stats"})");
+  const JsonValue tv = json_parse(stats.response);
+  EXPECT_EQ(tv.find("learns")->as_number(), 1.0);
+  EXPECT_EQ(tv.find("requests")->as_number(), 1.0);
+}
+
+TEST(ServeProtocol, ActivateByKeySwitchesGraphs) {
+  ServeEngine engine;
+  const JsonValue first = json_parse(
+      handle_request(
+          engine,
+          R"({"op":"load_graph","num_nodes":3,"edges":[[0,1],[1,2]]})")
+          .response);
+  ASSERT_TRUE(first.find("ok")->as_bool());
+  const std::string key_json = json_serialize(*first.find("key"));
+  const JsonValue second = json_parse(
+      handle_request(
+          engine,
+          R"({"op":"load_graph","num_nodes":2,"edges":[[0,1]]})")
+          .response);
+  ASSERT_TRUE(second.find("ok")->as_bool());
+
+  const ProtocolResult activated = handle_request(
+      engine, std::string(R"({"op":"activate","key":)") + key_json + "}");
+  ASSERT_TRUE(json_parse(activated.response).find("ok")->as_bool())
+      << activated.response;
+  const JsonValue info =
+      json_parse(handle_request(engine, R"({"op":"info"})").response);
+  EXPECT_EQ(info.find("num_nodes")->as_number(), 3.0);
+  EXPECT_EQ(json_serialize(*info.find("key")), key_json);
+}
+
+TEST(ServeProtocol, ShutdownSetsTheFlag) {
+  ServeEngine engine;
+  const ProtocolResult r = handle_request(engine, R"({"op":"shutdown"})");
+  EXPECT_TRUE(r.shutdown);
+  EXPECT_TRUE(json_parse(r.response).find("ok")->as_bool());
+  EXPECT_FALSE(handle_request(engine, R"({"op":"info"})").shutdown);
+}
+
+TEST(ServeProtocol, BatchedAndSerialServersProduceIdenticalBytes) {
+  // Same request stream against a width-16 engine and a width-1 engine:
+  // every response line must be byte-identical (the solver's block
+  // bit-equality contract, surfaced end to end through the JSON layer).
+  ServeOptions batched_options;
+  batched_options.batch_width = 16;
+  ServeEngine batched(batched_options);
+  ServeOptions serial_options;
+  serial_options.batch_width = 1;
+  ServeEngine serial(serial_options);
+
+  const std::string load =
+      R"({"op":"learn_synthetic","graph":"grid2d","nx":10,"ny":10,"measurements":40})";
+  ASSERT_EQ(handle_request(batched, load).response,
+            handle_request(serial, load).response);
+
+  std::vector<std::string> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(R"({"op":"resistance","s":)" + std::to_string(i) +
+                       R"(,"t":)" + std::to_string(99 - i) + "}");
+  }
+  requests.push_back(
+      R"({"op":"resistance_batch","pairs":[[0,1],[1,2],[3,50],[98,99]]})");
+  requests.push_back(R"({"op":"embedding"})");
+  for (const std::string& request : requests) {
+    EXPECT_EQ(handle_request(batched, request).response,
+              handle_request(serial, request).response)
+        << request;
+  }
+}
+
+}  // namespace
+}  // namespace sgl::serve

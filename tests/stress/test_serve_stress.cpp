@@ -1,0 +1,197 @@
+// Concurrent-client stress for the serving layer (TSan-targeted, like
+// the rest of the stress module): many oversubscribed workers hammer one
+// ServeEngine with mixed solve / effective-resistance traffic while the
+// micro-batching combiner coalesces them into shared apply_block calls.
+// Every concurrent answer must be bitwise equal to a serial replay of
+// the same request — the combiner may change BATCH COMPOSITION, never
+// bytes. Also covered: LRU eviction/refill under concurrency and the
+// typed-error round trip (a bad request fails alone; batchmates still
+// get their answers).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+#include "graph/generators.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace sgl::serve {
+namespace {
+
+constexpr Index kOversubscribedThreads = 16;
+
+graph::Graph grid(Index nx, Index ny) {
+  return graph::make_grid2d(nx, ny).graph;
+}
+
+TEST(ServeStress, ConcurrentMixedTrafficIsBitwiseSerial) {
+  const graph::Graph g = grid(14, 14);
+  const Index n = g.num_nodes();
+  constexpr Index kRequests = 96;
+
+  // Deterministic request plan: every 3rd request is a solve, the rest
+  // are resistance probes with varying pairs.
+  struct Plan {
+    bool is_solve;
+    Index s, t;
+  };
+  std::vector<Plan> plan;
+  plan.reserve(static_cast<std::size_t>(kRequests));
+  for (Index i = 0; i < kRequests; ++i) {
+    plan.push_back({i % 3 == 0, i % n, (i * 7 + 31) % n});
+  }
+  for (Plan& p : plan) {
+    if (p.s == p.t) p.t = (p.t + 1) % n;
+  }
+
+  const auto rhs_for = [n](const Plan& p) {
+    la::Vector rhs(static_cast<std::size_t>(n), 0.0);
+    rhs[static_cast<std::size_t>(p.s)] = 1.0;
+    rhs[static_cast<std::size_t>(p.t)] = -1.0;
+    return rhs;
+  };
+
+  // Serial replay: width-1 engine, one thread, one request at a time.
+  ServeOptions serial_options;
+  serial_options.batch_width = 1;
+  ServeEngine serial(serial_options);
+  (void)serial.load_graph(g);
+  std::vector<la::Vector> expected_solve(plan.size());
+  std::vector<Real> expected_value(plan.size(), 0.0);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (plan[i].is_solve) {
+      expected_solve[i] = serial.solve(rhs_for(plan[i]));
+    } else {
+      expected_value[i] = serial.effective_resistance(plan[i].s, plan[i].t);
+    }
+  }
+
+  // Concurrent run against a batching engine, several times so batches
+  // form with different compositions.
+  for (int round = 0; round < 3; ++round) {
+    ServeOptions options;
+    options.batch_width = 8;
+    options.flush_deadline_us = 100;
+    ServeEngine engine(options);
+    (void)engine.load_graph(g);
+
+    std::vector<la::Vector> got_solve(plan.size());
+    std::vector<Real> got_value(plan.size(), 0.0);
+    parallel::parallel_for(
+        0, static_cast<Index>(plan.size()), kOversubscribedThreads,
+        [&](Index i) {
+          const Plan& p = plan[static_cast<std::size_t>(i)];
+          if (p.is_solve) {
+            got_solve[static_cast<std::size_t>(i)] = engine.solve(rhs_for(p));
+          } else {
+            got_value[static_cast<std::size_t>(i)] =
+                engine.effective_resistance(p.s, p.t);
+          }
+        });
+
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].is_solve) {
+        ASSERT_EQ(got_solve[i].size(), expected_solve[i].size());
+        for (std::size_t k = 0; k < got_solve[i].size(); ++k) {
+          ASSERT_EQ(got_solve[i][k], expected_solve[i][k])
+              << "round " << round << " request " << i << " entry " << k;
+        }
+      } else {
+        ASSERT_EQ(got_value[i], expected_value[i])
+            << "round " << round << " request " << i;
+      }
+    }
+
+    const ServeStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, kRequests);
+    EXPECT_EQ(stats.batched_columns, kRequests);  // every request served once
+    EXPECT_EQ(stats.errors, 0);
+    EXPECT_LE(stats.max_batch_width, options.batch_width);
+  }
+}
+
+TEST(ServeStress, BadRequestsFailAloneAmongHealthyTraffic) {
+  ServeOptions options;
+  options.batch_width = 8;
+  ServeEngine engine(options);
+  (void)engine.load_graph(grid(10, 10));
+
+  const Real expected = [&] {
+    ServeOptions serial_options;
+    serial_options.batch_width = 1;
+    ServeEngine serial(serial_options);
+    (void)serial.load_graph(grid(10, 10));
+    return serial.effective_resistance(0, 99);
+  }();
+
+  std::atomic<int> typed_errors{0};
+  std::atomic<int> wrong_errors{0};
+  parallel::parallel_for(0, 64, kOversubscribedThreads, [&](Index i) {
+    if (i % 4 == 0) {
+      // Invalid pair: must come back as kBadRequest, nothing else.
+      try {
+        (void)engine.effective_resistance(5, 5);
+        wrong_errors.fetch_add(1);
+      } catch (const SglError& e) {
+        (e.code() == ErrorCode::kBadRequest ? typed_errors : wrong_errors)
+            .fetch_add(1);
+      }
+    } else {
+      // Healthy probes keep getting exact answers throughout.
+      const Real r = engine.effective_resistance(0, 99);
+      if (r != expected) wrong_errors.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(typed_errors.load(), 16);
+  EXPECT_EQ(wrong_errors.load(), 0);
+  EXPECT_EQ(engine.stats().errors, 16);
+}
+
+TEST(ServeStress, LruEvictionAndRefillUnderConcurrency) {
+  ServeOptions options;
+  options.cache_capacity = 2;
+  options.batch_width = 4;
+  ServeEngine engine(options);
+
+  const graph::GraphKey keys[3] = {
+      engine.load_graph(grid(6, 6)),
+      engine.load_graph(grid(7, 6)),
+      engine.load_graph(grid(8, 6)),
+  };
+  const Index nodes[3] = {36, 42, 48};
+
+  // Serial reference values, one engine per graph so each is a clean
+  // single-graph run.
+  Real expected[3];
+  for (int k = 0; k < 3; ++k) {
+    ServeOptions serial_options;
+    serial_options.batch_width = 1;
+    ServeEngine serial(serial_options);
+    (void)serial.load_graph(grid(static_cast<Index>(6 + k), 6));
+    expected[k] = serial.effective_resistance(0, nodes[k] - 1);
+  }
+
+  // Key-pinned workers interleave 3 graphs through a 2-entry cache,
+  // forcing evictions and refills, while asserting every answer stays
+  // exact. shared_ptr-held solvers make eviction safe mid-batch.
+  std::atomic<int> mismatches{0};
+  for (int round = 0; round < 4; ++round) {
+    parallel::parallel_for(0, 24, kOversubscribedThreads, [&](Index i) {
+      const int k = static_cast<int>(i % 3);
+      const Real r = engine.effective_resistance(0, nodes[k] - 1, keys[k]);
+      if (r != expected[k]) mismatches.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_GE(stats.cache_evictions, 1);  // 3 graphs through 2 slots
+  EXPECT_EQ(stats.cache_misses, stats.cache_evictions + 2);
+}
+
+}  // namespace
+}  // namespace sgl::serve
